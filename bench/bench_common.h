@@ -1,0 +1,46 @@
+// Shared helpers for the experiment harness. Every bench binary:
+//   * runs with no arguments (defaults reproduce the paper's setting),
+//   * prints a banner naming the figure/claim it reproduces,
+//   * prints ASCII tables with measured values next to the paper's
+//     expectation where one exists,
+//   * exits nonzero if a sanity expectation is violated, so the bench suite
+//     doubles as a coarse regression harness.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace subcover::bench {
+
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& paper_anchor) {
+  std::cout << "\n================================================================\n"
+            << id << ": " << title << "\n"
+            << "Reproduces: " << paper_anchor << "\n"
+            << "================================================================\n";
+}
+
+inline void section(const std::string& text) { std::cout << "\n--- " << text << " ---\n"; }
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+// Tracks pass/fail of the bench's own sanity expectations.
+class expectation_tracker {
+ public:
+  void check(bool ok, const std::string& what) {
+    if (ok) {
+      std::cout << "[ok] " << what << "\n";
+    } else {
+      std::cout << "[MISMATCH] " << what << "\n";
+      failed_ = true;
+    }
+  }
+  [[nodiscard]] int exit_code() const { return failed_ ? 1 : 0; }
+
+ private:
+  bool failed_ = false;
+};
+
+}  // namespace subcover::bench

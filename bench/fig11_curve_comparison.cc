@@ -1,0 +1,80 @@
+// E11 — [MJFS01] (cited in Section 1.1): "the performance of the Z and
+// Hilbert curves for many indexing applications are within a constant
+// fraction of each other." We measure runs required by Z, Hilbert, and
+// Gray-code curves on identical random query rectangles and on the covering
+// workload, reporting the pairwise ratios.
+#include <iostream>
+
+#include "bench_common.h"
+#include "covering/sfc_covering_index.h"
+#include "sfc/runs.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "workload/rect_gen.h"
+#include "workload/subscription_gen.h"
+
+using namespace subcover;
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  const int rects = static_cast<int>(flags.get_int("rects", 400));
+  flags.finish();
+
+  bench::banner("E11", "Z vs Hilbert vs Gray-code run counts", "[MJFS01] constant-factor claim");
+  bench::expectation_tracker track;
+
+  ascii_table table({"universe", "avg runs Z", "avg runs Hilbert", "avg runs Gray",
+                     "Hilbert/Z", "Gray/Z"});
+  for (const auto& [d, k, max_side] : std::vector<std::tuple<int, int, std::uint64_t>>{
+           {2, 8, 128}, {2, 10, 256}, {3, 6, 32}}) {
+    const universe u(d, k);
+    const auto z = make_curve(curve_kind::z_order, u);
+    const auto h = make_curve(curve_kind::hilbert, u);
+    const auto g = make_curve(curve_kind::gray_code, u);
+    rng gen(13);
+    accumulator rz, rh, rg;
+    for (int t = 0; t < rects; ++t) {
+      const rect r = workload::random_rect(gen, u, max_side);
+      rz.add(static_cast<double>(count_runs(*z, r)));
+      rh.add(static_cast<double>(count_runs(*h, r)));
+      rg.add(static_cast<double>(count_runs(*g, r)));
+    }
+    const double h_ratio = rh.mean() / rz.mean();
+    const double g_ratio = rg.mean() / rz.mean();
+    table.add_row({std::to_string(d) + "D k=" + std::to_string(k), fmt_double(rz.mean(), 1),
+                   fmt_double(rh.mean(), 1), fmt_double(rg.mean(), 1), fmt_ratio(h_ratio),
+                   fmt_ratio(g_ratio)});
+    track.check(h_ratio > 0.4 && h_ratio < 1.1,
+                "Hilbert within a constant factor of Z (d=" + std::to_string(d) + ")");
+    track.check(g_ratio > 0.4 && g_ratio < 1.5,
+                "Gray within a constant factor of Z (d=" + std::to_string(d) + ")");
+  }
+  std::cout << (csv ? table.to_csv() : table.to_string());
+
+  bench::section("covering detection rate/cost per curve (same workload)");
+  const schema s = workload::make_uniform_schema(2, 10);
+  workload::subscription_gen_options wo;
+  wo.kind = workload::workload_kind::clustered;
+  wo.wildcard_prob = 0.0;
+  ascii_table ct({"curve", "detected", "mean probes", "mean check us"});
+  for (const auto kind : {curve_kind::z_order, curve_kind::hilbert, curve_kind::gray_code}) {
+    sfc_covering_options co;
+    co.curve = kind;
+    sfc_covering_index idx(s, co);
+    workload::subscription_gen gen(s, wo, 515);
+    for (sub_id id = 0; id < 5000; ++id) idx.insert(id, gen.next());
+    accumulator probes, micros;
+    int detected = 0;
+    for (int q = 0; q < 300; ++q) {
+      covering_check_stats st;
+      detected += idx.find_covering(gen.next(), 0.05, &st).has_value() ? 1 : 0;
+      probes.add(static_cast<double>(st.dominance.runs_probed));
+      micros.add(static_cast<double>(st.elapsed_ns) / 1000.0);
+    }
+    ct.add_row({std::string(curve_kind_name(kind)), std::to_string(detected),
+                fmt_double(probes.mean(), 1), fmt_double(micros.mean(), 1)});
+  }
+  std::cout << (csv ? ct.to_csv() : ct.to_string());
+  return track.exit_code();
+}

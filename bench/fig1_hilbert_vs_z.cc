@@ -1,0 +1,73 @@
+// E1 — Figure 1: "For the same Sx x Sy rectangle, there are (a) two runs for
+// the Hilbert SFC and (b) three runs for the Z SFC."
+//
+// We census every axis-aligned rectangle of small 2-D universes, count runs
+// under both curves, report the head-to-head distribution, and exhibit a
+// concrete rectangle with runs(Hilbert) = 2 and runs(Z) = 3.
+#include <iostream>
+#include <optional>
+
+#include "bench_common.h"
+#include "sfc/runs.h"
+#include "util/cli.h"
+
+using namespace subcover;
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  flags.finish();
+
+  bench::banner("E1", "Runs needed by Hilbert vs Z on identical rectangles",
+                "Figure 1 (Section 2)");
+  bench::expectation_tracker track;
+
+  ascii_table table({"universe", "rectangles", "H<Z", "H=Z", "H>Z", "avg runs Z",
+                     "avg runs Hilbert", "max Z/H ratio"});
+  std::optional<rect> example;
+  for (const int k : {3, 4, 5}) {
+    const universe u(2, k);
+    const auto z = make_curve(curve_kind::z_order, u);
+    const auto h = make_curve(curve_kind::hilbert, u);
+    const std::uint32_t side = u.coord_max();
+    std::uint64_t total = 0, h_wins = 0, ties = 0, z_wins = 0;
+    std::uint64_t sum_z = 0, sum_h = 0;
+    double max_ratio = 0;
+    for (std::uint32_t x0 = 0; x0 <= side; ++x0)
+      for (std::uint32_t y0 = 0; y0 <= side; ++y0)
+        for (std::uint32_t x1 = x0; x1 <= side; ++x1)
+          for (std::uint32_t y1 = y0; y1 <= side; ++y1) {
+            const rect r(point{x0, y0}, point{x1, y1});
+            const auto rz = count_runs(*z, r);
+            const auto rh = count_runs(*h, r);
+            ++total;
+            sum_z += rz;
+            sum_h += rh;
+            if (rh < rz) ++h_wins;
+            else if (rh == rz) ++ties;
+            else ++z_wins;
+            max_ratio = std::max(max_ratio, static_cast<double>(rz) / static_cast<double>(rh));
+            if (!example.has_value() && rh == 2 && rz == 3) example = r;
+          }
+    table.add_row({std::to_string(1 << k) + "x" + std::to_string(1 << k), fmt_u64(total),
+                   fmt_u64(h_wins), fmt_u64(ties), fmt_u64(z_wins),
+                   fmt_double(static_cast<double>(sum_z) / static_cast<double>(total), 3),
+                   fmt_double(static_cast<double>(sum_h) / static_cast<double>(total), 3),
+                   fmt_ratio(max_ratio)});
+  }
+  std::cout << (csv ? table.to_csv() : table.to_string());
+
+  track.check(example.has_value(),
+              "a rectangle with runs(Hilbert)=2 and runs(Z)=3 exists (the Figure 1 shape)");
+  if (example.has_value()) {
+    bench::note("example rectangle (8x8 universe coordinates): " + example->to_string());
+    const universe u(2, 3);
+    const auto z = make_curve(curve_kind::z_order, u);
+    const auto h = make_curve(curve_kind::hilbert, u);
+    bench::note("  Z runs:");
+    for (const auto& run : region_runs(*z, *example)) bench::note("    " + run.to_string());
+    bench::note("  Hilbert runs:");
+    for (const auto& run : region_runs(*h, *example)) bench::note("    " + run.to_string());
+  }
+  return track.exit_code();
+}

@@ -1,0 +1,107 @@
+// E2 — Figure 2 and the Section 3.1 intuition: in a 512x512 universe indexed
+// by the Z curve,
+//   * the corner-anchored 256x256 query region is a single run;
+//   * the 257x257 region needs 385 runs exhaustively, yet one run covers
+//     more than 99% of its volume and most of the rest are single cells;
+//   * a 0.01-approximate point dominance query therefore probes a handful
+//     of runs instead of 385.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "dominance/dominance_index.h"
+#include "sfc/extremal_decomposition.h"
+#include "sfc/runs.h"
+#include "util/cli.h"
+
+using namespace subcover;
+
+namespace {
+
+std::array<std::uint64_t, kMaxDims> square(std::uint64_t side) {
+  std::array<std::uint64_t, kMaxDims> a{};
+  a[0] = a[1] = side;
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  flags.finish();
+
+  bench::banner("E2", "The 256 vs 257 query regions on the Z curve", "Figure 2, Section 3.1");
+  bench::expectation_tracker track;
+
+  const universe u(2, 9);
+  const auto z = make_curve(curve_kind::z_order, u);
+
+  ascii_table table({"query region", "cubes (Lemma 3.5)", "runs", "largest-run volume",
+                     "paper expectation"});
+  std::uint64_t runs257 = 0;
+  for (const std::uint64_t side : {256ULL, 257ULL, 384ULL, 512ULL}) {
+    const extremal_rect r(u, square(side));
+    const auto cubes = extremal_cube_count(u, r);
+    const auto runs = region_runs(*z, r);
+    u512 largest = 0;
+    for (const auto& run : runs)
+      if (largest < run.cell_count()) largest = run.cell_count();
+    const double frac = largest.to_double() / static_cast<double>(r.volume_ld());
+    std::string expect = "-";
+    if (side == 256) expect = "1 run";
+    if (side == 257) {
+      expect = "385 runs, largest > 99%";
+      runs257 = runs.size();
+    }
+    table.add_row({std::to_string(side) + "x" + std::to_string(side), cubes.to_string(),
+                   fmt_u64(runs.size()), fmt_percent(frac), expect});
+  }
+  std::cout << (csv ? table.to_csv() : table.to_string());
+
+  {
+    const extremal_rect r(u, square(256));
+    track.check(count_runs(*z, r) == 1, "256x256 region is a single run");
+  }
+  {
+    const extremal_rect r(u, square(257));
+    const auto runs = region_runs(*z, r);
+    track.check(runs.size() == 385, "257x257 region needs 385 runs (paper: 385)");
+    u512 largest = 0;
+    for (const auto& run : runs)
+      if (largest < run.cell_count()) largest = run.cell_count();
+    track.check(largest.to_double() / static_cast<double>(r.volume_ld()) > 0.99,
+                "largest run covers > 99% of the 257x257 region");
+    // Distribution of the small runs.
+    std::vector<double> small_fracs;
+    for (const auto& run : runs)
+      if (run.cell_count() != largest)
+        small_fracs.push_back(run.cell_count().to_double() /
+                              static_cast<double>(r.volume_ld()));
+    std::sort(small_fracs.begin(), small_fracs.end());
+    bench::note("small runs: " + std::to_string(small_fracs.size()) + ", median volume share " +
+                fmt_percent(small_fracs[small_fracs.size() / 2], 4) +
+                " (paper: ~0.015% each)");
+  }
+
+  bench::section("approximate vs exhaustive on the 257x257 region (empty index)");
+  dominance_index idx(u);
+  ascii_table qt({"epsilon", "m", "cubes enumerated", "runs probed", "volume searched"});
+  for (const double eps : {0.0, 0.05, 0.01, 0.001}) {
+    query_stats st;
+    (void)idx.query(point{255, 255}, eps, &st);
+    qt.add_row({fmt_double(eps, 3), std::to_string(st.truncation_m),
+                fmt_u64(st.cubes_enumerated), fmt_u64(st.runs_probed),
+                fmt_percent(static_cast<double>(st.volume_fraction_searched))});
+  }
+  std::cout << (csv ? qt.to_csv() : qt.to_string());
+
+  query_stats st;
+  (void)idx.query(point{255, 255}, 0.01, &st);
+  track.check(st.runs_probed <= 4, "0.01-approximate query probes <= 4 runs (vs 385)");
+  query_stats ex;
+  (void)idx.query(point{255, 255}, 0.0, &ex);
+  track.check(ex.runs_probed >= runs257 && ex.runs_probed <= 514,
+              "exhaustive query probes all ~385 runs (between 385 merged runs and 514 cubes)");
+  return track.exit_code();
+}

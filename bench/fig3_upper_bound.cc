@@ -1,0 +1,75 @@
+// E3 — Theorem 3.1 / Lemma 3.7: the cost of an eps-approximate point
+// dominance query is at most m * [2^alpha * (2^m - 1)]^(d-1) standard cubes
+// with m = ceil(log2(2d/eps)).
+//
+// For the worst-case side-length profile of Lemma 3.6 we compute the EXACT
+// number of cubes in the truncated decomposition (Lemma 3.5 closed form, no
+// enumeration) and compare it against the bound across dimensions, aspect
+// ratios and epsilons. Where the decomposition is small enough we also
+// enumerate runs to show runs <= cubes (Lemma 3.1).
+#include <iostream>
+
+#include "bench_common.h"
+#include "dominance/theory.h"
+#include "sfc/extremal_decomposition.h"
+#include "sfc/runs.h"
+#include "util/cli.h"
+#include "workload/rect_gen.h"
+
+using namespace subcover;
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  const auto run_budget = static_cast<std::uint64_t>(flags.get_int("run-budget", 200'000));
+  flags.finish();
+
+  bench::banner("E3", "Upper bound for approximate point dominance",
+                "Theorem 3.1, Lemmas 3.2/3.6/3.7");
+  bench::expectation_tracker track;
+
+  ascii_table table({"d", "alpha", "eps", "m", "cubes (exact)", "runs (Z)",
+                     "paper bound", "general bound", "cubes/general"});
+  bool all_within = true;
+  int paper_violations = 0;
+  for (const int d : {2, 3, 4}) {
+    const int k = std::min(24, 512 / d);
+    const universe u(d, k);
+    for (const int alpha : {0, 1, 2, 3}) {
+      for (const double eps : {0.5, 0.2, 0.1, 0.05, 0.01}) {
+        const int m = theory::lemma32_min_m(eps, d);
+        const int gamma = k - alpha;
+        const auto wc = workload::worst_case_extremal(u, gamma, alpha, m);
+        const auto truncated = wc.truncated(u, m);
+        const auto cubes = extremal_cube_count(u, truncated);
+        const long double paper_bound = theory::lemma37_cube_bound(m, alpha, d);
+        const long double general_bound = theory::lemma37_cube_bound_general(m, alpha, d);
+        const long double ratio = cubes.to_long_double() / general_bound;
+        all_within = all_within && ratio <= 1.0L;
+        if (cubes.to_long_double() > paper_bound) ++paper_violations;
+
+        std::string runs = "-";
+        if (cubes.bit_width() <= 40 && cubes.low64() <= run_budget) {
+          const auto z = make_curve(curve_kind::z_order, u);
+          runs = fmt_u64(count_runs(*z, truncated.to_rect(u)));
+        }
+        table.add_row({std::to_string(d), std::to_string(alpha), fmt_double(eps, 2),
+                       std::to_string(m), cubes.to_string(), runs,
+                       fmt_sci(static_cast<double>(paper_bound)),
+                       fmt_sci(static_cast<double>(general_bound)),
+                       fmt_double(static_cast<double>(ratio), 4)});
+      }
+    }
+  }
+  std::cout << (csv ? table.to_csv() : table.to_string());
+
+  track.check(all_within,
+              "every exact cube count is within the assumption-free Lemma 3.7 bound");
+  bench::note("Finding: the paper's literal bound (whose Case 2.1 assumes 2^alpha > d-1) is");
+  bench::note("exceeded in " + std::to_string(paper_violations) +
+              " small-alpha configurations; the general form of the same derivation, with the");
+  bench::note("extra factor (1 + (d-1)/2^alpha), always holds. The O(.) of Theorem 3.1 is");
+  bench::note("unaffected. The bound is independent of absolute side lengths (only m, alpha, d");
+  bench::note("enter) — the Section 1.2 headline: approximate cost does not grow with region size.");
+  return track.exit_code();
+}

@@ -1,0 +1,94 @@
+// E4 — Theorem 4.1: there are query rectangles of aspect ratio alpha whose
+// EXHAUSTIVE search on the Z curve costs Omega((2^(alpha-1) * l_d)^(d-1))
+// runs, where l_d is the shortest side.
+//
+// We build the Section 4 adversarial rectangle (shortest side 2^gamma - 1 on
+// the least-significant dimension, the others 2^(gamma+alpha) - 1), count
+// its exact runs on the Z curve, and verify the lower bound. The growth with
+// gamma at fixed alpha shows the (d-1)-th-power dependence on the side
+// length that approximate queries avoid (E3/E5).
+#include <iostream>
+
+#include "bench_common.h"
+#include "dominance/theory.h"
+#include "sfc/runs.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "workload/rect_gen.h"
+
+using namespace subcover;
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  flags.finish();
+
+  bench::banner("E4", "Lower bound for exhaustive point dominance",
+                "Theorem 4.1, Lemma 4.1, Section 4 construction");
+  bench::expectation_tracker track;
+
+  ascii_table table(
+      {"d", "alpha", "gamma", "shortest side", "runs (Z, exact)", "lower bound", "runs/bound"});
+  bool all_above = true;
+
+  // 2-D sweep: gamma up to 10 keeps enumeration comfortable.
+  {
+    const universe u(2, 12);
+    const auto z = make_curve(curve_kind::z_order, u);
+    std::vector<double> sides, runs_series;
+    for (const int alpha : {0, 1, 2, 3}) {
+      for (int gamma = 3; gamma + alpha <= 10; ++gamma) {
+        const auto adv = workload::adversarial_extremal(u, gamma, alpha);
+        const auto runs = count_runs(*z, adv);
+        const long double bound =
+            theory::thm41_lower_bound(alpha, adv.length(u.dims() - 1), u.dims());
+        all_above = all_above && static_cast<long double>(runs) >= bound;
+        table.add_row({"2", std::to_string(alpha), std::to_string(gamma),
+                       fmt_u64(adv.length(1)), fmt_u64(runs),
+                       fmt_double(static_cast<double>(bound), 1),
+                       fmt_double(static_cast<double>(runs / bound), 3)});
+        if (alpha == 0) {
+          sides.push_back(static_cast<double>(adv.length(1)));
+          runs_series.push_back(static_cast<double>(runs));
+        }
+      }
+    }
+    const auto fit = loglog_fit(sides, runs_series);
+    bench::note("2-D, alpha=0: log-log slope of runs vs shortest side = " +
+                fmt_double(fit.slope, 3) + " (theory: d-1 = 1)");
+    track.check(fit.slope > 0.8 && fit.slope < 1.2, "2-D exhaustive cost grows ~linearly (d-1=1)");
+  }
+
+  // 3-D sweep.
+  {
+    const universe u(3, 8);
+    const auto z = make_curve(curve_kind::z_order, u);
+    std::vector<double> sides, runs_series;
+    for (const int alpha : {0, 1, 2}) {
+      for (int gamma = 2; gamma + alpha <= 6; ++gamma) {
+        const auto adv = workload::adversarial_extremal(u, gamma, alpha);
+        const auto runs = count_runs(*z, adv);
+        const long double bound =
+            theory::thm41_lower_bound(alpha, adv.length(u.dims() - 1), u.dims());
+        all_above = all_above && static_cast<long double>(runs) >= bound;
+        table.add_row({"3", std::to_string(alpha), std::to_string(gamma),
+                       fmt_u64(adv.length(2)), fmt_u64(runs),
+                       fmt_double(static_cast<double>(bound), 1),
+                       fmt_double(static_cast<double>(runs / bound), 3)});
+        if (alpha == 0) {
+          sides.push_back(static_cast<double>(adv.length(2)));
+          runs_series.push_back(static_cast<double>(runs));
+        }
+      }
+    }
+    const auto fit = loglog_fit(sides, runs_series);
+    bench::note("3-D, alpha=0: log-log slope of runs vs shortest side = " +
+                fmt_double(fit.slope, 3) + " (theory: d-1 = 2)");
+    track.check(fit.slope > 1.6 && fit.slope < 2.4,
+                "3-D exhaustive cost grows ~quadratically (d-1=2)");
+  }
+
+  std::cout << (csv ? table.to_csv() : table.to_string());
+  track.check(all_above, "every measured run count is above the Theorem 4.1 lower bound");
+  return track.exit_code();
+}

@@ -1,0 +1,78 @@
+// E7 — aspect-ratio dependence (Section 1.2 discussion): both bounds carry a
+// 2^alpha factor, so cost grows with the aspect ratio of the query region;
+// the degenerate M x 1 stripe is the worst case the paper calls out as badly
+// handled by SFCs.
+#include <iostream>
+
+#include "bench_common.h"
+#include "dominance/dominance_index.h"
+#include "dominance/theory.h"
+#include "sfc/extremal_decomposition.h"
+#include "sfc/runs.h"
+#include "util/cli.h"
+#include "workload/rect_gen.h"
+
+using namespace subcover;
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  flags.finish();
+
+  bench::banner("E7", "Cost vs aspect ratio alpha", "Section 1.2 discussion, Lemma 3.7");
+  bench::expectation_tracker track;
+
+  const double eps = 0.05;
+  {
+    const universe u(2, 20);
+    dominance_index idx(u);
+    const int m = idx.truncation_m(eps);
+    bench::section("2-D, b(shortest side) = 8 fixed, alpha sweeps (eps = 0.05)");
+    ascii_table table({"alpha", "sides", "approx cubes", "approx runs probed",
+                       "Lemma 3.7 bound", "exhaustive cubes (exact)"});
+    std::uint64_t prev_cubes = 0;
+    bool monotone = true;
+    for (int alpha = 0; alpha <= 8; ++alpha) {
+      const auto wc = workload::worst_case_extremal(u, 8, alpha, m);
+      point x(2);
+      for (int i = 0; i < 2; ++i) x[i] = static_cast<std::uint32_t>(u.side() - wc.length(i));
+      query_stats st;
+      (void)idx.query(x, eps, &st);
+      const auto exhaustive = extremal_cube_count(u, extremal_rect::query_region(u, x));
+      table.add_row({std::to_string(alpha),
+                     fmt_u64(wc.length(0)) + " x " + fmt_u64(wc.length(1)),
+                     fmt_u64(st.cubes_enumerated), fmt_u64(st.runs_probed),
+                     fmt_sci(static_cast<double>(theory::lemma37_cube_bound_general(m, alpha, 2))),
+                     exhaustive.to_string()});
+      if (alpha > 0 && st.cubes_enumerated < prev_cubes) monotone = false;
+      prev_cubes = st.cubes_enumerated;
+      track.check(static_cast<long double>(st.cubes_enumerated) <=
+                      theory::lemma37_cube_bound_general(m, alpha, 2),
+                  "alpha=" + std::to_string(alpha) + " within the (general) Lemma 3.7 bound");
+    }
+    std::cout << (csv ? table.to_csv() : table.to_string());
+    track.check(monotone, "approximate cost is non-decreasing in alpha");
+  }
+
+  {
+    bench::section("the degenerate M x 1 stripe (paper: 'not efficiently handled')");
+    const universe u(2, 12);
+    const auto z = make_curve(curve_kind::z_order, u);
+    ascii_table table({"stripe", "exhaustive runs", "runs / M"});
+    for (int g = 4; g <= 10; ++g) {
+      const std::uint64_t m_side = (std::uint64_t{1} << g) - 1;
+      std::array<std::uint64_t, kMaxDims> len{};
+      len[0] = m_side;
+      len[1] = 1;
+      const extremal_rect stripe(u, len);
+      const auto runs = count_runs(*z, stripe);
+      table.add_row({fmt_u64(m_side) + " x 1", fmt_u64(runs),
+                     fmt_double(static_cast<double>(runs) / static_cast<double>(m_side), 3)});
+      // Every cell of an M x 1 stripe anchored at the odd corner is its own
+      // run: cost ~ M, the worst case.
+      track.check(runs >= m_side / 2, "stripe " + fmt_u64(m_side) + "x1 costs ~M runs");
+    }
+    std::cout << (csv ? table.to_csv() : table.to_string());
+  }
+  return track.exit_code();
+}

@@ -1,0 +1,115 @@
+// E8 — the abstract's claim: approximate covering provides "much of the
+// benefits of subscription covering at a fraction of the cost".
+//
+// Over realistic subscription workloads (uniform / clustered / zipf) we
+// index n subscriptions and, for a stream of query subscriptions, compare
+// the SFC approximate detector against the exact ground truth:
+//   detection rate = covered queries detected / truly covered queries,
+//   cost           = runs probed and wall-clock time per check,
+// as epsilon sweeps from exact (0) to coarse (0.3).
+#include <iostream>
+
+#include "bench_common.h"
+#include "covering/linear_covering_index.h"
+#include "covering/sfc_covering_index.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "workload/subscription_gen.h"
+
+using namespace subcover;
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  const auto n = static_cast<sub_id>(flags.get_int("subs", 6'000));
+  const int queries = static_cast<int>(flags.get_int("queries", 300));
+  flags.finish();
+
+  bench::banner("E8", "Covering detection rate vs cost across epsilon",
+                "Abstract & Section 1 ('most of the benefits at a fraction of the cost')");
+  bench::expectation_tracker track;
+
+  struct config {
+    const char* name;
+    workload::workload_kind kind;
+    int attrs;
+    double mean_width;
+    int bench_queries;
+  };
+  for (const config& cfg :
+       {config{"uniform-wide", workload::workload_kind::uniform, 2, 0.45, queries},
+        config{"uniform", workload::workload_kind::uniform, 2, 0.25, queries},
+        config{"clustered", workload::workload_kind::clustered, 2, 0.25, queries},
+        config{"zipf", workload::workload_kind::zipf, 2, 0.25, queries},
+        // The dimensionality wall: d = 6 pushes the (d/eps)^(d-1) bound past
+        // any practical budget, so detection collapses — exactly what the
+        // paper's bounds predict for growing d.
+        config{"uniform-wide d=6", workload::workload_kind::uniform, 3, 0.45, 120}}) {
+    const schema s = workload::make_uniform_schema(cfg.attrs, 8);
+    workload::subscription_gen_options wo;
+    wo.kind = cfg.kind;
+    wo.clusters = 8;
+    wo.mean_width = cfg.mean_width;
+    // Pure range conjunctions (the paper's subscription model); wildcards
+    // produce the degenerate unit-thickness regions measured in E7.
+    wo.wildcard_prob = 0.0;
+    workload::subscription_gen gen(s, wo, 4242);
+
+    linear_covering_index oracle(s);
+    sfc_covering_options so;
+    so.max_cubes = 1 << 14;
+    sfc_covering_index sfc(s, so);
+    for (sub_id id = 0; id < n; ++id) {
+      const auto sub = gen.next();
+      oracle.insert(id, sub);
+      sfc.insert(id, sub);
+    }
+    std::vector<subscription> query_subs;
+    for (int q = 0; q < cfg.bench_queries; ++q) query_subs.push_back(gen.next());
+    int truly_covered = 0;
+    for (const auto& q : query_subs)
+      truly_covered += oracle.find_covering(q, 0.0).has_value() ? 1 : 0;
+
+    bench::section(std::string(cfg.name) + " workload, " + std::to_string(cfg.attrs) +
+                   " attributes (d = " + std::to_string(2 * cfg.attrs) + "), n = " +
+                   fmt_u64(n) + ", " + std::to_string(cfg.bench_queries) + " queries, " +
+                   std::to_string(truly_covered) + " truly covered (linear-scan oracle)");
+    ascii_table table({"eps", "detected", "detection rate", "mean runs probed", "mean cubes",
+                       "mean check us", "budget hits"});
+    bool one_sided = true;
+    double best_rate = 0;
+    for (const double eps : {0.01, 0.05, 0.1, 0.3}) {
+      accumulator probes, cubes, micros;
+      int detected = 0;
+      std::uint64_t budget_hits = 0;
+      for (const auto& q : query_subs) {
+        covering_check_stats st;
+        const auto hit = sfc.find_covering(q, eps, &st);
+        if (hit.has_value()) {
+          ++detected;
+          // One-sided error: every hit must be a true covering.
+          one_sided = one_sided && oracle.find_covering(q, 0.0).has_value();
+        }
+        budget_hits += st.dominance.budget_exhausted ? 1 : 0;
+        probes.add(static_cast<double>(st.dominance.runs_probed));
+        cubes.add(static_cast<double>(st.dominance.cubes_enumerated));
+        micros.add(static_cast<double>(st.elapsed_ns) / 1000.0);
+      }
+      const double rate = truly_covered == 0
+                              ? 1.0
+                              : static_cast<double>(detected) / truly_covered;
+      best_rate = std::max(best_rate, rate);
+      table.add_row({fmt_double(eps, 2), std::to_string(detected), fmt_percent(rate),
+                     fmt_double(probes.mean(), 1), fmt_double(cubes.mean(), 1),
+                     fmt_double(micros.mean(), 1), fmt_u64(budget_hits)});
+    }
+    std::cout << (csv ? table.to_csv() : table.to_string());
+    track.check(one_sided, std::string(cfg.name) + ": every detection is a true covering");
+    if (truly_covered > 50 && cfg.attrs == 2)
+      track.check(best_rate > 0.6,
+                  std::string(cfg.name) + ": approximate search finds most coverings");
+  }
+  bench::note("Detection stays near the exact rate while probe counts collapse — the paper's");
+  bench::note("'middle ground' between flooding and exact covering.");
+  return track.exit_code();
+}

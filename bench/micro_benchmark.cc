@@ -1,0 +1,150 @@
+// E12 — google-benchmark micro-suite: per-operation costs of the building
+// blocks (key generation per curve, greedy decomposition, skip-list
+// operations, end-to-end covering checks).
+#include <benchmark/benchmark.h>
+
+#include "covering/sfc_covering_index.h"
+#include "sfc/decomposition.h"
+#include "sfc/gray_curve.h"
+#include "sfc/hilbert_curve.h"
+#include "sfc/runs.h"
+#include "sfc/z_curve.h"
+#include "sfcarray/skiplist_array.h"
+#include "util/random.h"
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+point random_point(rng& gen, const universe& u) {
+  point p(u.dims());
+  for (int i = 0; i < u.dims(); ++i)
+    p[i] = static_cast<std::uint32_t>(gen.uniform(0, u.coord_max()));
+  return p;
+}
+
+void BM_ZCurveKey(benchmark::State& state) {
+  const universe u(static_cast<int>(state.range(0)), 16);
+  const z_curve c(u);
+  rng gen(1);
+  const point p = random_point(gen, u);
+  for (auto _ : state) benchmark::DoNotOptimize(c.cell_key(p));
+}
+BENCHMARK(BM_ZCurveKey)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HilbertCurveKey(benchmark::State& state) {
+  const universe u(static_cast<int>(state.range(0)), 16);
+  const hilbert_curve c(u);
+  rng gen(1);
+  const point p = random_point(gen, u);
+  for (auto _ : state) benchmark::DoNotOptimize(c.cell_key(p));
+}
+BENCHMARK(BM_HilbertCurveKey)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GrayCurveKey(benchmark::State& state) {
+  const universe u(static_cast<int>(state.range(0)), 16);
+  const gray_curve c(u);
+  rng gen(1);
+  const point p = random_point(gen, u);
+  for (auto _ : state) benchmark::DoNotOptimize(c.cell_key(p));
+}
+BENCHMARK(BM_GrayCurveKey)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Decompose257Square(benchmark::State& state) {
+  const universe u(2, 9);
+  const rect r(point{255, 255}, point{511, 511});
+  for (auto _ : state) {
+    std::uint64_t n = 0;
+    decompose_rect(u, r, [&](const standard_cube&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_Decompose257Square);
+
+void BM_RunsOfRandomRect(benchmark::State& state) {
+  const universe u(2, 10);
+  const z_curve z(u);
+  rng gen(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto side = gen.uniform(1, 512);
+    const auto x = gen.uniform(0, u.side() - side);
+    const auto y = gen.uniform(0, u.side() - side);
+    const rect r(point{static_cast<std::uint32_t>(x), static_cast<std::uint32_t>(y)},
+                 point{static_cast<std::uint32_t>(x + side - 1),
+                       static_cast<std::uint32_t>(y + side - 1)});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(count_runs(z, r));
+  }
+}
+BENCHMARK(BM_RunsOfRandomRect);
+
+void BM_SkiplistInsert(benchmark::State& state) {
+  skiplist_array sl;
+  rng gen(3);
+  std::uint64_t id = 0;
+  for (auto _ : state) sl.insert(u512(gen.next()) << 64, id++);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SkiplistInsert);
+
+void BM_SkiplistProbe(benchmark::State& state) {
+  skiplist_array sl;
+  rng gen(3);
+  for (int i = 0; i < 100'000; ++i)
+    sl.insert(u512(gen.next()), static_cast<std::uint64_t>(i));
+  for (auto _ : state) {
+    const u512 lo = gen.next();
+    benchmark::DoNotOptimize(sl.first_in({lo, lo + (u512(1) << 50)}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SkiplistProbe);
+
+sfc_covering_index& shared_index() {
+  static sfc_covering_index* idx = [] {
+    const schema s = workload::make_uniform_schema(2, 10);
+    auto* index = new sfc_covering_index(s);
+    workload::subscription_gen_options wo;
+    wo.kind = workload::workload_kind::clustered;
+    wo.wildcard_prob = 0.0;
+    workload::subscription_gen gen(s, wo, 55);
+    for (sub_id id = 0; id < 20'000; ++id) index->insert(id, gen.next());
+    return index;
+  }();
+  return *idx;
+}
+
+void BM_CoveringCheckApprox(benchmark::State& state) {
+  auto& idx = shared_index();
+  const schema s = workload::make_uniform_schema(2, 10);
+  workload::subscription_gen_options wo;
+  wo.kind = workload::workload_kind::clustered;
+  wo.wildcard_prob = 0.0;
+  workload::subscription_gen gen(s, wo, 77);
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.find_covering(gen.next(), eps));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoveringCheckApprox)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_CoveringInsertErase(benchmark::State& state) {
+  const schema s = workload::make_uniform_schema(2, 10);
+  sfc_covering_index idx(s);
+  workload::subscription_gen gen(s, {}, 88);
+  sub_id id = 1'000'000;
+  for (auto _ : state) {
+    const auto sub = gen.next();
+    idx.insert(++id, sub);
+    idx.erase(id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoveringInsertErase);
+
+}  // namespace
+}  // namespace subcover
+
+BENCHMARK_MAIN();

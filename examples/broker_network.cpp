@@ -1,0 +1,67 @@
+// A multi-broker content-based pub/sub network with covering-optimized
+// subscription propagation — the deployment the paper's optimization is for.
+//
+//   $ ./broker_network [--brokers-depth=3] [--subs=1000] [--events=100] [--epsilon=0.05]
+//
+// Builds a binary broker tree, subscribes clients with a clustered workload,
+// publishes events, and reports the routing-table savings from covering
+// along with proof that no delivery was lost.
+#include <iostream>
+
+#include "subcover.h"
+
+using namespace subcover;
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  const int depth = static_cast<int>(flags.get_int("brokers-depth", 3));
+  const int subs = static_cast<int>(flags.get_int("subs", 1000));
+  const int events = static_cast<int>(flags.get_int("events", 100));
+  const double epsilon = flags.get_double("epsilon", 0.05);
+  flags.finish();
+
+  const schema s = workload::make_sensor_schema();
+  const topology topo = topology::balanced_tree(2, depth);
+  std::cout << "broker tree: " << topo.size() << " brokers (binary, depth " << depth << ")\n";
+  std::cout << "schema: region / temperature / humidity / battery\n\n";
+
+  auto run = [&](bool use_covering, double eps) {
+    network_options o;
+    o.use_covering = use_covering;
+    o.epsilon = eps;
+    network net(topo, s, o);
+    workload::subscription_gen_options wo;
+    wo.kind = workload::workload_kind::clustered;
+    wo.clusters = 5;
+    workload::subscription_gen sgen(s, wo, 7);
+    workload::event_gen egen(s, 8);
+    rng pick(9);
+    for (int i = 0; i < subs; ++i)
+      (void)net.subscribe(static_cast<int>(pick.index(static_cast<std::size_t>(topo.size()))),
+                          sgen.next());
+    std::uint64_t lost = 0;
+    for (int e = 0; e < events; ++e) {
+      const auto ev = egen.next();
+      const auto got =
+          net.publish(static_cast<int>(pick.index(static_cast<std::size_t>(topo.size()))), ev);
+      lost += net.expected_recipients(ev).size() - got.size();
+    }
+    return std::tuple{net.metrics().subscription_messages, net.total_routing_entries(),
+                      net.metrics().event_messages, lost};
+  };
+
+  ascii_table table({"mode", "subscription msgs", "routing entries", "event msgs", "lost"});
+  const auto [fm, fe, fev, fl] = run(false, 0.0);
+  table.add_row({"flooding", fmt_u64(fm), fmt_u64(fe), fmt_u64(fev), fmt_u64(fl)});
+  const auto [cm, ce, cev, cl] = run(true, epsilon);
+  table.add_row({"covering eps=" + fmt_double(epsilon, 2), fmt_u64(cm), fmt_u64(ce),
+                 fmt_u64(cev), fmt_u64(cl)});
+  table.print(std::cout);
+
+  std::cout << "\ncovering cut subscription traffic by "
+            << fmt_percent(1.0 - static_cast<double>(cm) / static_cast<double>(fm))
+            << " and routing state by "
+            << fmt_percent(1.0 - static_cast<double>(ce) / static_cast<double>(fe))
+            << ", with zero lost deliveries (one-sided approximation).\n";
+  return cl == 0 && fl == 0 ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Visualize space filling curves and run decompositions in ASCII — a
+// hands-on companion to Figures 1, 2 and 5 of the paper.
+//
+//   $ ./curve_explorer [--bits=3] [--curve=hilbert]
+//
+// Prints (a) the visit order of every cell in a 2-D universe, and (b) the
+// greedy standard-cube decomposition and runs of a sample query rectangle.
+#include <iomanip>
+#include <iostream>
+
+#include "subcover.h"
+
+using namespace subcover;
+
+namespace {
+
+curve_kind parse_curve(const std::string& name) {
+  if (name == "z" || name == "z-order") return curve_kind::z_order;
+  if (name == "hilbert") return curve_kind::hilbert;
+  if (name == "gray" || name == "gray-code") return curve_kind::gray_code;
+  throw std::invalid_argument("unknown curve '" + name + "' (use z | hilbert | gray)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  const int bits = static_cast<int>(flags.get_int("bits", 3));
+  const auto kind = parse_curve(flags.get_string("curve", "hilbert"));
+  flags.finish();
+  if (bits < 1 || bits > 5) throw std::invalid_argument("--bits must be in [1,5]");
+
+  const universe u(2, bits);
+  const auto c = make_curve(kind, u);
+  const auto side = u.side();
+
+  std::cout << "visit order of the " << side << "x" << side << " universe on the " << c->name()
+            << " curve (row 0 at the bottom):\n\n";
+  for (std::uint32_t row = static_cast<std::uint32_t>(side); row-- > 0;) {
+    for (std::uint32_t col = 0; col < side; ++col) {
+      // Dimension 0 is x (column), dimension 1 is y (row).
+      const auto key = c->cell_key(point{col, row});
+      std::cout << std::setw(5) << key.to_string();
+    }
+    std::cout << "\n";
+  }
+
+  // Decompose the paper's "shifted square" shape scaled to this universe:
+  // side 2^(bits-1) + 1 anchored at the max corner.
+  const std::uint64_t qside = (std::uint64_t{1} << (bits - 1)) + 1;
+  std::array<std::uint64_t, kMaxDims> len{};
+  len[0] = len[1] = qside;
+  const extremal_rect region(u, len);
+  const rect box = region.to_rect(u);
+  std::cout << "\nquery region " << box.to_string() << " (the Figure 2 shape):\n";
+
+  std::cout << "  greedy standard-cube decomposition (Lemma 3.3):\n";
+  decompose_rect(u, box, [&](const standard_cube& cube) {
+    const auto range = c->cube_range(cube);
+    std::cout << "    " << cube.to_string() << " -> keys " << range.to_string() << "\n";
+  });
+
+  const auto runs = region_runs(*c, box);
+  std::cout << "  runs on the " << c->name() << " curve: " << runs.size() << "\n";
+  for (const auto& run : runs) std::cout << "    " << run.to_string() << "\n";
+
+  std::cout << "\ncells in the region, in curve order, with run boundaries:\n  ";
+  u512 prev = u512::max();
+  for (const auto& run : runs) {
+    if (prev != u512::max()) std::cout << " | ";
+    for (u512 k = run.lo;; ++k) {
+      if (k != run.lo) std::cout << " ";
+      std::cout << c->cell_from_key(k).to_string();
+      if (k == run.hi) break;
+    }
+    prev = run.hi;
+  }
+  std::cout << "\n";
+  return 0;
+}

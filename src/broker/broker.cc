@@ -1,0 +1,91 @@
+#include "broker/broker.h"
+
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace subcover {
+
+broker::broker(int id, const schema& s, const std::vector<int>& neighbor_links,
+               const covering_index_factory& factory, broker_options options)
+    : id_(id), schema_(s), links_(neighbor_links), options_(options), factory_(factory) {
+  SUBCOVER_CHECK(static_cast<bool>(factory_), "broker: covering index factory required");
+  for (const int link : links_) {
+    forwarded_.emplace(link, factory_(schema_));
+    forwarded_subs_.emplace(link, std::map<sub_id, subscription>{});
+  }
+}
+
+bool broker::covered_on_link(int link, const subscription& s, network_metrics& metrics) const {
+  const auto it = forwarded_.find(link);
+  SUBCOVER_CHECK(it != forwarded_.end(), "broker: unknown link");
+  covering_check_stats stats;
+  const auto hit = it->second->find_covering(s, options_.epsilon, &stats);
+  ++metrics.covering_checks;
+  metrics.covering_check_ns += stats.elapsed_ns;
+  if (hit.has_value()) ++metrics.covering_hits;
+  return hit.has_value();
+}
+
+broker::subscribe_action broker::handle_subscribe(int from_link, sub_id id,
+                                                  const subscription& s,
+                                                  network_metrics& metrics) {
+  table_.add(from_link, id, s);
+  subscribe_action action;
+  for (const int link : links_) {
+    if (link == from_link) continue;
+    if (options_.use_covering && covered_on_link(link, s, metrics)) continue;
+    forwarded_.at(link)->insert(id, s);
+    forwarded_subs_.at(link).emplace(id, s);
+    action.forward_links.push_back(link);
+  }
+  return action;
+}
+
+broker::unsubscribe_action broker::handle_unsubscribe(int from_link, sub_id id,
+                                                      network_metrics& metrics) {
+  const bool removed = table_.remove(from_link, id);
+  SUBCOVER_CHECK(removed, "broker: unsubscribe for unknown subscription");
+  unsubscribe_action action;
+  for (const int link : links_) {
+    if (link == from_link) continue;
+    auto& fwd_subs = forwarded_subs_.at(link);
+    const auto it = fwd_subs.find(id);
+    if (it == fwd_subs.end()) continue;  // was suppressed on this link
+    // Withdraw the subscription downstream.
+    forwarded_.at(link)->erase(id);
+    fwd_subs.erase(it);
+    action.forward_links.push_back(link);
+    // Subscriptions whose forward was suppressed because of (possibly) this
+    // one may now be uncovered; re-check every active, unforwarded
+    // subscription and re-forward the ones no longer covered.
+    for (const auto& [other_id, other_sub] : table_.subs_not_from(link)) {
+      if (other_id == id) continue;
+      if (fwd_subs.count(other_id) > 0) continue;  // already forwarded
+      if (options_.use_covering && covered_on_link(link, other_sub, metrics)) continue;
+      forwarded_.at(link)->insert(other_id, other_sub);
+      fwd_subs.emplace(other_id, other_sub);
+      action.reforwards.push_back({link, {other_id, other_sub}});
+    }
+  }
+  return action;
+}
+
+broker::event_action broker::handle_event(int from_link, const event& e) const {
+  event_action action;
+  action.forward_links = table_.matching_links(e, from_link);
+  // Local clients always receive matching events, even when the event came
+  // from the local link itself (a publisher can also be a subscriber);
+  // matching_links above excludes the local link from forwards.
+  action.local_deliveries = table_.matching_subs(kLocalLink, e);
+  // Do not forward back over the local pseudo-link.
+  std::erase(action.forward_links, kLocalLink);
+  return action;
+}
+
+std::size_t broker::forwarded_to(int link) const {
+  const auto it = forwarded_subs_.find(link);
+  return it == forwarded_subs_.end() ? 0 : it->second.size();
+}
+
+}  // namespace subcover

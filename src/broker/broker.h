@@ -1,0 +1,87 @@
+// A single content-based pub/sub broker with covering-optimized subscription
+// propagation (paper Section 1).
+//
+// Subscription handling: a subscription arriving over link L is recorded in
+// the routing table under L, then considered for forwarding to every other
+// link M. If covering is enabled and a subscription already forwarded to M
+// covers the new one, the forward is suppressed — the covered subscription
+// needs no entry downstream because every event it matches is already being
+// pulled by the coverer. The covering check is delegated to a pluggable
+// covering_index (exact linear, SFC exhaustive, SFC eps-approximate, ...).
+//
+// Event handling: an event arriving over link L is delivered to matching
+// local subscriptions and forwarded to every other link that has at least
+// one matching subscription in its routing table (reverse-path routing).
+//
+// Unsubscription: removing a subscription that was forwarded to link M may
+// uncover subscriptions whose forward to M was suppressed; those are
+// re-forwarded so that completeness is preserved.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "broker/metrics.h"
+#include "broker/routing_table.h"
+#include "covering/covering_index.h"
+
+namespace subcover {
+
+using covering_index_factory = std::function<std::unique_ptr<covering_index>(const schema&)>;
+
+struct broker_options {
+  // false = flood every subscription (the paper's "ignore covering" extreme).
+  bool use_covering = true;
+  // Epsilon for find_covering: 0 = exact/exhaustive detection.
+  double epsilon = 0.0;
+};
+
+class broker {
+ public:
+  broker(int id, const schema& s, const std::vector<int>& neighbor_links,
+         const covering_index_factory& factory, broker_options options);
+
+  struct subscribe_action {
+    std::vector<int> forward_links;  // links the subscription must be sent to
+  };
+  struct unsubscribe_action {
+    std::vector<int> forward_links;  // links the unsubscription must be sent to
+    // Suppressed subscriptions that became uncovered and must now be sent.
+    std::vector<std::pair<int, std::pair<sub_id, subscription>>> reforwards;
+  };
+  struct event_action {
+    std::vector<int> forward_links;
+    std::vector<sub_id> local_deliveries;
+  };
+
+  // `from_link` is kLocalLink for client operations, else the neighbor id.
+  subscribe_action handle_subscribe(int from_link, sub_id id, const subscription& s,
+                                    network_metrics& metrics);
+  unsubscribe_action handle_unsubscribe(int from_link, sub_id id, network_metrics& metrics);
+  [[nodiscard]] event_action handle_event(int from_link, const event& e) const;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] std::size_t routing_entries() const { return table_.total_entries(); }
+  [[nodiscard]] std::size_t forwarded_to(int link) const;
+  [[nodiscard]] const routing_table& table() const { return table_; }
+
+ private:
+  // True if a subscription already forwarded to `link` covers `s`.
+  bool covered_on_link(int link, const subscription& s, network_metrics& metrics) const;
+
+  int id_;
+  schema schema_;
+  std::vector<int> links_;  // neighbor links (excludes kLocalLink)
+  broker_options options_;
+  covering_index_factory factory_;
+  routing_table table_;
+  // Per outgoing link: covering index over subscriptions forwarded there,
+  // plus the subscription bodies for re-forwarding after unsubscriptions.
+  std::map<int, std::unique_ptr<covering_index>> forwarded_;
+  std::map<int, std::map<sub_id, subscription>> forwarded_subs_;
+};
+
+}  // namespace subcover

@@ -1,0 +1,16 @@
+#include "broker/metrics.h"
+
+#include <sstream>
+
+namespace subcover {
+
+std::string network_metrics::to_string() const {
+  std::ostringstream os;
+  os << "metrics{sub_msgs=" << subscription_messages << ", unsub_msgs=" << unsubscription_messages
+     << ", reforwards=" << reforwards << ", event_msgs=" << event_messages
+     << ", deliveries=" << deliveries << ", cov_checks=" << covering_checks
+     << ", cov_hits=" << covering_hits << ", cov_ns=" << covering_check_ns << "}";
+  return os.str();
+}
+
+}  // namespace subcover

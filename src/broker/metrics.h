@@ -1,0 +1,34 @@
+// Network-wide counters: the quantities the paper's motivation is about
+// (subscription traffic and routing-table size) plus event traffic and
+// covering-check cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace subcover {
+
+struct network_metrics {
+  // Broker-to-broker subscription forwards (what covering suppresses).
+  std::uint64_t subscription_messages = 0;
+  std::uint64_t unsubscription_messages = 0;
+  // Subscriptions re-forwarded after an uncovering unsubscription.
+  std::uint64_t reforwards = 0;
+  // Broker-to-broker event forwards.
+  std::uint64_t event_messages = 0;
+  // Events handed to local subscribers.
+  std::uint64_t deliveries = 0;
+  // Covering-detection calls and outcomes during propagation.
+  std::uint64_t covering_checks = 0;
+  std::uint64_t covering_hits = 0;
+  std::uint64_t covering_check_ns = 0;
+
+  void reset_traffic() {
+    event_messages = 0;
+    deliveries = 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace subcover

@@ -1,0 +1,152 @@
+#include "broker/network.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "covering/sfc_covering_index.h"
+#include "pubsub/matching.h"
+#include "util/check.h"
+
+namespace subcover {
+
+namespace {
+
+covering_index_factory default_factory() {
+  return [](const schema& s) { return std::make_unique<sfc_covering_index>(s); };
+}
+
+}  // namespace
+
+network::network(topology t, schema s, network_options options)
+    : topology_(std::move(t)), schema_(std::move(s)), options_(std::move(options)) {
+  if (!options_.factory) options_.factory = default_factory();
+  broker_options bo;
+  bo.use_covering = options_.use_covering;
+  bo.epsilon = options_.epsilon;
+  brokers_.reserve(static_cast<std::size_t>(topology_.size()));
+  for (int i = 0; i < topology_.size(); ++i)
+    brokers_.emplace_back(i, schema_, topology_.neighbors(i), options_.factory, bo);
+}
+
+sub_id network::subscribe(int broker_id, const subscription& s) {
+  if (broker_id < 0 || broker_id >= topology_.size())
+    throw std::invalid_argument("network::subscribe: bad broker id");
+  const sub_id id = next_id_++;
+  owners_.emplace(id, sub_record{broker_id, s});
+
+  struct pending {
+    int broker;
+    int from_link;
+  };
+  std::deque<pending> queue{{broker_id, kLocalLink}};
+  while (!queue.empty()) {
+    const auto [b, from] = queue.front();
+    queue.pop_front();
+    const auto action =
+        brokers_[static_cast<std::size_t>(b)].handle_subscribe(from, id, s, metrics_);
+    for (const int link : action.forward_links) {
+      ++metrics_.subscription_messages;
+      queue.push_back({link, b});
+    }
+  }
+  return id;
+}
+
+bool network::unsubscribe(sub_id id) {
+  const auto rec = owners_.find(id);
+  if (rec == owners_.end()) return false;
+
+  struct pending {
+    int broker;
+    int from_link;
+    bool is_unsub;          // unsubscription or a re-forwarded subscription
+    sub_id sid;
+    subscription body;      // used when !is_unsub
+  };
+  std::deque<pending> queue;
+  queue.push_back({rec->second.broker, kLocalLink, true, id, subscription{}});
+  owners_.erase(rec);
+
+  while (!queue.empty()) {
+    const auto msg = queue.front();
+    queue.pop_front();
+    auto& b = brokers_[static_cast<std::size_t>(msg.broker)];
+    if (msg.is_unsub) {
+      const auto action = b.handle_unsubscribe(msg.from_link, msg.sid, metrics_);
+      for (const int link : action.forward_links) {
+        ++metrics_.unsubscription_messages;
+        queue.push_back({link, msg.broker, true, msg.sid, subscription{}});
+      }
+      for (const auto& [link, sub_pair] : action.reforwards) {
+        ++metrics_.subscription_messages;
+        ++metrics_.reforwards;
+        queue.push_back({link, msg.broker, false, sub_pair.first, sub_pair.second});
+      }
+    } else {
+      const auto action = b.handle_subscribe(msg.from_link, msg.sid, msg.body, metrics_);
+      for (const int link : action.forward_links) {
+        ++metrics_.subscription_messages;
+        queue.push_back({link, msg.broker, false, msg.sid, msg.body});
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<sub_id> network::publish(int broker_id, const event& e) {
+  if (broker_id < 0 || broker_id >= topology_.size())
+    throw std::invalid_argument("network::publish: bad broker id");
+  std::vector<sub_id> delivered;
+  struct pending {
+    int broker;
+    int from_link;
+  };
+  std::deque<pending> queue{{broker_id, kLocalLink}};
+  while (!queue.empty()) {
+    const auto [b, from] = queue.front();
+    queue.pop_front();
+    const auto action = brokers_[static_cast<std::size_t>(b)].handle_event(from, e);
+    for (const sub_id id : action.local_deliveries) {
+      delivered.push_back(id);
+      ++metrics_.deliveries;
+    }
+    for (const int link : action.forward_links) {
+      ++metrics_.event_messages;
+      queue.push_back({link, b});
+    }
+  }
+  std::sort(delivered.begin(), delivered.end());
+  // Tree routing visits each broker at most once, so ids cannot repeat; keep
+  // the guarantee explicit for callers.
+  SUBCOVER_DCHECK(std::adjacent_find(delivered.begin(), delivered.end()) == delivered.end(),
+                  "network::publish: duplicate delivery");
+  return delivered;
+}
+
+std::vector<sub_id> network::expected_recipients(const event& e) const {
+  std::vector<sub_id> out;
+  for (const auto& [id, rec] : owners_)
+    if (matches(rec.s, e)) out.push_back(id);
+  return out;
+}
+
+std::size_t network::total_routing_entries() const {
+  std::size_t n = 0;
+  for (const auto& b : brokers_) n += b.routing_entries();
+  return n;
+}
+
+const broker& network::broker_at(int id) const {
+  if (id < 0 || id >= topology_.size())
+    throw std::invalid_argument("network::broker_at: bad broker id");
+  return brokers_[static_cast<std::size_t>(id)];
+}
+
+std::optional<int> network::owner_broker(sub_id id) const {
+  const auto it = owners_.find(id);
+  if (it == owners_.end()) return std::nullopt;
+  return it->second.broker;
+}
+
+}  // namespace subcover

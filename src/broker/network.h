@@ -1,0 +1,72 @@
+// Deterministic in-process simulation of a broker tree running covering-
+// optimized subscription propagation and reverse-path event routing.
+//
+// Messages between brokers are processed from a FIFO queue until quiescence,
+// so every subscribe/publish call returns with the network in a stable
+// state. The simulation preserves exactly the metrics the paper's motivation
+// concerns: subscription messages, routing table sizes, event traffic, and
+// delivery completeness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "broker/broker.h"
+#include "broker/topology.h"
+
+namespace subcover {
+
+struct network_options {
+  bool use_covering = true;
+  double epsilon = 0.0;
+  // Factory for the per-link covering indexes; defaults to the paper's
+  // SFC index (Z curve + skip list).
+  covering_index_factory factory;
+};
+
+class network {
+ public:
+  network(topology t, schema s, network_options options = {});
+
+  // Registers a subscription for a client at `broker_id`; propagates to
+  // quiescence and returns the assigned subscription id.
+  sub_id subscribe(int broker_id, const subscription& s);
+  // Withdraws a subscription; returns false if unknown.
+  bool unsubscribe(sub_id id);
+  // Publishes at `broker_id`; returns the ids of subscriptions that received
+  // the event, sorted ascending.
+  std::vector<sub_id> publish(int broker_id, const event& e);
+
+  // Ground truth: ids of all active subscriptions matching e, regardless of
+  // routing (what a correct network must deliver to).
+  [[nodiscard]] std::vector<sub_id> expected_recipients(const event& e) const;
+
+  [[nodiscard]] const network_metrics& metrics() const { return metrics_; }
+  network_metrics& mutable_metrics() { return metrics_; }
+  // Sum of routing-table entries over all brokers — the size metric covering
+  // is meant to reduce.
+  [[nodiscard]] std::size_t total_routing_entries() const;
+  [[nodiscard]] int broker_count() const { return topology_.size(); }
+  [[nodiscard]] const broker& broker_at(int id) const;
+  [[nodiscard]] std::size_t active_subscriptions() const { return owners_.size(); }
+  [[nodiscard]] std::optional<int> owner_broker(sub_id id) const;
+  [[nodiscard]] const schema& message_schema() const { return schema_; }
+
+ private:
+  struct sub_record {
+    int broker;
+    subscription s;
+  };
+
+  topology topology_;
+  schema schema_;
+  network_options options_;
+  std::vector<broker> brokers_;
+  std::map<sub_id, sub_record> owners_;
+  network_metrics metrics_;
+  sub_id next_id_ = 1;
+};
+
+}  // namespace subcover

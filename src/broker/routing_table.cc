@@ -1,0 +1,75 @@
+#include "broker/routing_table.h"
+
+#include <stdexcept>
+
+#include "pubsub/matching.h"
+
+namespace subcover {
+
+void routing_table::add(int link, sub_id id, const subscription& s) {
+  if (!received_[link].emplace(id, s).second)
+    throw std::invalid_argument("routing_table: subscription " + std::to_string(id) +
+                                " already present on link " + std::to_string(link));
+}
+
+bool routing_table::remove(int link, sub_id id) {
+  const auto it = received_.find(link);
+  if (it == received_.end()) return false;
+  const bool erased = it->second.erase(id) > 0;
+  if (it->second.empty()) received_.erase(it);
+  return erased;
+}
+
+bool routing_table::contains(int link, sub_id id) const {
+  const auto it = received_.find(link);
+  return it != received_.end() && it->second.count(id) > 0;
+}
+
+std::size_t routing_table::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& [link, subs] : received_) {
+    (void)link;
+    n += subs.size();
+  }
+  return n;
+}
+
+std::size_t routing_table::entries_on(int link) const {
+  const auto it = received_.find(link);
+  return it == received_.end() ? 0 : it->second.size();
+}
+
+std::vector<int> routing_table::matching_links(const event& e, int exclude_link) const {
+  std::vector<int> links;
+  for (const auto& [link, subs] : received_) {
+    if (link == exclude_link) continue;
+    for (const auto& [id, s] : subs) {
+      (void)id;
+      if (matches(s, e)) {
+        links.push_back(link);
+        break;
+      }
+    }
+  }
+  return links;
+}
+
+std::vector<sub_id> routing_table::matching_subs(int link, const event& e) const {
+  std::vector<sub_id> out;
+  const auto it = received_.find(link);
+  if (it == received_.end()) return out;
+  for (const auto& [id, s] : it->second)
+    if (matches(s, e)) out.push_back(id);
+  return out;
+}
+
+std::vector<std::pair<sub_id, subscription>> routing_table::subs_not_from(int exclude) const {
+  std::vector<std::pair<sub_id, subscription>> out;
+  for (const auto& [link, subs] : received_) {
+    if (link == exclude) continue;
+    for (const auto& [id, s] : subs) out.emplace_back(id, s);
+  }
+  return out;
+}
+
+}  // namespace subcover

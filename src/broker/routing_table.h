@@ -1,0 +1,44 @@
+// Per-broker routing state: for every link (neighbor broker, or the local
+// client port), the set of subscriptions received over that link. Events are
+// forwarded toward a link iff some subscription received from it matches —
+// the standard reverse-path content routing of Siena-style systems.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "covering/covering_index.h"
+#include "pubsub/event.h"
+#include "pubsub/subscription.h"
+
+namespace subcover {
+
+// Link id of the broker's local clients.
+inline constexpr int kLocalLink = -1;
+
+class routing_table {
+ public:
+  // Throws std::invalid_argument if the id is already present on the link.
+  void add(int link, sub_id id, const subscription& s);
+  bool remove(int link, sub_id id);
+
+  [[nodiscard]] bool contains(int link, sub_id id) const;
+  // Number of (link, subscription) entries — the table-size metric.
+  [[nodiscard]] std::size_t total_entries() const;
+  [[nodiscard]] std::size_t entries_on(int link) const;
+
+  // Links (excluding `exclude_link`) holding at least one subscription that
+  // matches the event.
+  [[nodiscard]] std::vector<int> matching_links(const event& e, int exclude_link) const;
+  // Ids of subscriptions on `link` matching the event (local delivery).
+  [[nodiscard]] std::vector<sub_id> matching_subs(int link, const event& e) const;
+
+  // All (id, subscription) pairs received over links other than `exclude`.
+  [[nodiscard]] std::vector<std::pair<sub_id, subscription>> subs_not_from(int exclude) const;
+
+ private:
+  std::map<int, std::map<sub_id, subscription>> received_;
+};
+
+}  // namespace subcover

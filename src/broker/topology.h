@@ -1,0 +1,37 @@
+// Broker overlay topology. Distributed pub/sub systems (Siena, Gryphon,
+// REBECA) route over an acyclic overlay; this class models an undirected
+// tree of brokers and validates acyclicity/connectivity at construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace subcover {
+
+class topology {
+ public:
+  // `n` brokers (ids 0..n-1) and exactly n-1 undirected edges forming a tree.
+  // Throws std::invalid_argument otherwise.
+  topology(int n, std::vector<std::pair<int, int>> edges);
+
+  // A path 0-1-2-...-(n-1).
+  static topology line(int n);
+  // Broker 0 connected to all others.
+  static topology star(int n);
+  // Complete tree with the given fanout and depth (depth 0 = single root).
+  static topology balanced_tree(int fanout, int depth);
+
+  [[nodiscard]] int size() const { return static_cast<int>(adj_.size()); }
+  [[nodiscard]] const std::vector<int>& neighbors(int node) const;
+  // Unique tree path between two brokers, inclusive of both endpoints.
+  [[nodiscard]] std::vector<int> path(int from, int to) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace subcover

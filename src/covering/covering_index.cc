@@ -1,0 +1,23 @@
+#include "covering/covering_index.h"
+
+#include <stdexcept>
+
+#include "covering/linear_covering_index.h"
+#include "covering/sampled_covering_index.h"
+#include "covering/sfc_covering_index.h"
+
+namespace subcover {
+
+std::unique_ptr<covering_index> make_covering_index(covering_index_kind kind, const schema& s) {
+  switch (kind) {
+    case covering_index_kind::sfc:
+      return std::make_unique<sfc_covering_index>(s);
+    case covering_index_kind::linear:
+      return std::make_unique<linear_covering_index>(s);
+    case covering_index_kind::sampled:
+      return std::make_unique<sampled_covering_index>(s);
+  }
+  throw std::invalid_argument("make_covering_index: unknown kind");
+}
+
+}  // namespace subcover

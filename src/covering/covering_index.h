@@ -1,0 +1,75 @@
+// Covering-detection API — the paper's primary contribution, packaged the way
+// a broker uses it: maintain a set of subscriptions, and for each arriving
+// subscription ask "is there an existing subscription that covers it?".
+//
+// Implementations:
+//   * sfc_covering_index     — the paper's algorithm: EO82 transform to point
+//                              dominance + SFC-indexed (eps-approximate or
+//                              exhaustive) search. Sublinear in n.
+//   * linear_covering_index  — exact scan over all subscriptions; the ground
+//                              truth baseline. O(n) per check.
+//   * sampled_covering_index — Monte-Carlo subsumption in the spirit of
+//                              Ouksel et al. [OJPA06]; O(n) per check with
+//                              two-sided error (can claim false coverings —
+//                              deliberately unsafe, for comparison).
+//
+// Error semantics: find_covering(s, eps) with eps > 0 may MISS a covering
+// subscription (one-sided error), which in a broker merely causes a
+// redundant forward. Exact modes (eps == 0 on the safe indexes) never miss.
+// Only the sampled index can return a wrong (non-covering) id.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "dominance/query_stats.h"
+#include "pubsub/subscription.h"
+
+namespace subcover {
+
+using sub_id = std::uint64_t;
+
+struct covering_check_stats {
+  // Stored subscriptions examined individually (scan baselines; 0 for SFC).
+  std::uint64_t candidates_checked = 0;
+  // SFC dominance query accounting (zeroed for scan baselines).
+  query_stats dominance;
+  std::uint64_t elapsed_ns = 0;
+  bool found = false;
+};
+
+class covering_index {
+ public:
+  virtual ~covering_index() = default;
+  covering_index(const covering_index&) = delete;
+  covering_index& operator=(const covering_index&) = delete;
+
+  // Registers a subscription under a caller-chosen unique id. Throws
+  // std::invalid_argument if the id is already present.
+  virtual void insert(sub_id id, const subscription& s) = 0;
+  // Removes a subscription; returns false if the id is unknown.
+  virtual bool erase(sub_id id) = 0;
+  // Any stored subscription covering `s`, searching at least a (1 - epsilon)
+  // fraction of the covering space (epsilon == 0: exhaustive/exact).
+  [[nodiscard]] virtual std::optional<sub_id> find_covering(
+      const subscription& s, double epsilon, covering_check_stats* stats = nullptr) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  [[nodiscard]] const schema& message_schema() const { return schema_; }
+
+ protected:
+  explicit covering_index(schema s) : schema_(std::move(s)) {}
+
+  schema schema_;
+};
+
+enum class covering_index_kind { sfc, linear, sampled };
+
+// Factory with per-kind defaults (sfc: Z curve + skip list; sampled: 64
+// samples). For finer control construct the concrete classes directly.
+std::unique_ptr<covering_index> make_covering_index(covering_index_kind kind, const schema& s);
+
+}  // namespace subcover

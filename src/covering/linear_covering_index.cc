@@ -1,0 +1,46 @@
+#include "covering/linear_covering_index.h"
+
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace subcover {
+
+void linear_covering_index::insert(sub_id id, const subscription& s) {
+  if (!subs_.emplace(id, s).second)
+    throw std::invalid_argument("linear_covering_index: duplicate id " + std::to_string(id));
+}
+
+bool linear_covering_index::erase(sub_id id) { return subs_.erase(id) > 0; }
+
+std::optional<sub_id> linear_covering_index::find_covering(const subscription& s,
+                                                           double epsilon,
+                                                           covering_check_stats* stats) const {
+  if (epsilon < 0 || epsilon >= 1)
+    throw std::invalid_argument("find_covering: epsilon must be in [0, 1)");
+  const stopwatch timer;
+  covering_check_stats local;
+  covering_check_stats& st = stats != nullptr ? *stats : local;
+  st = covering_check_stats{};
+  // The linear index is exact regardless of epsilon.
+  std::optional<sub_id> result;
+  for (const auto& [id, stored] : subs_) {
+    ++st.candidates_checked;
+    if (stored.covers(s)) {
+      result = id;
+      st.found = true;
+      break;
+    }
+  }
+  st.elapsed_ns = timer.elapsed_ns();
+  return result;
+}
+
+std::vector<sub_id> linear_covering_index::all_covering(const subscription& s) const {
+  std::vector<sub_id> out;
+  for (const auto& [id, stored] : subs_)
+    if (stored.covers(s)) out.push_back(id);
+  return out;
+}
+
+}  // namespace subcover

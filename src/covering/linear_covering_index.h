@@ -1,0 +1,33 @@
+// Exact covering detection by linear scan — the ground-truth baseline.
+// find_covering examines stored subscriptions in ascending id order and
+// returns the first one whose rectangle contains the query's (early-exit
+// per-attribute rejection, O(n * beta) worst case).
+#pragma once
+
+#include <map>
+
+#include "covering/covering_index.h"
+
+namespace subcover {
+
+class linear_covering_index final : public covering_index {
+ public:
+  explicit linear_covering_index(const schema& s) : covering_index(s) {}
+
+  void insert(sub_id id, const subscription& s) override;
+  bool erase(sub_id id) override;
+  [[nodiscard]] std::optional<sub_id> find_covering(
+      const subscription& s, double epsilon,
+      covering_check_stats* stats = nullptr) const override;
+  [[nodiscard]] std::size_t size() const override { return subs_.size(); }
+  [[nodiscard]] std::string_view name() const override { return "linear-scan"; }
+
+  // All ids whose subscriptions cover `s` (used as the oracle in tests and
+  // detection-rate benches).
+  [[nodiscard]] std::vector<sub_id> all_covering(const subscription& s) const;
+
+ private:
+  std::map<sub_id, subscription> subs_;
+};
+
+}  // namespace subcover

@@ -1,0 +1,58 @@
+#include "covering/sampled_covering_index.h"
+
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace subcover {
+
+sampled_covering_index::sampled_covering_index(const schema& s, int samples, std::uint64_t seed)
+    : covering_index(s), samples_(samples), rng_(seed) {
+  if (samples < 1) throw std::invalid_argument("sampled_covering_index: samples must be >= 1");
+}
+
+void sampled_covering_index::insert(sub_id id, const subscription& s) {
+  if (!subs_.emplace(id, s).second)
+    throw std::invalid_argument("sampled_covering_index: duplicate id " + std::to_string(id));
+}
+
+bool sampled_covering_index::erase(sub_id id) { return subs_.erase(id) > 0; }
+
+std::optional<sub_id> sampled_covering_index::find_covering(const subscription& s,
+                                                            double epsilon,
+                                                            covering_check_stats* stats) const {
+  if (epsilon < 0 || epsilon >= 1)
+    throw std::invalid_argument("find_covering: epsilon must be in [0, 1)");
+  const stopwatch timer;
+  covering_check_stats local;
+  covering_check_stats& st = stats != nullptr ? *stats : local;
+  st = covering_check_stats{};
+
+  const int attrs = schema_.attribute_count();
+  std::optional<sub_id> result;
+  for (const auto& [id, stored] : subs_) {
+    ++st.candidates_checked;
+    bool subsumed = true;
+    for (int t = 0; t < samples_ && subsumed; ++t) {
+      // A uniform sample of the query rectangle must land inside `stored`.
+      for (int i = 0; i < attrs; ++i) {
+        const auto& qr = s.range(i);
+        const std::uint64_t v = rng_.uniform(qr.lo, qr.hi);
+        const auto& sr = stored.range(i);
+        if (v < sr.lo || v > sr.hi) {
+          subsumed = false;
+          break;
+        }
+      }
+    }
+    if (subsumed) {
+      result = id;
+      st.found = true;
+      break;
+    }
+  }
+  st.elapsed_ns = timer.elapsed_ns();
+  return result;
+}
+
+}  // namespace subcover

@@ -1,0 +1,39 @@
+// Monte-Carlo subsumption baseline, in the spirit of Ouksel et al. [OJPA06]
+// (probabilistic subsumption checking, O(n*m) per check).
+//
+// For each stored subscription s1, the checker draws `samples` random points
+// from the query rectangle s2 and declares "s1 covers s2" if every sample
+// falls inside s1. This has TWO-SIDED error: it can claim covering when a
+// sliver of s2 escapes s1 (false positive). In a broker a false positive
+// suppresses a subscription that was not actually covered and silently loses
+// events — exactly the failure mode the paper's one-sided approximation
+// avoids. The broker bench quantifies this.
+#pragma once
+
+#include <map>
+
+#include "covering/covering_index.h"
+#include "util/random.h"
+
+namespace subcover {
+
+class sampled_covering_index final : public covering_index {
+ public:
+  explicit sampled_covering_index(const schema& s, int samples = 64,
+                                  std::uint64_t seed = 0xa11ce);
+
+  void insert(sub_id id, const subscription& s) override;
+  bool erase(sub_id id) override;
+  [[nodiscard]] std::optional<sub_id> find_covering(
+      const subscription& s, double epsilon,
+      covering_check_stats* stats = nullptr) const override;
+  [[nodiscard]] std::size_t size() const override { return subs_.size(); }
+  [[nodiscard]] std::string_view name() const override { return "mc-sampled"; }
+
+ private:
+  std::map<sub_id, subscription> subs_;
+  int samples_;
+  mutable rng rng_;
+};
+
+}  // namespace subcover

@@ -1,0 +1,84 @@
+#include "covering/sfc_covering_index.h"
+
+#include <stdexcept>
+
+#include "pubsub/transform.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace subcover {
+
+namespace {
+
+dominance_options to_dominance_options(const sfc_covering_options& o) {
+  dominance_options d;
+  d.curve = o.curve;
+  d.array = o.array;
+  d.merge_runs = o.merge_runs;
+  d.max_cubes = o.max_cubes;
+  d.settle_on_budget = o.settle_on_budget;
+  return d;
+}
+
+}  // namespace
+
+sfc_covering_index::sfc_covering_index(const schema& s, sfc_covering_options options)
+    : covering_index(s),
+      options_(options),
+      index_(s.dominance_universe(), to_dominance_options(options)) {}
+
+std::string_view sfc_covering_index::name() const {
+  switch (options_.curve) {
+    case curve_kind::z_order:
+      return "sfc-z";
+    case curve_kind::hilbert:
+      return "sfc-hilbert";
+    case curve_kind::gray_code:
+      return "sfc-gray";
+  }
+  return "sfc";
+}
+
+void sfc_covering_index::insert(sub_id id, const subscription& s) {
+  const auto [it, inserted] = subs_.emplace(id, s);
+  (void)it;
+  if (!inserted)
+    throw std::invalid_argument("sfc_covering_index: duplicate id " + std::to_string(id));
+  index_.insert(to_dominance_point(schema_, s), id);
+}
+
+bool sfc_covering_index::erase(sub_id id) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  const bool erased = index_.erase(to_dominance_point(schema_, it->second), id);
+  SUBCOVER_CHECK(erased, "sfc_covering_index: dominance index out of sync");
+  subs_.erase(it);
+  return true;
+}
+
+std::optional<sub_id> sfc_covering_index::find_covering(const subscription& s, double epsilon,
+                                                        covering_check_stats* stats) const {
+  const stopwatch timer;
+  covering_check_stats local;
+  covering_check_stats& st = stats != nullptr ? *stats : local;
+  st = covering_check_stats{};
+
+  const point query = to_dominance_point(schema_, s);
+  const auto hit = index_.query(query, epsilon, &st.dominance);
+  std::optional<sub_id> result;
+  if (hit.has_value()) {
+    // A dominance hit corresponds to a covering subscription by the EO82
+    // equivalence; verify against the stored rectangle anyway so that a
+    // corrupted index can never produce a false covering (which would lose
+    // messages in a broker).
+    const auto it = subs_.find(*hit);
+    SUBCOVER_CHECK(it != subs_.end(), "sfc_covering_index: hit unknown id");
+    SUBCOVER_CHECK(it->second.covers(s), "sfc_covering_index: dominance hit does not cover");
+    result = *hit;
+    st.found = true;
+  }
+  st.elapsed_ns = timer.elapsed_ns();
+  return result;
+}
+
+}  // namespace subcover

@@ -1,0 +1,85 @@
+// Point dominance index — the core engine of the paper.
+//
+// Problem 1 (exhaustive): given query point x, report any indexed point in
+// the extremal region ([x_1, max], ..., [x_d, max]).
+// Problem 2 (epsilon-approximate): search a sub-region of volume at least
+// (1 - epsilon) * vol and report a point if one is found there.
+//
+// Algorithm (Section 5): points are kept in SFC order in an SFC array. A
+// query greedily decomposes its (possibly truncated, Lemma 3.2) extremal
+// region into minimal standard cubes, coalesces adjacent key ranges into
+// runs, and probes runs in descending volume order, tracking the searched
+// fraction of the full region. It stops at the first hit, or once the
+// searched fraction reaches 1 - epsilon, or when the plan is exhausted.
+//
+// The approximate search has one-sided error: a returned id always lies in
+// the query region (true dominance); only misses are possible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dominance/query_stats.h"
+#include "geometry/extremal.h"
+#include "geometry/point.h"
+#include "geometry/universe.h"
+#include "sfc/curve.h"
+#include "sfcarray/sfc_array.h"
+
+namespace subcover {
+
+struct dominance_options {
+  curve_kind curve = curve_kind::z_order;
+  sfc_array_kind array = sfc_array_kind::skiplist;
+  // Coalesce adjacent cube ranges into runs before probing (Lemma 3.1 makes
+  // runs <= cubes; disabling probes raw cubes, matching the paper's
+  // cube-count analysis exactly).
+  bool merge_runs = true;
+  // Safety valve: queries whose decomposition exceeds this many cubes either
+  // throw std::length_error (settle_on_budget == false) or stop enumerating
+  // and probe the partial plan collected so far (settle_on_budget == true).
+  // Exhaustive queries on large regions grow as l^(d-1) (Theorem 4.1), and
+  // query regions with unit-thickness dimensions (wildcard or open-ended
+  // subscription constraints after the EO82 transform — the paper's "M x 1"
+  // degenerate case) decompose into per-cell runs, so an unbounded search is
+  // not viable in production. Settling keeps the one-sided error guarantee:
+  // the partial plan holds the largest cubes, so coverage degrades
+  // gracefully and hits are still always true.
+  std::uint64_t max_cubes = std::uint64_t{1} << 24;
+  bool settle_on_budget = false;
+};
+
+class dominance_index {
+ public:
+  explicit dominance_index(const universe& u, dominance_options options = {});
+
+  // Multiset semantics; (p, id) pairs should be unique for erase to be
+  // meaningful. Throws std::invalid_argument if p is outside the universe.
+  void insert(const point& p, std::uint64_t id);
+  bool erase(const point& p, std::uint64_t id);
+
+  // epsilon == 0 requests an exhaustive search; 0 < epsilon < 1 requests an
+  // epsilon-approximate search (Problem 2). Values outside [0, 1) throw.
+  [[nodiscard]] std::optional<std::uint64_t> query(const point& x, double epsilon,
+                                                   query_stats* stats = nullptr) const;
+
+  [[nodiscard]] std::size_t size() const { return array_->size(); }
+  [[nodiscard]] const universe& space() const { return universe_; }
+  [[nodiscard]] const curve& sfc() const { return *curve_; }
+  [[nodiscard]] const dominance_options& options() const { return options_; }
+
+  // The truncation parameter the query will use for this epsilon:
+  // m = ceil(log2(2d/epsilon)), clamped to the universe's side width
+  // (Lemma 3.2 makes the truncated region cover >= 1 - epsilon of the
+  // volume with this m).
+  [[nodiscard]] int truncation_m(double epsilon) const;
+
+ private:
+  universe universe_;
+  dominance_options options_;
+  std::unique_ptr<curve> curve_;
+  std::unique_ptr<sfc_array> array_;
+};
+
+}  // namespace subcover

@@ -1,0 +1,41 @@
+// Per-query cost accounting for point dominance queries.
+//
+// The paper's cost measure is the number of runs accessed in the SFC array
+// (each run costs two binary searches regardless of extent, Section 2).
+// Alongside that, the engine reports how many standard cubes were enumerated
+// to build the probe plan, what fraction of the full query region the plan
+// covers (must be >= 1 - epsilon, Lemma 3.2), and how far the search got
+// before terminating.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace subcover {
+
+struct query_stats {
+  // Standard cubes produced by the greedy decomposition of the (possibly
+  // truncated) query region.
+  std::uint64_t cubes_enumerated = 0;
+  // Runs in the probe plan after coalescing adjacent cube ranges.
+  std::uint64_t runs_in_plan = 0;
+  // Runs actually probed before the query terminated (hit, coverage target
+  // reached, or plan exhausted).
+  std::uint64_t runs_probed = 0;
+  // Truncation parameter m = ceil(log2(2d/epsilon)); 0 for exhaustive.
+  int truncation_m = 0;
+  // vol(R(t(l,m))) / vol(R(l)) — the fraction the plan covers.
+  long double volume_fraction_planned = 0;
+  // Fraction of vol(R(l)) actually searched when the query returned.
+  long double volume_fraction_searched = 0;
+  bool found = false;
+  // True when the cube budget stopped enumeration early (settle mode); the
+  // probed plan then covers less than the planned fraction and misses are
+  // possible even below 1 - epsilon coverage.
+  bool budget_exhausted = false;
+  std::uint64_t elapsed_ns = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace subcover

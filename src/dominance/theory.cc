@@ -1,0 +1,44 @@
+#include "dominance/theory.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subcover::theory {
+
+int lemma32_min_m(double epsilon, int dims) {
+  if (epsilon <= 0 || epsilon >= 1)
+    throw std::invalid_argument("lemma32_min_m: epsilon must be in (0, 1)");
+  if (dims < 1) throw std::invalid_argument("lemma32_min_m: dims must be positive");
+  return static_cast<int>(std::ceil(std::log2(2.0 * dims / epsilon)));
+}
+
+long double lemma32_volume_guarantee(int m, int dims) {
+  return 1.0L - 2.0L * dims / std::pow(2.0L, m);
+}
+
+long double lemma37_cube_bound(int m, int alpha, int dims) {
+  if (m < 1 || alpha < 0 || dims < 1)
+    throw std::invalid_argument("lemma37_cube_bound: bad parameters");
+  const long double base = std::pow(2.0L, alpha) * (std::pow(2.0L, m) - 1.0L);
+  return static_cast<long double>(m) * std::pow(base, dims - 1);
+}
+
+long double lemma37_cube_bound_general(int m, int alpha, int dims) {
+  const long double correction =
+      1.0L + static_cast<long double>(dims - 1) / std::pow(2.0L, alpha);
+  return lemma37_cube_bound(m, alpha, dims) * correction;
+}
+
+long double thm31_query_bound(double epsilon, int alpha, int dims) {
+  return lemma37_cube_bound(lemma32_min_m(epsilon, dims), alpha, dims);
+}
+
+long double thm41_lower_bound(int alpha, std::uint64_t shortest_side, int dims) {
+  if (dims < 1) throw std::invalid_argument("thm41_lower_bound: dims must be positive");
+  // (2^alpha * l / 2)^(d-1), Theorem 4.1.
+  const long double base =
+      std::pow(2.0L, alpha) * static_cast<long double>(shortest_side) / 2.0L;
+  return std::pow(base, dims - 1);
+}
+
+}  // namespace subcover::theory

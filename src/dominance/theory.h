@@ -1,0 +1,43 @@
+// Closed-form bounds from the paper, used by benches and tests to place the
+// measured costs next to the analysis.
+//
+//   Lemma 3.2   m >= log2(2d/eps)  =>  vol(R(t(l,m))) / vol(R(l)) >= 1 - eps
+//   Lemma 3.7   cubes(R^m(l)) < m * [2^alpha * (2^m - 1)]^(d-1)
+//   Theorem 3.1 eps-approximate query cost = O(log(d/eps) * (2^(alpha+1) d/eps)^(d-1))
+//   Theorem 4.1 exhaustive query cost on the adversarial R(l) is
+//               Omega((2^(alpha-1) * l_d)^(d-1))
+#pragma once
+
+#include <cstdint>
+
+namespace subcover::theory {
+
+// Smallest integer m satisfying Lemma 3.2's premise: m = ceil(log2(2d/eps)).
+int lemma32_min_m(double epsilon, int dims);
+
+// Lemma 3.2's volume guarantee for a given m: 1 - 2d/2^m (can be negative
+// for tiny m; callers clamp as needed).
+long double lemma32_volume_guarantee(int m, int dims);
+
+// Lemma 3.7 upper bound on cubes(R^m(l)) exactly as stated in the paper:
+// m * (2^alpha * (2^m - 1))^(d-1). NOTE: the paper's Case 2.1 derivation
+// assumes 2^alpha > d - 1; when that fails (small aspect ratios in three or
+// more dimensions) the stated bound can be violated — e.g. d = 3, alpha = 0,
+// m = 2 gives cubes = 20 > 18. See lemma37_cube_bound_general.
+long double lemma37_cube_bound(int m, int alpha, int dims);
+
+// Assumption-free variant of the same derivation: Case 2.1 without the
+// 2^alpha > d - 1 shortcut yields the extra factor (1 + (d-1)/2^alpha):
+//   cubes(R^m(l)) < m * (2^alpha * (2^m - 1))^(d-1) * (1 + (d-1)/2^alpha).
+// This is what tests and benches validate against; it coincides with the
+// paper's bound up to the constant hidden by Theorem 3.1's O(.).
+long double lemma37_cube_bound_general(int m, int alpha, int dims);
+
+// Theorem 3.1 upper bound with m chosen per Lemma 3.2.
+long double thm31_query_bound(double epsilon, int alpha, int dims);
+
+// Theorem 4.1 lower bound: (2^(alpha-1) * shortest_side)^(d-1) where
+// shortest_side is the length of the shortest side of the query rectangle.
+long double thm41_lower_bound(int alpha, std::uint64_t shortest_side, int dims);
+
+}  // namespace subcover::theory

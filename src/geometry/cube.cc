@@ -1,0 +1,44 @@
+#include "geometry/cube.h"
+
+#include <stdexcept>
+
+namespace subcover {
+
+standard_cube::standard_cube(const point& corner, int side_bits)
+    : corner_(corner), side_bits_(side_bits) {
+  if (side_bits < 0 || side_bits > kMaxBitsPerDim)
+    throw std::invalid_argument("standard_cube: side_bits out of range");
+  const std::uint32_t mask = static_cast<std::uint32_t>((std::uint64_t{1} << side_bits) - 1);
+  for (int i = 0; i < corner.dims(); ++i)
+    if ((corner[i] & mask) != 0)
+      throw std::invalid_argument("standard_cube: corner not aligned to side 2^" +
+                                  std::to_string(side_bits));
+}
+
+standard_cube standard_cube::containing(const point& p, int side_bits) {
+  point corner(p.dims());
+  const std::uint32_t mask = ~static_cast<std::uint32_t>((std::uint64_t{1} << side_bits) - 1);
+  for (int i = 0; i < p.dims(); ++i) corner[i] = p[i] & mask;
+  return {corner, side_bits};
+}
+
+u512 standard_cube::cell_count() const { return u512::pow2(dims() * side_bits_); }
+
+rect standard_cube::as_rect() const {
+  point hi(corner_.dims());
+  const auto offset = static_cast<std::uint32_t>(side() - 1);
+  for (int i = 0; i < corner_.dims(); ++i) hi[i] = corner_[i] + offset;
+  return {corner_, hi};
+}
+
+bool standard_cube::contains(const point& p) const { return as_rect().contains(p); }
+
+bool standard_cube::contains(const standard_cube& other) const {
+  return side_bits_ >= other.side_bits_ && as_rect().contains(other.as_rect());
+}
+
+std::string standard_cube::to_string() const {
+  return "cube(corner=" + corner_.to_string() + ", side=2^" + std::to_string(side_bits_) + ")";
+}
+
+}  // namespace subcover

@@ -1,0 +1,57 @@
+// Standard cubes (paper Section 2): the cubes produced by recursively
+// bisecting the universe along every dimension. A standard cube with side
+// 2^s has every corner coordinate divisible by 2^s. Standard cubes at
+// "level l" in the paper have side 2^(k-l); here we parameterize directly by
+// side_bits = k - l because the decomposition lemmas (3.4-3.7) index cube
+// classes D_i by side length 2^i.
+//
+// Key property (Lemma 2.1): two distinct standard cubes are either nested or
+// disjoint. Fact 2.1: each standard cube is a single run on any
+// recursive-partitioning SFC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/universe.h"
+
+namespace subcover {
+
+class standard_cube {
+ public:
+  standard_cube() = default;
+  // Cube with corner (minimum vertex) `corner` and side 2^side_bits.
+  // Throws std::invalid_argument if the corner is not aligned to the side.
+  standard_cube(const point& corner, int side_bits);
+
+  // The cube at the given level containing cell p (level counted as
+  // side_bits; side_bits == 0 is the cell itself).
+  static standard_cube containing(const point& p, int side_bits);
+
+  [[nodiscard]] int dims() const { return corner_.dims(); }
+  [[nodiscard]] const point& corner() const { return corner_; }
+  [[nodiscard]] int side_bits() const { return side_bits_; }
+  [[nodiscard]] std::uint64_t side() const { return std::uint64_t{1} << side_bits_; }
+  // Paper's level: number of recursive bisections from the universe.
+  [[nodiscard]] int level(const universe& u) const { return u.bits() - side_bits_; }
+  // Number of cells, 2^(d * side_bits).
+  [[nodiscard]] u512 cell_count() const;
+
+  [[nodiscard]] rect as_rect() const;
+  [[nodiscard]] bool contains(const point& p) const;
+  [[nodiscard]] bool contains(const standard_cube& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const standard_cube& a, const standard_cube& b) {
+    return a.side_bits_ == b.side_bits_ && a.corner_ == b.corner_;
+  }
+
+ private:
+  point corner_;
+  int side_bits_ = 0;
+};
+
+}  // namespace subcover

@@ -1,0 +1,104 @@
+#include "geometry/extremal.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace subcover {
+
+extremal_rect::extremal_rect(const universe& u,
+                             const std::array<std::uint64_t, kMaxDims>& lengths)
+    : len_(lengths), dims_(u.dims()) {
+  for (int i = 0; i < dims_; ++i) {
+    const auto l = len_[static_cast<std::size_t>(i)];
+    if (l < 1 || l > u.side())
+      throw std::invalid_argument("extremal_rect: side length " + std::to_string(l) +
+                                  " out of [1, 2^k] along dimension " + std::to_string(i));
+  }
+}
+
+extremal_rect extremal_rect::query_region(const universe& u, const point& x) {
+  if (x.dims() != u.dims())
+    throw std::invalid_argument("extremal_rect::query_region: dims mismatch");
+  std::array<std::uint64_t, kMaxDims> len{};
+  for (int i = 0; i < u.dims(); ++i) {
+    if (x[i] > u.coord_max())
+      throw std::invalid_argument("extremal_rect::query_region: point outside universe");
+    len[static_cast<std::size_t>(i)] = u.side() - x[i];
+  }
+  return {u, len};
+}
+
+rect extremal_rect::to_rect(const universe& u) const {
+  if (dims_ != u.dims()) throw std::invalid_argument("extremal_rect::to_rect: dims mismatch");
+  point lo(dims_);
+  point hi(dims_);
+  for (int i = 0; i < dims_; ++i) {
+    lo[i] = static_cast<std::uint32_t>(u.side() - length(i));
+    hi[i] = u.coord_max();
+  }
+  return {lo, hi};
+}
+
+extremal_rect extremal_rect::truncated(const universe& u, int m) const {
+  if (m < 1) throw std::invalid_argument("extremal_rect::truncated: m must be >= 1");
+  std::array<std::uint64_t, kMaxDims> len{};
+  for (int i = 0; i < dims_; ++i)
+    len[static_cast<std::size_t>(i)] = truncate_to_msb(length(i), m);
+  return {u, len};
+}
+
+extremal_rect extremal_rect::masked_from_bit(const universe& u, int i) const {
+  extremal_rect r;
+  r.dims_ = dims_;
+  for (int j = 0; j < dims_; ++j)
+    r.len_[static_cast<std::size_t>(j)] = keep_bits_from(length(j), i);
+  (void)u;
+  return r;
+}
+
+bool extremal_rect::is_empty() const {
+  for (int i = 0; i < dims_; ++i)
+    if (length(i) == 0) return true;
+  return dims_ == 0;
+}
+
+u512 extremal_rect::volume() const {
+  if (is_empty()) return 0;
+  u512 v = 1;
+  for (int i = 0; i < dims_; ++i) v = v.mul_u64(length(i));
+  return v;
+}
+
+long double extremal_rect::volume_ld() const {
+  if (is_empty()) return 0;
+  long double v = 1;
+  for (int i = 0; i < dims_; ++i) v *= static_cast<long double>(length(i));
+  return v;
+}
+
+int extremal_rect::min_side_bits() const {
+  int b = 64;
+  for (int i = 0; i < dims_; ++i) b = std::min(b, bit_length(length(i)));
+  return b;
+}
+
+int extremal_rect::max_side_bits() const {
+  int b = 0;
+  for (int i = 0; i < dims_; ++i) b = std::max(b, bit_length(length(i)));
+  return b;
+}
+
+int extremal_rect::aspect_ratio() const { return max_side_bits() - min_side_bits(); }
+
+std::string extremal_rect::to_string() const {
+  std::string s = "R(";
+  for (int i = 0; i < dims_; ++i) {
+    if (i != 0) s += ", ";
+    s += std::to_string(length(i));
+  }
+  return s + ")";
+}
+
+}  // namespace subcover

@@ -1,0 +1,69 @@
+// Extremal rectangles R(l) (paper Section 3.1): rectangles with one vertex
+// pinned at the maximum corner (2^k-1, ..., 2^k-1) of the universe, fully
+// specified by their side-length vector l = (l_1, ..., l_d), 1 <= l_i <= 2^k.
+//
+// A point dominance query for point x searches exactly the extremal rectangle
+// with l_i = 2^k - x_i. The approximate query of the paper replaces R(l) by
+// the contained extremal rectangle R(t(l,m)) whose sides keep only the m most
+// significant bits (Lemma 3.2 guarantees >= 1 - 2d/2^m volume coverage).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/universe.h"
+#include "util/wideint.h"
+
+namespace subcover {
+
+class extremal_rect {
+ public:
+  extremal_rect() = default;
+  // Throws std::invalid_argument unless 1 <= lengths[i] <= 2^k for all i.
+  extremal_rect(const universe& u, const std::array<std::uint64_t, kMaxDims>& lengths);
+
+  // The dominance query region of point x: l_i = 2^k - x_i.
+  static extremal_rect query_region(const universe& u, const point& x);
+
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] std::uint64_t length(int i) const { return len_[static_cast<std::size_t>(i)]; }
+
+  // The concrete rectangle [2^k - l_i, 2^k - 1] per dimension.
+  [[nodiscard]] rect to_rect(const universe& u) const;
+
+  // R(t(l,m)): truncate every side length to its m most significant bits.
+  // Requires m >= 1. The result is contained in *this.
+  [[nodiscard]] extremal_rect truncated(const universe& u, int m) const;
+
+  // R(S_i(l)): keep only side-length bits at positions >= i (paper Lemma 3.4).
+  // Sides that become 0 make the rectangle empty; `is_empty` reports that.
+  [[nodiscard]] extremal_rect masked_from_bit(const universe& u, int i) const;
+  [[nodiscard]] bool is_empty() const;
+
+  [[nodiscard]] u512 volume() const;
+  [[nodiscard]] long double volume_ld() const;
+
+  // Paper's aspect ratio: alpha = b(l_max) - b(l_min).
+  [[nodiscard]] int aspect_ratio() const;
+  // b(l_min) and b(l_max).
+  [[nodiscard]] int min_side_bits() const;
+  [[nodiscard]] int max_side_bits() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const extremal_rect& a, const extremal_rect& b) {
+    if (a.dims_ != b.dims_) return false;
+    for (int i = 0; i < a.dims_; ++i)
+      if (a.length(i) != b.length(i)) return false;
+    return true;
+  }
+
+ private:
+  std::array<std::uint64_t, kMaxDims> len_{};
+  int dims_ = 0;
+};
+
+}  // namespace subcover

@@ -1,0 +1,40 @@
+#include "geometry/point.h"
+
+#include <stdexcept>
+
+namespace subcover {
+
+point::point(int dims) : dims_(dims) {
+  if (dims < 0 || dims > kMaxDims) throw std::invalid_argument("point: bad dimension count");
+}
+
+point::point(std::initializer_list<std::uint32_t> coords) : dims_(static_cast<int>(coords.size())) {
+  if (coords.size() > kMaxDims) throw std::invalid_argument("point: too many coordinates");
+  int i = 0;
+  for (const auto c : coords) x_[static_cast<std::size_t>(i++)] = c;
+}
+
+bool point::dominates(const point& other) const {
+  if (dims_ != other.dims_) throw std::invalid_argument("point::dominates: dims mismatch");
+  for (int i = 0; i < dims_; ++i)
+    if ((*this)[i] < other[i]) return false;
+  return true;
+}
+
+bool point::inside(const universe& u) const {
+  if (dims_ != u.dims()) throw std::invalid_argument("point::inside: dims mismatch");
+  for (int i = 0; i < dims_; ++i)
+    if ((*this)[i] > u.coord_max()) return false;
+  return true;
+}
+
+std::string point::to_string() const {
+  std::string s = "(";
+  for (int i = 0; i < dims_; ++i) {
+    if (i != 0) s += ", ";
+    s += std::to_string((*this)[i]);
+  }
+  return s + ")";
+}
+
+}  // namespace subcover

@@ -1,0 +1,48 @@
+// A cell of the universe: d coordinates, each in [0, 2^k - 1].
+//
+// Points are small fixed-capacity value types (no heap allocation) because
+// they sit on the hot path of key generation and decomposition.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "geometry/universe.h"
+
+namespace subcover {
+
+class point {
+ public:
+  point() = default;
+  // Zero point with the given number of dimensions.
+  explicit point(int dims);
+  point(std::initializer_list<std::uint32_t> coords);
+
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] std::uint32_t operator[](int i) const { return x_[static_cast<std::size_t>(i)]; }
+  std::uint32_t& operator[](int i) { return x_[static_cast<std::size_t>(i)]; }
+
+  // Coordinate-wise >=; this is the dominance relation of Problem 1.
+  // Throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] bool dominates(const point& other) const;
+
+  // True if every coordinate is within the universe. Throws on dims mismatch.
+  [[nodiscard]] bool inside(const universe& u) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const point& a, const point& b) {
+    if (a.dims_ != b.dims_) return false;
+    for (int i = 0; i < a.dims_; ++i)
+      if (a[i] != b[i]) return false;
+    return true;
+  }
+
+ private:
+  std::array<std::uint32_t, kMaxDims> x_{};
+  int dims_ = 0;
+};
+
+}  // namespace subcover

@@ -1,0 +1,57 @@
+// Axis-aligned d-dimensional rectangle with closed integer bounds
+// [lo_i, hi_i] per dimension. A subscription is a rectangle in attribute
+// space; a point dominance query region is an extremal rectangle (see
+// geometry/extremal.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "geometry/point.h"
+#include "geometry/universe.h"
+#include "util/wideint.h"
+
+namespace subcover {
+
+class rect {
+ public:
+  rect() = default;
+  // Rectangle with the given closed corner points. Throws
+  // std::invalid_argument if dims mismatch or lo[i] > hi[i] for some i.
+  rect(const point& lo, const point& hi);
+
+  // The full universe rectangle [0, 2^k-1]^d.
+  static rect whole(const universe& u);
+
+  [[nodiscard]] int dims() const { return lo_.dims(); }
+  [[nodiscard]] const point& lo() const { return lo_; }
+  [[nodiscard]] const point& hi() const { return hi_; }
+  // Side length along dimension i (number of cells, >= 1).
+  [[nodiscard]] std::uint64_t side(int i) const {
+    return static_cast<std::uint64_t>(hi_[i]) - lo_[i] + 1;
+  }
+
+  [[nodiscard]] bool contains(const point& p) const;
+  [[nodiscard]] bool contains(const rect& other) const;
+  [[nodiscard]] bool intersects(const rect& other) const;
+  // Intersection, or nullopt if disjoint. Throws on dims mismatch.
+  [[nodiscard]] std::optional<rect> intersection(const rect& other) const;
+
+  // Exact cell count (product of side lengths).
+  [[nodiscard]] u512 volume() const;
+  // Floating-point cell count for ratio arithmetic.
+  [[nodiscard]] long double volume_ld() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const rect& a, const rect& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  point lo_;
+  point hi_;
+};
+
+}  // namespace subcover

@@ -1,0 +1,21 @@
+#include "geometry/universe.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace subcover {
+
+universe::universe(int dims, int bits) : dims_(dims), bits_(bits) {
+  if (dims < 1 || dims > kMaxDims)
+    throw std::invalid_argument("universe: dims must be in [1," + std::to_string(kMaxDims) +
+                                "], got " + std::to_string(dims));
+  if (bits < 1 || bits > kMaxBitsPerDim)
+    throw std::invalid_argument("universe: bits must be in [1," +
+                                std::to_string(kMaxBitsPerDim) + "], got " +
+                                std::to_string(bits));
+  if (dims * bits > u512::kBits)
+    throw std::invalid_argument("universe: dims*bits exceeds key width (" +
+                                std::to_string(dims * bits) + " > 512)");
+}
+
+}  // namespace subcover

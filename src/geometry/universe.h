@@ -1,0 +1,46 @@
+// The discrete universe of the paper (Section 2): a d-dimensional grid
+// 2^k x 2^k x ... x 2^k of unit cells. For subscription covering, d is twice
+// the number of message attributes (Edelsbrunner-Overmars transform) and k is
+// the per-attribute value width in bits.
+//
+// Constraints enforced here and relied upon everywhere else:
+//   1 <= dims <= 32, 1 <= bits <= 30, dims * bits <= 512 (keys fit in u512).
+#pragma once
+
+#include <cstdint>
+
+#include "util/wideint.h"
+
+namespace subcover {
+
+// Upper bound on dimensions; fixed-size coordinate arrays use this capacity.
+inline constexpr int kMaxDims = 32;
+// Upper bound on bits per coordinate (side lengths up to 2^30 fit in 32 bits).
+inline constexpr int kMaxBitsPerDim = 30;
+
+class universe {
+ public:
+  // Throws std::invalid_argument if the constraints above are violated.
+  universe(int dims, int bits);
+
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] int bits() const { return bits_; }
+  // Side length 2^k of the universe along every dimension.
+  [[nodiscard]] std::uint64_t side() const { return std::uint64_t{1} << bits_; }
+  // Largest coordinate value, 2^k - 1.
+  [[nodiscard]] std::uint32_t coord_max() const {
+    return static_cast<std::uint32_t>(side() - 1);
+  }
+  // Total key width d*k in bits.
+  [[nodiscard]] int key_bits() const { return dims_ * bits_; }
+  // Number of cells, 2^(d*k).
+  [[nodiscard]] u512 cell_count() const { return u512::pow2(key_bits()); }
+
+  friend bool operator==(const universe&, const universe&) = default;
+
+ private:
+  int dims_;
+  int bits_;
+};
+
+}  // namespace subcover

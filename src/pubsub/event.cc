@@ -1,0 +1,26 @@
+#include "pubsub/event.h"
+
+#include <stdexcept>
+
+namespace subcover {
+
+event::event(const schema& s, std::vector<std::uint64_t> values) : values_(std::move(values)) {
+  if (static_cast<int>(values_.size()) != s.attribute_count())
+    throw std::invalid_argument("event: value count does not match schema");
+  for (int i = 0; i < s.attribute_count(); ++i) {
+    if (values_[static_cast<std::size_t>(i)] > s.max_value(i))
+      throw std::invalid_argument("event: value exceeds domain of attribute '" +
+                                  s.attribute(i).name + "'");
+  }
+}
+
+std::string event::to_string(const schema& s) const {
+  std::string out = "[";
+  for (int i = 0; i < attribute_count(); ++i) {
+    if (i != 0) out += ", ";
+    out += s.attribute(i).name + " = " + s.format_value(i, value(i));
+  }
+  return out + "]";
+}
+
+}  // namespace subcover

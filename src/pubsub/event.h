@@ -1,0 +1,31 @@
+// A published message: one raw value per schema attribute
+// (the paper's example: [stock = IBM, volume = 1000, current = 88]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pubsub/schema.h"
+
+namespace subcover {
+
+class event {
+ public:
+  event() = default;
+  // One value per attribute in schema order; throws std::invalid_argument on
+  // count mismatch or domain overflow.
+  event(const schema& s, std::vector<std::uint64_t> values);
+
+  [[nodiscard]] int attribute_count() const { return static_cast<int>(values_.size()); }
+  [[nodiscard]] std::uint64_t value(int i) const { return values_[static_cast<std::size_t>(i)]; }
+
+  [[nodiscard]] std::string to_string(const schema& s) const;
+
+  friend bool operator==(const event&, const event&) = default;
+
+ private:
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace subcover

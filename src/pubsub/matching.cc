@@ -1,0 +1,25 @@
+#include "pubsub/matching.h"
+
+#include <stdexcept>
+
+namespace subcover {
+
+bool matches(const subscription& s, const event& e) {
+  if (s.attribute_count() != e.attribute_count())
+    throw std::invalid_argument("matches: schema mismatch");
+  for (int i = 0; i < s.attribute_count(); ++i) {
+    const auto& r = s.range(i);
+    const auto v = e.value(i);
+    if (v < r.lo || v > r.hi) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> match_all(const std::vector<subscription>& subs, const event& e) {
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < subs.size(); ++i)
+    if (matches(subs[i], e)) hits.push_back(i);
+  return hits;
+}
+
+}  // namespace subcover

@@ -1,0 +1,19 @@
+// Event-to-subscription matching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pubsub/event.h"
+#include "pubsub/subscription.h"
+
+namespace subcover {
+
+// True iff every attribute value of e lies within the subscription's range.
+bool matches(const subscription& s, const event& e);
+
+// Indices of subscriptions matching e (brute force; brokers use this on
+// their per-link tables, which covering keeps small).
+std::vector<std::size_t> match_all(const std::vector<subscription>& subs, const event& e);
+
+}  // namespace subcover

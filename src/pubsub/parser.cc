@@ -1,0 +1,183 @@
+#include "pubsub/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+namespace subcover {
+
+namespace {
+
+struct token_stream {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_space() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  [[nodiscard]] bool done() {
+    skip_space();
+    return pos >= text.size();
+  }
+  [[nodiscard]] char peek() {
+    skip_space();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+  bool consume(char c) {
+    skip_space();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+  // Identifier or label: [A-Za-z0-9_.*-]+
+  std::string word() {
+    skip_space();
+    const std::size_t start = pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '-' ||
+          c == '*')
+        ++pos;
+      else
+        break;
+    }
+    if (pos == start) fail("expected a name or value");
+    return std::string(text.substr(start, pos - start));
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::invalid_argument("parse error at position " + std::to_string(pos) + ": " + msg +
+                                " in \"" + std::string(text) + "\"");
+  }
+};
+
+std::uint64_t parse_value(const schema& s, int attr, const std::string& w, token_stream& ts) {
+  const auto& def = s.attribute(attr);
+  if (!w.empty() && std::all_of(w.begin(), w.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c));
+      })) {
+    try {
+      const std::uint64_t v = std::stoull(w);
+      if (v > s.max_value(attr)) ts.fail("value " + w + " exceeds domain of " + def.name);
+      return v;
+    } catch (const std::out_of_range&) {
+      ts.fail("value " + w + " out of range");
+    }
+  }
+  if (def.type == attribute_type::categorical) {
+    try {
+      return s.label_value(attr, w);
+    } catch (const std::invalid_argument& e) {
+      ts.fail(e.what());
+    }
+  }
+  ts.fail("expected a number for numeric attribute " + def.name);
+}
+
+struct constraint {
+  int attr;
+  attr_range range;
+};
+
+// Parses one "attr op value" constraint; returns nullopt for "attr = *".
+std::optional<constraint> parse_constraint(const schema& s, token_stream& ts,
+                                           bool equality_only) {
+  const std::string name = ts.word();
+  const auto attr = s.index_of(name);
+  if (!attr.has_value()) ts.fail("unknown attribute '" + name + "'");
+  const std::uint64_t max = s.max_value(*attr);
+
+  ts.skip_space();
+  if (ts.consume('=')) {
+    const std::string w = ts.word();
+    if (w == "*") return std::nullopt;
+    const auto v = parse_value(s, *attr, w, ts);
+    return constraint{*attr, {v, v}};
+  }
+  if (equality_only) ts.fail("events only support '=' constraints");
+  if (ts.consume('>')) {
+    const bool closed = ts.consume('=');
+    const auto v = parse_value(s, *attr, ts.word(), ts);
+    if (!closed && v == max) ts.fail("'> max' is an empty range on " + name);
+    return constraint{*attr, {closed ? v : v + 1, max}};
+  }
+  if (ts.consume('<')) {
+    const bool closed = ts.consume('=');
+    const auto v = parse_value(s, *attr, ts.word(), ts);
+    if (!closed && v == 0) ts.fail("'< 0' is an empty range on " + name);
+    return constraint{*attr, {0, closed ? v : v - 1}};
+  }
+  // "in [lo, hi]"
+  const std::string kw = ts.word();
+  if (kw != "in") ts.fail("expected an operator after '" + name + "'");
+  ts.expect('[');
+  const auto lo = parse_value(s, *attr, ts.word(), ts);
+  ts.expect(',');
+  const auto hi = parse_value(s, *attr, ts.word(), ts);
+  ts.expect(']');
+  if (lo > hi) ts.fail("empty interval on " + name);
+  return constraint{*attr, {lo, hi}};
+}
+
+std::vector<constraint> parse_constraints(const schema& s, std::string_view text,
+                                          bool equality_only) {
+  token_stream ts{text};
+  std::vector<constraint> out;
+  if (ts.done()) return out;
+  // Optional surrounding brackets: "[a = 1, b = 2]".
+  const bool bracketed = ts.consume('[');
+  while (true) {
+    const auto c = parse_constraint(s, ts, equality_only);
+    if (c.has_value()) out.push_back(*c);
+    if (!ts.consume(',')) break;
+  }
+  if (bracketed) ts.expect(']');
+  if (!ts.done()) ts.fail("trailing input");
+  return out;
+}
+
+}  // namespace
+
+subscription parse_subscription(const schema& s, std::string_view text) {
+  std::vector<attr_range> ranges;
+  ranges.reserve(static_cast<std::size_t>(s.attribute_count()));
+  for (int i = 0; i < s.attribute_count(); ++i) ranges.push_back({0, s.max_value(i)});
+  for (const auto& c : parse_constraints(s, text, /*equality_only=*/false)) {
+    auto& r = ranges[static_cast<std::size_t>(c.attr)];
+    r.lo = std::max(r.lo, c.range.lo);
+    r.hi = std::min(r.hi, c.range.hi);
+    if (r.lo > r.hi)
+      throw std::invalid_argument("parse error: constraints on '" +
+                                  s.attribute(c.attr).name + "' have empty intersection");
+  }
+  return {s, std::move(ranges)};
+}
+
+event parse_event(const schema& s, std::string_view text) {
+  std::vector<std::optional<std::uint64_t>> values(
+      static_cast<std::size_t>(s.attribute_count()));
+  for (const auto& c : parse_constraints(s, text, /*equality_only=*/true)) {
+    auto& slot = values[static_cast<std::size_t>(c.attr)];
+    if (slot.has_value())
+      throw std::invalid_argument("parse error: duplicate value for attribute '" +
+                                  s.attribute(c.attr).name + "'");
+    slot = c.range.lo;
+  }
+  std::vector<std::uint64_t> raw;
+  raw.reserve(values.size());
+  for (int i = 0; i < s.attribute_count(); ++i) {
+    const auto& slot = values[static_cast<std::size_t>(i)];
+    if (!slot.has_value())
+      throw std::invalid_argument("parse error: event is missing attribute '" +
+                                  s.attribute(i).name + "'");
+    raw.push_back(*slot);
+  }
+  return {s, std::move(raw)};
+}
+
+}  // namespace subcover

@@ -1,0 +1,30 @@
+// Textual subscription / event syntax, modeled on the paper's introduction:
+//   subscription: "stock = IBM, volume > 500, current < 95"
+//   event:        "stock = IBM, volume = 1000, current = 88"
+//
+// Grammar (comma-separated constraints):
+//   constraint := attr '=' value          (equality; '*' = wildcard)
+//               | attr '>=' value | attr '>' value
+//               | attr '<=' value | attr '<' value
+//               | attr 'in' '[' value ',' value ']'
+// Values are unsigned integers, or labels for categorical attributes.
+// Multiple constraints on the same attribute intersect. Attributes without
+// constraints are unconstrained (full range) in subscriptions; events must
+// constrain every attribute with '='.
+#pragma once
+
+#include <string_view>
+
+#include "pubsub/event.h"
+#include "pubsub/subscription.h"
+
+namespace subcover {
+
+// Throws std::invalid_argument with a position-bearing message on syntax
+// errors, unknown attributes/labels, or empty intersections.
+subscription parse_subscription(const schema& s, std::string_view text);
+
+// Events require exactly one '=' constraint per attribute.
+event parse_event(const schema& s, std::string_view text);
+
+}  // namespace subcover

@@ -1,0 +1,77 @@
+#include "pubsub/schema.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace subcover {
+
+bool operator==(const attribute_def& a, const attribute_def& b) {
+  return a.name == b.name && a.type == b.type && a.bits == b.bits && a.labels == b.labels;
+}
+
+bool operator==(const schema& a, const schema& b) { return a.attrs_ == b.attrs_; }
+
+schema::schema(std::vector<attribute_def> attributes) : attrs_(std::move(attributes)) {
+  if (attrs_.empty()) throw std::invalid_argument("schema: needs at least one attribute");
+  if (attrs_.size() > static_cast<std::size_t>(kMaxDims / 2))
+    throw std::invalid_argument("schema: too many attributes (max " +
+                                std::to_string(kMaxDims / 2) + ")");
+  std::unordered_set<std::string> names;
+  for (const auto& a : attrs_) {
+    if (a.name.empty()) throw std::invalid_argument("schema: attribute with empty name");
+    if (!names.insert(a.name).second)
+      throw std::invalid_argument("schema: duplicate attribute name '" + a.name + "'");
+    if (a.bits < 1 || a.bits > kMaxBitsPerDim)
+      throw std::invalid_argument("schema: attribute '" + a.name + "' has bad bit width");
+    if (a.type == attribute_type::categorical) {
+      if (a.labels.empty())
+        throw std::invalid_argument("schema: categorical attribute '" + a.name +
+                                    "' needs labels");
+      if (a.labels.size() > (std::uint64_t{1} << a.bits))
+        throw std::invalid_argument("schema: labels of '" + a.name +
+                                    "' overflow the bit width");
+      std::unordered_set<std::string> labels;
+      for (const auto& l : a.labels)
+        if (!labels.insert(l).second)
+          throw std::invalid_argument("schema: duplicate label '" + l + "' in '" + a.name +
+                                      "'");
+    }
+  }
+}
+
+std::optional<int> schema::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < attrs_.size(); ++i)
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+std::uint64_t schema::max_value(int i) const {
+  return (std::uint64_t{1} << attribute(i).bits) - 1;
+}
+
+std::uint64_t schema::label_value(int attr, std::string_view label) const {
+  const auto& a = attribute(attr);
+  if (a.type != attribute_type::categorical)
+    throw std::invalid_argument("schema: attribute '" + a.name + "' is not categorical");
+  const auto it = std::find(a.labels.begin(), a.labels.end(), label);
+  if (it == a.labels.end())
+    throw std::invalid_argument("schema: unknown label '" + std::string(label) + "' for '" +
+                                a.name + "'");
+  return static_cast<std::uint64_t>(it - a.labels.begin());
+}
+
+std::string schema::format_value(int attr, std::uint64_t value) const {
+  const auto& a = attribute(attr);
+  if (a.type == attribute_type::categorical && value < a.labels.size())
+    return a.labels[static_cast<std::size_t>(value)];
+  return std::to_string(value);
+}
+
+universe schema::dominance_universe() const {
+  int max_bits = 1;
+  for (const auto& a : attrs_) max_bits = std::max(max_bits, a.bits);
+  return {2 * attribute_count(), max_bits};
+}
+
+}  // namespace subcover

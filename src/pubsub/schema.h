@@ -1,0 +1,66 @@
+// Message schema for the content-based publish-subscribe model (Section 1.1):
+// every message carries beta numeric attributes; every subscription is a
+// conjunction of closed range constraints, one per attribute.
+//
+// Attributes are numeric (raw integer domain [0, 2^bits)) or categorical
+// (a fixed label dictionary; equality constraints become [v, v] ranges).
+// The schema is immutable after construction, so it can be shared freely
+// across brokers and indexes.
+//
+// The dominance universe of a schema has d = 2*beta dimensions and
+// k = max attribute bits (Edelsbrunner-Overmars transform, Section 1.1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/universe.h"
+
+namespace subcover {
+
+enum class attribute_type { numeric, categorical };
+
+struct attribute_def {
+  std::string name;
+  attribute_type type = attribute_type::numeric;
+  int bits = 16;  // domain [0, 2^bits); 1 <= bits <= kMaxBitsPerDim
+  // Labels for categorical attributes; label i has value i. Must fit in the
+  // bit width. Ignored for numeric attributes.
+  std::vector<std::string> labels;
+};
+
+class schema {
+ public:
+  // Throws std::invalid_argument on: empty attribute list, > kMaxDims/2
+  // attributes, duplicate names, bad bit widths, categorical label overflow
+  // or duplicate labels.
+  explicit schema(std::vector<attribute_def> attributes);
+
+  [[nodiscard]] int attribute_count() const { return static_cast<int>(attrs_.size()); }
+  [[nodiscard]] const attribute_def& attribute(int i) const {
+    return attrs_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::optional<int> index_of(std::string_view name) const;
+
+  // Largest raw value of attribute i: 2^bits - 1.
+  [[nodiscard]] std::uint64_t max_value(int i) const;
+  // Resolves a categorical label to its value. Throws std::invalid_argument
+  // for numeric attributes or unknown labels.
+  [[nodiscard]] std::uint64_t label_value(int attr, std::string_view label) const;
+  // Formats a raw value (label text for categorical attributes).
+  [[nodiscard]] std::string format_value(int attr, std::uint64_t value) const;
+
+  // The point-dominance universe: 2*beta dimensions, max attribute width.
+  [[nodiscard]] universe dominance_universe() const;
+
+  friend bool operator==(const schema&, const schema&);
+
+ private:
+  std::vector<attribute_def> attrs_;
+};
+
+bool operator==(const attribute_def& a, const attribute_def& b);
+
+}  // namespace subcover

@@ -1,0 +1,62 @@
+#include "pubsub/subscription.h"
+
+#include <stdexcept>
+
+namespace subcover {
+
+subscription::subscription(const schema& s, std::vector<attr_range> ranges)
+    : ranges_(std::move(ranges)) {
+  if (static_cast<int>(ranges_.size()) != s.attribute_count())
+    throw std::invalid_argument("subscription: range count does not match schema");
+  for (int i = 0; i < s.attribute_count(); ++i) {
+    const auto& r = ranges_[static_cast<std::size_t>(i)];
+    if (r.lo > r.hi)
+      throw std::invalid_argument("subscription: empty range on attribute '" +
+                                  s.attribute(i).name + "'");
+    if (r.hi > s.max_value(i))
+      throw std::invalid_argument("subscription: range exceeds domain of attribute '" +
+                                  s.attribute(i).name + "'");
+  }
+}
+
+subscription subscription::match_all(const schema& s) {
+  std::vector<attr_range> ranges;
+  ranges.reserve(static_cast<std::size_t>(s.attribute_count()));
+  for (int i = 0; i < s.attribute_count(); ++i) ranges.push_back({0, s.max_value(i)});
+  return {s, std::move(ranges)};
+}
+
+bool subscription::covers(const subscription& other) const {
+  if (ranges_.size() != other.ranges_.size())
+    throw std::invalid_argument("subscription::covers: schema mismatch");
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (ranges_[i].lo > other.ranges_[i].lo || ranges_[i].hi < other.ranges_[i].hi)
+      return false;
+  }
+  return true;
+}
+
+long double subscription::volume_ld() const {
+  long double v = 1;
+  for (const auto& r : ranges_) v *= static_cast<long double>(r.hi - r.lo + 1);
+  return v;
+}
+
+std::string subscription::to_string(const schema& s) const {
+  std::string out = "[";
+  for (int i = 0; i < attribute_count(); ++i) {
+    if (i != 0) out += ", ";
+    const auto& r = range(i);
+    const auto& a = s.attribute(i);
+    if (r.lo == r.hi) {
+      out += a.name + " = " + s.format_value(i, r.lo);
+    } else if (r.lo == 0 && r.hi == s.max_value(i)) {
+      out += a.name + " = *";
+    } else {
+      out += a.name + " in [" + s.format_value(i, r.lo) + ", " + s.format_value(i, r.hi) + "]";
+    }
+  }
+  return out + "]";
+}
+
+}  // namespace subcover

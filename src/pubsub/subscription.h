@@ -1,0 +1,51 @@
+// A content-based subscription: a conjunction of closed range constraints,
+// one per attribute (paper Section 1.1). Geometrically a beta-dimensional
+// rectangle in attribute space; s1 covers s2 iff the rectangle of s1
+// contains the rectangle of s2 (N(s1) superset of N(s2)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pubsub/schema.h"
+
+namespace subcover {
+
+struct attr_range {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  // inclusive
+  friend bool operator==(const attr_range&, const attr_range&) = default;
+};
+
+class subscription {
+ public:
+  subscription() = default;
+  // One range per schema attribute, in schema order. Throws
+  // std::invalid_argument on count mismatch, lo > hi, or domain overflow.
+  subscription(const schema& s, std::vector<attr_range> ranges);
+
+  // Wildcard subscription matching every message.
+  static subscription match_all(const schema& s);
+
+  [[nodiscard]] int attribute_count() const { return static_cast<int>(ranges_.size()); }
+  [[nodiscard]] const attr_range& range(int i) const {
+    return ranges_[static_cast<std::size_t>(i)];
+  }
+
+  // True iff this subscription covers `other`: every range contains the
+  // other's range. This is the exact (ground-truth) covering test.
+  [[nodiscard]] bool covers(const subscription& other) const;
+
+  // Rectangle volume (number of matching value combinations).
+  [[nodiscard]] long double volume_ld() const;
+
+  [[nodiscard]] std::string to_string(const schema& s) const;
+
+  friend bool operator==(const subscription&, const subscription&) = default;
+
+ private:
+  std::vector<attr_range> ranges_;
+};
+
+}  // namespace subcover

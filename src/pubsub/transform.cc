@@ -1,0 +1,46 @@
+#include "pubsub/transform.h"
+
+#include <stdexcept>
+
+namespace subcover {
+
+// The dominance universe is uniform-width (k = max attribute bits), but
+// attributes may be narrower. Narrow attribute values are scaled onto the
+// universe grid (paper Section 2: the per-dimension maximum "may be
+// different for different dimensions"):
+//   lower bounds map to the START of their scaled cell,
+//   upper bounds map to the END of their scaled cell,
+// which preserves the covering <=> dominance equivalence exactly and keeps
+// wildcard bounds on the universe boundary (cheap single-bit side lengths).
+
+point to_dominance_point(const schema& s, const subscription& sub) {
+  if (sub.attribute_count() != s.attribute_count())
+    throw std::invalid_argument("to_dominance_point: schema mismatch");
+  const universe u = s.dominance_universe();
+  point p(u.dims());
+  for (int i = 0; i < s.attribute_count(); ++i) {
+    const auto& r = sub.range(i);
+    const int shift = u.bits() - s.attribute(i).bits;
+    p[2 * i] = static_cast<std::uint32_t>(u.coord_max() - (r.lo << shift));
+    p[2 * i + 1] = static_cast<std::uint32_t>(((r.hi + 1) << shift) - 1);
+  }
+  return p;
+}
+
+subscription from_dominance_point(const schema& s, const point& p) {
+  const universe u = s.dominance_universe();
+  if (p.dims() != u.dims())
+    throw std::invalid_argument("from_dominance_point: dimension mismatch");
+  std::vector<attr_range> ranges;
+  ranges.reserve(static_cast<std::size_t>(s.attribute_count()));
+  for (int i = 0; i < s.attribute_count(); ++i) {
+    const int shift = u.bits() - s.attribute(i).bits;
+    const std::uint64_t lo =
+        (static_cast<std::uint64_t>(u.coord_max()) - p[2 * i]) >> shift;
+    const std::uint64_t hi = ((static_cast<std::uint64_t>(p[2 * i + 1]) + 1) >> shift) - 1;
+    ranges.push_back({lo, hi});
+  }
+  return {s, std::move(ranges)};
+}
+
+}  // namespace subcover

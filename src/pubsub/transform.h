@@ -1,0 +1,24 @@
+// The Edelsbrunner-Overmars transform (paper Section 1.1): a subscription
+// over beta attributes maps to a point in d = 2*beta dimensions such that
+//
+//   s1 covers s2   <=>   p(s1) dominates p(s2) coordinate-wise.
+//
+// The paper writes p(s) = (-l_1, r_1, ..., -l_beta, r_beta); to keep
+// coordinates unsigned we shift the negated lower bounds by (2^k - 1):
+//   dim 2i   = (2^k - 1) - lo_i
+//   dim 2i+1 = hi_i
+// which preserves the order and hence the equivalence.
+#pragma once
+
+#include "geometry/point.h"
+#include "pubsub/subscription.h"
+
+namespace subcover {
+
+// p(s) in the schema's dominance universe.
+point to_dominance_point(const schema& s, const subscription& sub);
+
+// Inverse (for diagnostics): reconstructs the subscription from p(s).
+subscription from_dominance_point(const schema& s, const point& p);
+
+}  // namespace subcover

@@ -1,0 +1,60 @@
+#include "sfc/curve.h"
+
+#include <stdexcept>
+
+#include "sfc/gray_curve.h"
+#include "sfc/hilbert_curve.h"
+#include "sfc/z_curve.h"
+
+namespace subcover {
+
+std::string_view curve_kind_name(curve_kind kind) {
+  switch (kind) {
+    case curve_kind::z_order:
+      return "z-order";
+    case curve_kind::hilbert:
+      return "hilbert";
+    case curve_kind::gray_code:
+      return "gray-code";
+  }
+  return "unknown";
+}
+
+u512 curve::cell_key(const point& p) const {
+  return cube_prefix(standard_cube(p, 0));
+}
+
+key_range curve::cube_range(const standard_cube& c) const {
+  const int shift = space().dims() * c.side_bits();
+  const u512 lo = cube_prefix(c) << shift;
+  return {lo, lo | u512::mask(shift)};
+}
+
+void curve::check_cube(const standard_cube& c) const {
+  if (c.dims() != space().dims())
+    throw std::invalid_argument("curve: cube dimension mismatch");
+  if (c.side_bits() > space().bits())
+    throw std::invalid_argument("curve: cube larger than the universe");
+  for (int i = 0; i < c.dims(); ++i)
+    if (c.corner()[i] > space().coord_max())
+      throw std::invalid_argument("curve: cube outside the universe");
+}
+
+void curve::check_key(const u512& key) const {
+  if (key.bit_width() > space().key_bits())
+    throw std::invalid_argument("curve: key out of range");
+}
+
+std::unique_ptr<curve> make_curve(curve_kind kind, const universe& u) {
+  switch (kind) {
+    case curve_kind::z_order:
+      return std::make_unique<z_curve>(u);
+    case curve_kind::hilbert:
+      return std::make_unique<hilbert_curve>(u);
+    case curve_kind::gray_code:
+      return std::make_unique<gray_curve>(u);
+  }
+  throw std::invalid_argument("make_curve: unknown curve kind");
+}
+
+}  // namespace subcover

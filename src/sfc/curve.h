@@ -1,0 +1,70 @@
+// Space filling curve interface (paper Section 2).
+//
+// All supported curves (Z, Hilbert, Gray-code) are *recursive-partitioning*
+// curves: the universe is bisected along every dimension k times, and the
+// first d*l bits of a cell's key identify the level-l standard cube that
+// contains it. Two consequences the rest of the library relies on:
+//
+//   * Fact 2.1 - a standard cube is a single run: its cells occupy exactly
+//     the contiguous key interval [prefix << (d*s), (prefix+1) << (d*s) - 1]
+//     where s = side_bits and prefix = cube_prefix(cube).
+//   * The key order of cubes at a level equals the order of their prefixes.
+//
+// Implementations must be bijections between cells and [0, 2^(d*k)) and must
+// satisfy the prefix property above; tests verify both exhaustively on small
+// universes.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "geometry/cube.h"
+#include "geometry/point.h"
+#include "geometry/universe.h"
+#include "sfc/key_range.h"
+#include "util/wideint.h"
+
+namespace subcover {
+
+enum class curve_kind { z_order, hilbert, gray_code };
+
+std::string_view curve_kind_name(curve_kind kind);
+
+class curve {
+ public:
+  explicit curve(const universe& u) : universe_(u) {}
+  virtual ~curve() = default;
+  curve(const curve&) = delete;
+  curve& operator=(const curve&) = delete;
+
+  [[nodiscard]] const universe& space() const { return universe_; }
+  [[nodiscard]] virtual curve_kind kind() const = 0;
+  [[nodiscard]] std::string_view name() const { return curve_kind_name(kind()); }
+
+  // The (d * (k - side_bits))-bit key prefix identifying the standard cube.
+  // Throws std::invalid_argument if the cube lies outside the universe or has
+  // mismatched dimensions.
+  [[nodiscard]] virtual u512 cube_prefix(const standard_cube& c) const = 0;
+
+  // Inverse of cell_key. The key must be < 2^(d*k).
+  [[nodiscard]] virtual point cell_from_key(const u512& key) const = 0;
+
+  // Key of a unit cell (standard cube of side 1).
+  [[nodiscard]] u512 cell_key(const point& p) const;
+
+  // The contiguous key interval occupied by a standard cube (Fact 2.1).
+  [[nodiscard]] key_range cube_range(const standard_cube& c) const;
+
+ protected:
+  // Shared precondition checking for cube_prefix implementations.
+  void check_cube(const standard_cube& c) const;
+  void check_key(const u512& key) const;
+
+ private:
+  universe universe_;
+};
+
+// Factory covering all built-in curves.
+std::unique_ptr<curve> make_curve(curve_kind kind, const universe& u);
+
+}  // namespace subcover

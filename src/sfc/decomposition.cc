@@ -1,0 +1,90 @@
+#include "sfc/decomposition.h"
+
+#include <stdexcept>
+
+namespace subcover {
+
+namespace {
+
+class decomposer {
+ public:
+  decomposer(const universe& u, const rect& r, const cube_visitor& visit)
+      : u_(u), r_(r), visit_(visit) {}
+
+  void run() {
+    point origin(u_.dims());
+    descend(standard_cube(origin, u_.bits()));
+  }
+
+ private:
+  // Precondition: `c` intersects r_.
+  void descend(const standard_cube& c) {
+    const rect cr = c.as_rect();
+    if (r_.contains(cr)) {
+      visit_(c);
+      return;
+    }
+    // A unit cube that intersects the region is contained in it, so side_bits
+    // is strictly positive here.
+    const int child_bits = c.side_bits() - 1;
+    const auto half = static_cast<std::uint32_t>(std::uint64_t{1} << child_bits);
+    point child_corner(u_.dims());
+    recurse_children(c, child_bits, half, 0, child_corner);
+  }
+
+  // Enumerates, dimension by dimension, the child cubes of `c` that intersect
+  // the region; only intersecting halves are explored, so work stays
+  // proportional to the output.
+  void recurse_children(const standard_cube& c, int child_bits, std::uint32_t half, int dim,
+                        point& corner) {
+    if (dim == u_.dims()) {
+      descend(standard_cube(corner, child_bits));
+      return;
+    }
+    const std::uint32_t base = c.corner()[dim];
+    // Lower half: [base, base + half - 1].
+    if (r_.lo()[dim] <= base + half - 1 && r_.hi()[dim] >= base) {
+      corner[dim] = base;
+      recurse_children(c, child_bits, half, dim + 1, corner);
+    }
+    // Upper half: [base + half, base + 2*half - 1].
+    if (r_.hi()[dim] >= base + half && r_.lo()[dim] <= base + 2 * half - 1) {
+      corner[dim] = base + half;
+      recurse_children(c, child_bits, half, dim + 1, corner);
+    }
+  }
+
+  const universe& u_;
+  const rect& r_;
+  const cube_visitor& visit_;
+};
+
+void check_region(const universe& u, const rect& r) {
+  if (r.dims() != u.dims())
+    throw std::invalid_argument("decompose_rect: region dimension mismatch");
+  if (!rect::whole(u).contains(r))
+    throw std::invalid_argument("decompose_rect: region outside the universe");
+}
+
+}  // namespace
+
+void decompose_rect(const universe& u, const rect& r, const cube_visitor& visit) {
+  check_region(u, r);
+  decomposer(u, r, visit).run();
+}
+
+std::vector<std::uint64_t> decompose_rect_level_counts(const universe& u, const rect& r) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(u.bits()) + 1, 0);
+  decompose_rect(u, r, [&](const standard_cube& c) {
+    ++counts[static_cast<std::size_t>(c.side_bits())];
+  });
+  return counts;
+}
+
+std::uint64_t count_cubes(const universe& u, const rect& r) {
+  std::uint64_t n = 0;
+  decompose_rect(u, r, [&](const standard_cube&) { ++n; });
+  return n;
+}
+
+}  // namespace subcover

@@ -1,0 +1,37 @@
+// Greedy (minimal) decomposition of a rectangle into standard cubes.
+//
+// Lemma 3.3 of the paper: repeatedly extracting the largest standard cube
+// that fits yields a partition into the *minimum* number of standard cubes.
+// Because standard cubes are nested-or-disjoint (Lemma 2.1), that minimal
+// partition is exactly the set of maximal standard cubes contained in the
+// region, which this module enumerates top-down: starting from the universe
+// cube, a cube fully inside the region is emitted; otherwise recursion
+// descends only into the children that intersect the region.
+//
+// Complexity: O(output * d * k) — no dependence on the region's volume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/cube.h"
+#include "geometry/rect.h"
+#include "geometry/universe.h"
+
+namespace subcover {
+
+using cube_visitor = std::function<void(const standard_cube&)>;
+
+// Visits every cube of the minimal standard-cube partition of `r`.
+// `r` must lie inside the universe (throws std::invalid_argument otherwise).
+void decompose_rect(const universe& u, const rect& r, const cube_visitor& visit);
+
+// Number of cubes in the minimal partition, grouped by side_bits:
+// result[s] = number of cubes of side 2^s, for s in [0, k].
+std::vector<std::uint64_t> decompose_rect_level_counts(const universe& u, const rect& r);
+
+// Total cubes(r): size of the minimal partition (paper Definition 3.1).
+std::uint64_t count_cubes(const universe& u, const rect& r);
+
+}  // namespace subcover

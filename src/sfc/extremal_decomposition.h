@@ -1,0 +1,50 @@
+// Decomposition machinery specialized to extremal rectangles R(l):
+// the paper's level sets D_i, the exact per-level cube counts of Lemma 3.5,
+// and the enumeration Algorithms 1-3 of Section 5 / Appendix A.
+//
+// The greedy partition of R(l) is structured (Lemma 3.4): cubes of side 2^i
+// exist only for levels i where some side length has bit i set (indicator
+// O_i), and the cubes of side >= 2^i tile exactly the extremal rectangle
+// R(S_i(l)). This lets the query engine enumerate cubes strictly in
+// descending volume order (the search order of the Section 5 algorithm) and
+// lets benches compute cube counts in closed form without enumeration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/extremal.h"
+#include "geometry/universe.h"
+#include "sfc/decomposition.h"
+#include "util/wideint.h"
+
+namespace subcover {
+
+// O_i of Lemma 3.4: true iff some side length of r has bit i set.
+bool level_occupied(const extremal_rect& r, int i);
+
+// Exact |D_i| for every i in [0, k] via the Lemma 3.5 closed form
+//   N_i = (prod_j S_i(l_j) - prod_j S_{i+1}(l_j)) / 2^(i*d).
+// result[i] = number of cubes of side 2^i in the minimal partition of R(l).
+std::vector<u512> extremal_level_counts(const universe& u, const extremal_rect& r);
+
+// cubes(R(l)): total size of the minimal partition, exact.
+u512 extremal_cube_count(const universe& u, const extremal_rect& r);
+
+// Enumerates the standard cubes of D_i (side 2^i) of the minimal partition of
+// R(l), using the paper's Algorithms 1-3: rectangles of D_i are indexed by a
+// bit-position vector P (one chosen set bit of each side length), and cube
+// corners inside a rectangle follow Equation 1 of Section 5.
+// Throws std::length_error if the level holds more than `max_cubes` cubes.
+void enumerate_level_cubes(const universe& u, const extremal_rect& r, int i,
+                           const cube_visitor& visit,
+                           std::uint64_t max_cubes = std::uint64_t{1} << 32);
+
+// Enumerates all cubes of the minimal partition in descending cube size
+// (levels i = k down to 0), the probe order of the Section 5 query algorithm.
+// Throws std::length_error if the partition exceeds `max_cubes` cubes.
+void enumerate_cubes_descending(const universe& u, const extremal_rect& r,
+                                const cube_visitor& visit,
+                                std::uint64_t max_cubes = std::uint64_t{1} << 32);
+
+}  // namespace subcover

@@ -1,0 +1,27 @@
+// Gray-code space filling curve [Fal86, Fal88].
+//
+// The cell whose interleaved coordinate bits form the word g is visited at
+// position gray_decode(g) (the rank of g in the reflected Gray code).
+// gray_decode is the XOR prefix scan, which is computed most-significant bit
+// first, so the recursive-partitioning prefix property holds.
+#pragma once
+
+#include "sfc/curve.h"
+
+namespace subcover {
+
+// Reflected-Gray-code rank: the b such that b ^ (b >> 1) == g.
+u512 gray_decode(u512 g);
+// Inverse: g = b ^ (b >> 1).
+u512 gray_encode(const u512& b);
+
+class gray_curve final : public curve {
+ public:
+  explicit gray_curve(const universe& u) : curve(u) {}
+
+  [[nodiscard]] curve_kind kind() const override { return curve_kind::gray_code; }
+  [[nodiscard]] u512 cube_prefix(const standard_cube& c) const override;
+  [[nodiscard]] point cell_from_key(const u512& key) const override;
+};
+
+}  // namespace subcover

@@ -1,0 +1,86 @@
+#include "sfc/hilbert_curve.h"
+
+#include <array>
+
+#include "sfc/interleave.h"
+
+namespace subcover {
+
+namespace {
+
+// Skilling's AxesToTranspose: converts `n` coordinates of `b` bits each into
+// the transposed Hilbert index, in place. After the call, interleaving the
+// bits of x[0..n-1] (msb level first, x[0] most significant within a level)
+// yields the Hilbert key.
+void axes_to_transpose(std::uint32_t* x, int b, int n) {
+  if (b == 0) return;
+  const std::uint32_t m = std::uint32_t{1} << (b - 1);
+  // Inverse undo of the excess work below (walk levels msb -> lsb).
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of dimension 0
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;  // exchange low bits
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode across dimensions.
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (x[n - 1] & q) t ^= q - 1;
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+}
+
+// Skilling's TransposeToAxes: exact inverse of axes_to_transpose.
+void transpose_to_axes(std::uint32_t* x, int b, int n) {
+  if (b == 0) return;
+  const std::uint32_t top = std::uint32_t{2} << (b - 1);
+  // Gray decode by halving.
+  std::uint32_t t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work (walk levels lsb -> msb).
+  for (std::uint32_t q = 2; q != top; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t swap = (x[0] ^ x[i]) & p;
+        x[0] ^= swap;
+        x[i] ^= swap;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+u512 hilbert_curve::cube_prefix(const standard_cube& c) const {
+  check_cube(c);
+  const int d = space().dims();
+  const int prefix_bits = space().bits() - c.side_bits();
+  std::array<std::uint32_t, kMaxDims> top{};
+  for (int i = 0; i < d; ++i)
+    top[static_cast<std::size_t>(i)] = c.corner()[i] >> c.side_bits();
+  axes_to_transpose(top.data(), prefix_bits, d);
+  return detail::interleave_bits(top.data(), d, prefix_bits);
+}
+
+point hilbert_curve::cell_from_key(const u512& key) const {
+  check_key(key);
+  const int d = space().dims();
+  std::array<std::uint32_t, kMaxDims> coords{};
+  detail::deinterleave_bits(key, coords.data(), d, space().bits());
+  transpose_to_axes(coords.data(), space().bits(), d);
+  point p(d);
+  for (int i = 0; i < d; ++i) p[i] = coords[static_cast<std::size_t>(i)];
+  return p;
+}
+
+}  // namespace subcover

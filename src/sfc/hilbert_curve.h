@@ -1,0 +1,25 @@
+// Hilbert space filling curve in d dimensions [Hil91].
+//
+// Implementation uses John Skilling's transpose algorithm ("Programming the
+// Hilbert curve", AIP Conf. Proc. 707, 2004): coordinates are transformed in
+// place into the "transposed" representation of the Hilbert index, which is
+// then bit-interleaved into a single key. The transform processes bit levels
+// most-significant first, so the prefix property required by `curve` holds:
+// the first d*l key bits of any cell equal the level-l cube prefix (verified
+// exhaustively in tests).
+#pragma once
+
+#include "sfc/curve.h"
+
+namespace subcover {
+
+class hilbert_curve final : public curve {
+ public:
+  explicit hilbert_curve(const universe& u) : curve(u) {}
+
+  [[nodiscard]] curve_kind kind() const override { return curve_kind::hilbert; }
+  [[nodiscard]] u512 cube_prefix(const standard_cube& c) const override;
+  [[nodiscard]] point cell_from_key(const u512& key) const override;
+};
+
+}  // namespace subcover

@@ -1,0 +1,44 @@
+#include "sfc/key_range.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace subcover {
+
+key_range::key_range(u512 lo_in, u512 hi_in) : lo(lo_in), hi(hi_in) {
+  if (lo > hi) throw std::invalid_argument("key_range: lo > hi");
+}
+
+std::string key_range::to_string() const {
+  return "[" + lo.to_string() + ", " + hi.to_string() + "]";
+}
+
+std::vector<key_range> merge_ranges(std::vector<key_range> ranges) {
+  if (ranges.empty()) return ranges;
+  std::sort(ranges.begin(), ranges.end(),
+            [](const key_range& a, const key_range& b) { return a.lo < b.lo; });
+  std::vector<key_range> merged;
+  merged.reserve(ranges.size());
+  merged.push_back(ranges.front());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    key_range& last = merged.back();
+    const key_range& cur = ranges[i];
+    // Adjacent (last.hi + 1 == cur.lo) or overlapping ranges coalesce.
+    // Guard the +1 against wrap-around at the maximum key.
+    const bool adjacent = last.hi != u512::max() && last.hi + u512::one() >= cur.lo;
+    if (adjacent || cur.lo <= last.hi) {
+      last.hi = std::max(last.hi, cur.hi, [](const u512& a, const u512& b) { return a < b; });
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  return merged;
+}
+
+u512 total_cells(const std::vector<key_range>& ranges) {
+  u512 total = 0;
+  for (const auto& r : ranges) total += r.cell_count();
+  return total;
+}
+
+}  // namespace subcover

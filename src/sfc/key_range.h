@@ -1,0 +1,39 @@
+// A run on a space filling curve: a closed interval [lo, hi] of SFC keys.
+//
+// The cost model of the paper counts runs: probing whether any indexed point
+// falls inside a run takes two comparisons in the SFC array regardless of the
+// run's extent (Section 2), so query cost == number of runs probed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/wideint.h"
+
+namespace subcover {
+
+struct key_range {
+  u512 lo;
+  u512 hi;  // inclusive
+
+  key_range() = default;
+  // Throws std::invalid_argument if lo > hi.
+  key_range(u512 lo, u512 hi);
+
+  [[nodiscard]] u512 cell_count() const { return hi - lo + u512::one(); }
+  [[nodiscard]] long double cell_count_ld() const { return cell_count().to_long_double(); }
+  [[nodiscard]] bool contains(const u512& key) const { return lo <= key && key <= hi; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const key_range&, const key_range&) = default;
+};
+
+// Sorts ranges by lo and merges overlapping or back-to-back adjacent ranges
+// (hi + 1 == next.lo). The result is the minimal set of disjoint maximal
+// runs covering exactly the union of the inputs.
+std::vector<key_range> merge_ranges(std::vector<key_range> ranges);
+
+// Total cells covered by a set of disjoint ranges.
+u512 total_cells(const std::vector<key_range>& ranges);
+
+}  // namespace subcover

@@ -1,0 +1,31 @@
+#include "sfc/runs.h"
+
+#include "sfc/decomposition.h"
+
+namespace subcover {
+
+std::vector<key_range> region_cube_ranges(const curve& c, const rect& r) {
+  std::vector<key_range> ranges;
+  decompose_rect(c.space(), r, [&](const standard_cube& cube) {
+    ranges.push_back(c.cube_range(cube));
+  });
+  return ranges;
+}
+
+std::vector<key_range> region_runs(const curve& c, const rect& r) {
+  return merge_ranges(region_cube_ranges(c, r));
+}
+
+std::uint64_t count_runs(const curve& c, const rect& r) {
+  return static_cast<std::uint64_t>(region_runs(c, r).size());
+}
+
+std::vector<key_range> region_runs(const curve& c, const extremal_rect& r) {
+  return region_runs(c, r.to_rect(c.space()));
+}
+
+std::uint64_t count_runs(const curve& c, const extremal_rect& r) {
+  return count_runs(c, r.to_rect(c.space()));
+}
+
+}  // namespace subcover

@@ -1,0 +1,33 @@
+// Runs of a region on a space filling curve (paper Section 2).
+//
+// runs(T) is the minimum number of maximal contiguous key intervals whose
+// union is exactly the cells of T. It is computed by mapping the minimal
+// standard-cube partition to key intervals (Fact 2.1) and coalescing
+// adjacent intervals; because the cubes tile T exactly, the coalesced set is
+// the unique set of maximal runs. Lemma 3.1: runs(T) <= cubes(T).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/extremal.h"
+#include "geometry/rect.h"
+#include "sfc/curve.h"
+#include "sfc/key_range.h"
+
+namespace subcover {
+
+// One key interval per cube of the minimal partition of `r` (unmerged).
+std::vector<key_range> region_cube_ranges(const curve& c, const rect& r);
+
+// The maximal runs of `r` on the curve: merged, sorted by lo, disjoint.
+std::vector<key_range> region_runs(const curve& c, const rect& r);
+
+// runs(r) — the paper's cost measure for an exhaustive search of r.
+std::uint64_t count_runs(const curve& c, const rect& r);
+
+// Convenience overloads for extremal rectangles.
+std::vector<key_range> region_runs(const curve& c, const extremal_rect& r);
+std::uint64_t count_runs(const curve& c, const extremal_rect& r);
+
+}  // namespace subcover

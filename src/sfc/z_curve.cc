@@ -1,0 +1,29 @@
+#include "sfc/z_curve.h"
+
+#include <array>
+
+#include "sfc/interleave.h"
+
+namespace subcover {
+
+u512 z_curve::cube_prefix(const standard_cube& c) const {
+  check_cube(c);
+  const int d = space().dims();
+  const int prefix_bits = space().bits() - c.side_bits();
+  std::array<std::uint32_t, kMaxDims> top{};
+  for (int i = 0; i < d; ++i)
+    top[static_cast<std::size_t>(i)] = c.corner()[i] >> c.side_bits();
+  return detail::interleave_bits(top.data(), d, prefix_bits);
+}
+
+point z_curve::cell_from_key(const u512& key) const {
+  check_key(key);
+  const int d = space().dims();
+  std::array<std::uint32_t, kMaxDims> coords{};
+  detail::deinterleave_bits(key, coords.data(), d, space().bits());
+  point p(d);
+  for (int i = 0; i < d; ++i) p[i] = coords[static_cast<std::size_t>(i)];
+  return p;
+}
+
+}  // namespace subcover

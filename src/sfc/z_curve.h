@@ -1,0 +1,22 @@
+// Z-order (Morton) space filling curve [Mor66].
+//
+// The key of a cell is the bit interleaving of its coordinates (paper
+// Section 5): bit levels most-significant first, dimension 0 first within a
+// level. The prefix of a standard cube is the interleaving of the top
+// (k - side_bits) bits of its corner coordinates.
+#pragma once
+
+#include "sfc/curve.h"
+
+namespace subcover {
+
+class z_curve final : public curve {
+ public:
+  explicit z_curve(const universe& u) : curve(u) {}
+
+  [[nodiscard]] curve_kind kind() const override { return curve_kind::z_order; }
+  [[nodiscard]] u512 cube_prefix(const standard_cube& c) const override;
+  [[nodiscard]] point cell_from_key(const u512& key) const override;
+};
+
+}  // namespace subcover

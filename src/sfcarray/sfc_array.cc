@@ -1,0 +1,20 @@
+#include "sfcarray/sfc_array.h"
+
+#include <stdexcept>
+
+#include "sfcarray/skiplist_array.h"
+#include "sfcarray/sorted_vector_array.h"
+
+namespace subcover {
+
+std::unique_ptr<sfc_array> make_sfc_array(sfc_array_kind kind) {
+  switch (kind) {
+    case sfc_array_kind::skiplist:
+      return std::make_unique<skiplist_array>();
+    case sfc_array_kind::sorted_vector:
+      return std::make_unique<sorted_vector_array>();
+  }
+  throw std::invalid_argument("make_sfc_array: unknown kind");
+}
+
+}  // namespace subcover

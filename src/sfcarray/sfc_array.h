@@ -1,0 +1,54 @@
+// The SFC array (paper Section 2): a dynamic one-dimensional ordered
+// container holding (key, id) pairs sorted by SFC key. The paper notes it
+// "could be implemented using any dynamic unidimensional data structure such
+// as a binary tree or a skip list"; both a skip list (default, dynamic) and a
+// sorted vector (compact, bulk-load friendly) are provided behind this
+// interface.
+//
+// Duplicate keys are allowed (distinct subscriptions may map to the same
+// cell); entries are ordered by (key, id) so erase is deterministic.
+// The only query the covering algorithms need is run probing: "is there any
+// entry with key in [lo, hi], and if so which" — first_in().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sfc/key_range.h"
+#include "util/wideint.h"
+
+namespace subcover {
+
+enum class sfc_array_kind { skiplist, sorted_vector };
+
+class sfc_array {
+ public:
+  struct entry {
+    u512 key;
+    std::uint64_t id = 0;
+    friend bool operator==(const entry&, const entry&) = default;
+  };
+
+  virtual ~sfc_array() = default;
+  sfc_array() = default;
+  sfc_array(const sfc_array&) = delete;
+  sfc_array& operator=(const sfc_array&) = delete;
+
+  virtual void insert(const u512& key, std::uint64_t id) = 0;
+  // Removes one (key, id) occurrence; returns false if absent.
+  virtual bool erase(const u512& key, std::uint64_t id) = 0;
+  // The smallest-key entry with key in [r.lo, r.hi], if any. This is the
+  // run-probe primitive: two descents regardless of the run's extent.
+  [[nodiscard]] virtual std::optional<entry> first_in(const key_range& r) const = 0;
+  // Number of entries with key in [r.lo, r.hi].
+  [[nodiscard]] virtual std::uint64_t count_in(const key_range& r) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  // In-order traversal.
+  virtual void for_each(const std::function<void(const entry&)>& fn) const = 0;
+};
+
+std::unique_ptr<sfc_array> make_sfc_array(sfc_array_kind kind);
+
+}  // namespace subcover

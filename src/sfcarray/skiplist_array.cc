@@ -1,0 +1,116 @@
+#include "sfcarray/skiplist_array.h"
+
+#include <stdexcept>
+
+namespace subcover {
+
+skiplist_array::skiplist_array(std::uint64_t seed)
+    : head_(new node(entry{}, kMaxLevel)), rng_(seed) {}
+
+skiplist_array::~skiplist_array() {
+  node* n = head_;
+  while (n != nullptr) {
+    node* next = n->next[0];
+    delete n;
+    n = next;
+  }
+}
+
+int skiplist_array::random_level() {
+  int level = 1;
+  // Promote with probability 1/4 per level (classic skip-list parameter).
+  while (level < kMaxLevel && (rng_.next() & 3U) == 0) ++level;
+  return level;
+}
+
+skiplist_array::node* skiplist_array::find_geq(const u512& key, std::uint64_t id,
+                                               std::array<node*, kMaxLevel>* update) const {
+  const entry target{key, id};
+  node* cur = head_;
+  for (int lvl = level_ - 1; lvl >= 0; --lvl) {
+    while (cur->next[static_cast<std::size_t>(lvl)] != nullptr &&
+           entry_less(cur->next[static_cast<std::size_t>(lvl)]->e, target)) {
+      cur = cur->next[static_cast<std::size_t>(lvl)];
+    }
+    if (update != nullptr) (*update)[static_cast<std::size_t>(lvl)] = cur;
+  }
+  return cur->next[0];
+}
+
+void skiplist_array::insert(const u512& key, std::uint64_t id) {
+  std::array<node*, kMaxLevel> update{};
+  for (int i = level_; i < kMaxLevel; ++i) update[static_cast<std::size_t>(i)] = head_;
+  find_geq(key, id, &update);
+  const int lvl = random_level();
+  if (lvl > level_) level_ = lvl;
+  node* n = new node(entry{key, id}, lvl);
+  for (int i = 0; i < lvl; ++i) {
+    node* prev = update[static_cast<std::size_t>(i)];
+    n->next[static_cast<std::size_t>(i)] = prev->next[static_cast<std::size_t>(i)];
+    prev->next[static_cast<std::size_t>(i)] = n;
+  }
+  ++size_;
+}
+
+bool skiplist_array::erase(const u512& key, std::uint64_t id) {
+  std::array<node*, kMaxLevel> update{};
+  for (int i = 0; i < kMaxLevel; ++i) update[static_cast<std::size_t>(i)] = head_;
+  node* hit = find_geq(key, id, &update);
+  if (hit == nullptr || hit->e.key != key || hit->e.id != id) return false;
+  for (int i = 0; i < static_cast<int>(hit->next.size()); ++i) {
+    node* prev = update[static_cast<std::size_t>(i)];
+    if (prev->next[static_cast<std::size_t>(i)] == hit)
+      prev->next[static_cast<std::size_t>(i)] = hit->next[static_cast<std::size_t>(i)];
+  }
+  delete hit;
+  while (level_ > 1 && head_->next[static_cast<std::size_t>(level_ - 1)] == nullptr) --level_;
+  --size_;
+  return true;
+}
+
+std::optional<sfc_array::entry> skiplist_array::first_in(const key_range& r) const {
+  const node* n = find_geq(r.lo, 0, nullptr);
+  if (n == nullptr || n->e.key > r.hi) return std::nullopt;
+  return n->e;
+}
+
+std::uint64_t skiplist_array::count_in(const key_range& r) const {
+  std::uint64_t count = 0;
+  for (const node* n = find_geq(r.lo, 0, nullptr); n != nullptr && n->e.key <= r.hi;
+       n = n->next[0])
+    ++count;
+  return count;
+}
+
+std::size_t skiplist_array::size() const { return size_; }
+
+void skiplist_array::for_each(const std::function<void(const entry&)>& fn) const {
+  for (const node* n = head_->next[0]; n != nullptr; n = n->next[0]) fn(n->e);
+}
+
+void skiplist_array::check_invariants() const {
+  // Level 0 holds every entry in (key, id) order.
+  std::size_t counted = 0;
+  for (const node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+    ++counted;
+    if (n->next[0] != nullptr && !entry_less(n->e, n->next[0]->e) && n->e != n->next[0]->e)
+      throw std::logic_error("skiplist: level-0 ordering violated");
+  }
+  if (counted != size_) throw std::logic_error("skiplist: size mismatch");
+  // Every higher level is a sorted sublist of level 0.
+  for (int lvl = 1; lvl < level_; ++lvl) {
+    const node* prev = nullptr;
+    for (const node* n = head_->next[static_cast<std::size_t>(lvl)]; n != nullptr;
+         n = n->next[static_cast<std::size_t>(lvl)]) {
+      if (static_cast<int>(n->next.size()) <= lvl)
+        throw std::logic_error("skiplist: node present above its level");
+      // Exact-duplicate (key, id) entries are permitted, so only a strict
+      // inversion is a violation.
+      if (prev != nullptr && entry_less(n->e, prev->e))
+        throw std::logic_error("skiplist: upper-level ordering violated");
+      prev = n;
+    }
+  }
+}
+
+}  // namespace subcover

@@ -1,0 +1,61 @@
+// Skip-list implementation of the SFC array (Pugh 1990), the dynamic ordered
+// structure the paper suggests for maintaining subscriptions in curve order.
+//
+// Expected O(log n) insert / erase / first_in. Levels are drawn with
+// probability 1/4 per promotion from a deterministic internal RNG, so runs
+// are reproducible. The node store is owned exclusively by the list; raw
+// `node*` links never escape the class.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sfcarray/sfc_array.h"
+#include "util/random.h"
+
+namespace subcover {
+
+class skiplist_array final : public sfc_array {
+ public:
+  explicit skiplist_array(std::uint64_t seed = 0x5c1b1157u);
+  ~skiplist_array() override;
+
+  void insert(const u512& key, std::uint64_t id) override;
+  bool erase(const u512& key, std::uint64_t id) override;
+  [[nodiscard]] std::optional<entry> first_in(const key_range& r) const override;
+  [[nodiscard]] std::uint64_t count_in(const key_range& r) const override;
+  [[nodiscard]] std::size_t size() const override;
+  void for_each(const std::function<void(const entry&)>& fn) const override;
+
+  // Verifies structural invariants (ordering on every level, level-0
+  // completeness); used by tests. Throws std::logic_error on violation.
+  void check_invariants() const;
+
+ private:
+  static constexpr int kMaxLevel = 32;
+
+  struct node {
+    entry e;
+    std::vector<node*> next;  // size == node level
+    node(entry en, int level) : e(en), next(static_cast<std::size_t>(level), nullptr) {}
+  };
+
+  // Strict (key, id) ordering used for positioning.
+  static bool entry_less(const entry& a, const entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  int random_level();
+  // First node with entry >= (key, id) in entry order; fills `update` with
+  // the rightmost node before the position on every level when non-null.
+  node* find_geq(const u512& key, std::uint64_t id, std::array<node*, kMaxLevel>* update) const;
+
+  node* head_;  // sentinel with kMaxLevel links
+  int level_ = 1;
+  std::size_t size_ = 0;
+  rng rng_;
+};
+
+}  // namespace subcover

@@ -1,0 +1,52 @@
+#include "sfcarray/sorted_vector_array.h"
+
+#include <algorithm>
+
+namespace subcover {
+
+namespace {
+bool entry_less(const sfc_array::entry& a, const sfc_array::entry& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.id < b.id;
+}
+}  // namespace
+
+void sorted_vector_array::insert(const u512& key, std::uint64_t id) {
+  const entry e{key, id};
+  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), e, entry_less), e);
+}
+
+bool sorted_vector_array::erase(const u512& key, std::uint64_t id) {
+  const entry e{key, id};
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), e, entry_less);
+  if (it == entries_.end() || it->key != key || it->id != id) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::optional<sfc_array::entry> sorted_vector_array::first_in(const key_range& r) const {
+  const entry probe{r.lo, 0};
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), probe, entry_less);
+  if (it == entries_.end() || it->key > r.hi) return std::nullopt;
+  return *it;
+}
+
+std::uint64_t sorted_vector_array::count_in(const key_range& r) const {
+  const entry lo_probe{r.lo, 0};
+  const auto lo = std::lower_bound(entries_.begin(), entries_.end(), lo_probe, entry_less);
+  auto it = lo;
+  std::uint64_t count = 0;
+  while (it != entries_.end() && it->key <= r.hi) {
+    ++count;
+    ++it;
+  }
+  return count;
+}
+
+std::size_t sorted_vector_array::size() const { return entries_.size(); }
+
+void sorted_vector_array::for_each(const std::function<void(const entry&)>& fn) const {
+  for (const auto& e : entries_) fn(e);
+}
+
+}  // namespace subcover

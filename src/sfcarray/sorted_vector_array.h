@@ -1,0 +1,28 @@
+// Sorted-vector implementation of the SFC array: contiguous storage with
+// binary-search probes. O(n) insert/erase, O(log n) first_in — the right
+// trade-off for mostly-static subscription tables and the reference oracle
+// for the skip list in tests.
+#pragma once
+
+#include <vector>
+
+#include "sfcarray/sfc_array.h"
+
+namespace subcover {
+
+class sorted_vector_array final : public sfc_array {
+ public:
+  sorted_vector_array() = default;
+
+  void insert(const u512& key, std::uint64_t id) override;
+  bool erase(const u512& key, std::uint64_t id) override;
+  [[nodiscard]] std::optional<entry> first_in(const key_range& r) const override;
+  [[nodiscard]] std::uint64_t count_in(const key_range& r) const override;
+  [[nodiscard]] std::size_t size() const override;
+  void for_each(const std::function<void(const entry&)>& fn) const override;
+
+ private:
+  std::vector<entry> entries_;  // sorted by (key, id)
+};
+
+}  // namespace subcover

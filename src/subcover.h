@@ -1,0 +1,60 @@
+// subcover — approximate covering detection among content-based
+// subscriptions using space filling curves.
+//
+// Umbrella header exposing the full public API. Typical use:
+//
+//   #include "subcover.h"
+//   using namespace subcover;
+//
+//   schema s = workload::make_stock_schema();
+//   sfc_covering_index index(s);                       // the paper's index
+//   index.insert(1, parse_subscription(s, "stock = IBM, volume >= 500"));
+//   auto hit = index.find_covering(
+//       parse_subscription(s, "stock = IBM, volume >= 800"), /*epsilon=*/0.05);
+//   // hit == 1: the broader subscription covers the narrower one.
+#pragma once
+
+#include "broker/broker.h"        // IWYU pragma: export
+#include "broker/metrics.h"       // IWYU pragma: export
+#include "broker/network.h"       // IWYU pragma: export
+#include "broker/routing_table.h" // IWYU pragma: export
+#include "broker/topology.h"      // IWYU pragma: export
+#include "covering/covering_index.h"          // IWYU pragma: export
+#include "covering/linear_covering_index.h"   // IWYU pragma: export
+#include "covering/sampled_covering_index.h"  // IWYU pragma: export
+#include "covering/sfc_covering_index.h"      // IWYU pragma: export
+#include "dominance/dominance_index.h"  // IWYU pragma: export
+#include "dominance/query_stats.h"      // IWYU pragma: export
+#include "dominance/theory.h"           // IWYU pragma: export
+#include "geometry/cube.h"      // IWYU pragma: export
+#include "geometry/extremal.h"  // IWYU pragma: export
+#include "geometry/point.h"     // IWYU pragma: export
+#include "geometry/rect.h"      // IWYU pragma: export
+#include "geometry/universe.h"  // IWYU pragma: export
+#include "pubsub/event.h"         // IWYU pragma: export
+#include "pubsub/matching.h"      // IWYU pragma: export
+#include "pubsub/parser.h"        // IWYU pragma: export
+#include "pubsub/schema.h"        // IWYU pragma: export
+#include "pubsub/subscription.h"  // IWYU pragma: export
+#include "pubsub/transform.h"     // IWYU pragma: export
+#include "sfc/curve.h"                    // IWYU pragma: export
+#include "sfc/decomposition.h"            // IWYU pragma: export
+#include "sfc/extremal_decomposition.h"   // IWYU pragma: export
+#include "sfc/gray_curve.h"               // IWYU pragma: export
+#include "sfc/hilbert_curve.h"            // IWYU pragma: export
+#include "sfc/key_range.h"                // IWYU pragma: export
+#include "sfc/runs.h"                     // IWYU pragma: export
+#include "sfc/z_curve.h"                  // IWYU pragma: export
+#include "sfcarray/sfc_array.h"           // IWYU pragma: export
+#include "sfcarray/skiplist_array.h"      // IWYU pragma: export
+#include "sfcarray/sorted_vector_array.h" // IWYU pragma: export
+#include "util/bitops.h"   // IWYU pragma: export
+#include "util/cli.h"      // IWYU pragma: export
+#include "util/random.h"   // IWYU pragma: export
+#include "util/stats.h"    // IWYU pragma: export
+#include "util/table.h"    // IWYU pragma: export
+#include "util/timer.h"    // IWYU pragma: export
+#include "util/wideint.h"  // IWYU pragma: export
+#include "workload/event_gen.h"         // IWYU pragma: export
+#include "workload/rect_gen.h"          // IWYU pragma: export
+#include "workload/subscription_gen.h"  // IWYU pragma: export

@@ -1,0 +1,6 @@
+#include "util/bitops.h"
+
+// All operations are constexpr and defined in the header; this translation
+// unit exists so the module has a home for future non-inline additions and to
+// give the static library at least one object file for the component.
+namespace subcover {}

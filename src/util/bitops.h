@@ -1,0 +1,51 @@
+// Bit-level operators used throughout the paper's algorithms (Sections 3-5).
+//
+// The paper defines, for a positive integer x:
+//   b(x)    - the number of bits in the binary representation of x
+//             (most significant bit is 1); e.g. b(9) = 4.
+//   t(x,m)  - retain the m most significant bits of x, zero the rest;
+//             e.g. t(0b1011, 2) = 0b1010.  For m >= b(x), t(x,m) = x.
+//   S_i(x)  - keep only bits at positions >= i (paper Section 3.2);
+//             e.g. S_1(0b1011) = 0b1010.
+// All of these are implemented here for 64-bit side lengths; key-width
+// (512-bit) variants are not needed because side lengths are at most 2^k
+// with k <= 30.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace subcover {
+
+// b(x): number of significant bits; b(0) = 0, b(9) = 4.
+constexpr int bit_length(std::uint64_t x) { return 64 - std::countl_zero(x); }
+
+// Bit j (0-based from least significant) of x.
+constexpr bool bit_at(std::uint64_t x, int j) { return ((x >> j) & 1U) != 0; }
+
+// S_i(x): zero out all bits below position i.
+constexpr std::uint64_t keep_bits_from(std::uint64_t x, int i) {
+  return i >= 64 ? 0 : (x >> i) << i;
+}
+
+// t(x,m): retain the m most significant bits of x (m >= 1); the rest become 0.
+// For m >= b(x) the value is unchanged. Requires m >= 1 when x > 0.
+constexpr std::uint64_t truncate_to_msb(std::uint64_t x, int m) {
+  const int b = bit_length(x);
+  if (m >= b) return x;
+  return keep_bits_from(x, b - m);
+}
+
+// Round x down to the largest power of two <= x. Requires x > 0.
+constexpr std::uint64_t floor_pow2(std::uint64_t x) { return std::uint64_t{1} << (bit_length(x) - 1); }
+
+// True if x is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Ceil of log2(x) for x >= 1.
+constexpr int ceil_log2(std::uint64_t x) { return x <= 1 ? 0 : bit_length(x - 1); }
+
+// Number of trailing zero bits; 64 for x == 0.
+constexpr int trailing_zeros(std::uint64_t x) { return std::countr_zero(x); }
+
+}  // namespace subcover

@@ -1,0 +1,38 @@
+// Lightweight contract checking.
+//
+// SUBCOVER_CHECK   - always-on invariant / precondition check; throws
+//                    std::logic_error with file:line context on failure.
+//                    Used at module boundaries where violations indicate a
+//                    caller bug that must not be silently ignored.
+// SUBCOVER_DCHECK  - debug-only variant (compiled out under NDEBUG) for hot
+//                    internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace subcover::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::string full = std::string("check failed: ") + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) full += ": " + msg;
+  throw std::logic_error(full);
+}
+
+}  // namespace subcover::detail
+
+#define SUBCOVER_CHECK(cond, ...)                                                       \
+  do {                                                                                  \
+    if (!(cond)) ::subcover::detail::check_failed(#cond, __FILE__, __LINE__,            \
+                                                  ::std::string{__VA_ARGS__});          \
+  } while (false)
+
+#ifdef NDEBUG
+#define SUBCOVER_DCHECK(cond, ...) \
+  do {                             \
+  } while (false)
+#else
+#define SUBCOVER_DCHECK(cond, ...) SUBCOVER_CHECK(cond, ##__VA_ARGS__)
+#endif

@@ -1,0 +1,78 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace subcover {
+
+cli_flags::cli_flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("cli_flags: expected --name[=value], got '" + arg + "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    known_[name] = false;
+  }
+}
+
+std::int64_t cli_flags::get_int(const std::string& name, std::int64_t def) {
+  known_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("cli_flags: --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double cli_flags::get_double(const std::string& name, double def) {
+  known_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("cli_flags: --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool cli_flags::get_bool(const std::string& name, bool def) {
+  known_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument("cli_flags: --" + name + " expects true/false, got '" +
+                              it->second + "'");
+}
+
+std::string cli_flags::get_string(const std::string& name, const std::string& def) {
+  known_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+void cli_flags::finish() const {
+  for (const auto& [name, used] : known_) {
+    if (!used) throw std::invalid_argument("cli_flags: unknown flag --" + name);
+  }
+}
+
+}  // namespace subcover

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// All binaries run fine with zero arguments (defaults reproduce the paper's
+// configurations); flags let a user override sweep parameters:
+//   ./fig9_scaling_n --max-subs=200000 --seed=7 --csv
+// Syntax: --name=value or bare --name (boolean true). Unknown flags throw,
+// so typos are caught instead of silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace subcover {
+
+class cli_flags {
+ public:
+  // Parses argv; throws std::invalid_argument on malformed or (after the
+  // accessors are used with `finish`) unknown flags.
+  cli_flags(int argc, const char* const* argv);
+
+  // Typed accessors; each registers the flag as known and returns the parsed
+  // value or the default if absent. Throw std::invalid_argument on bad values.
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  bool get_bool(const std::string& name, bool def);
+  std::string get_string(const std::string& name, const std::string& def);
+
+  // Call after all accessors: throws if the command line contained flags that
+  // no accessor asked about.
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> known_;
+};
+
+}  // namespace subcover

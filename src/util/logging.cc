@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace subcover {
+
+namespace {
+
+log_level level_from_env() {
+  const char* env = std::getenv("SUBCOVER_LOG");
+  if (env == nullptr) return log_level::warn;
+  if (std::strcmp(env, "debug") == 0) return log_level::debug;
+  if (std::strcmp(env, "info") == 0) return log_level::info;
+  if (std::strcmp(env, "warn") == 0) return log_level::warn;
+  if (std::strcmp(env, "error") == 0) return log_level::error;
+  if (std::strcmp(env, "off") == 0) return log_level::off;
+  return log_level::warn;
+}
+
+std::atomic<log_level>& level_storage() {
+  static std::atomic<log_level> level{level_from_env()};
+  return level;
+}
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::debug:
+      return "DEBUG";
+    case log_level::info:
+      return "INFO";
+    case log_level::warn:
+      return "WARN";
+    case log_level::error:
+      return "ERROR";
+    case log_level::off:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+log_level current_log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(log_level level) { level_storage().store(level, std::memory_order_relaxed); }
+
+bool log_enabled(log_level level) {
+  return level >= current_log_level() && level != log_level::off;
+}
+
+void log_message(log_level level, const std::string& message) {
+  if (!log_enabled(level)) return;
+  std::cerr << "[subcover " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace subcover

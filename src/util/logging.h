@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself never logs on hot paths; logging is for the broker
+// simulator's trace mode and for harness diagnostics. The level is read once
+// from the SUBCOVER_LOG environment variable ("debug", "info", "warn",
+// "error", "off"; default "warn").
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace subcover {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+log_level current_log_level();
+void set_log_level(log_level level);
+bool log_enabled(log_level level);
+void log_message(log_level level, const std::string& message);
+
+namespace detail {
+class log_line {
+ public:
+  explicit log_line(log_level level) : level_(level) {}
+  ~log_line() { log_message(level_, os_.str()); }
+  log_line(const log_line&) = delete;
+  log_line& operator=(const log_line&) = delete;
+  template <typename T>
+  log_line& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace subcover
+
+#define SUBCOVER_LOG(level)                          \
+  if (!::subcover::log_enabled(level)) {             \
+  } else                                             \
+    ::subcover::detail::log_line(level)
+
+#define SUBCOVER_LOG_DEBUG SUBCOVER_LOG(::subcover::log_level::debug)
+#define SUBCOVER_LOG_INFO SUBCOVER_LOG(::subcover::log_level::info)
+#define SUBCOVER_LOG_WARN SUBCOVER_LOG(::subcover::log_level::warn)
+#define SUBCOVER_LOG_ERROR SUBCOVER_LOG(::subcover::log_level::error)

@@ -1,0 +1,82 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subcover {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("rng::uniform: empty range");
+  const std::uint64_t span = hi - lo;  // inclusive width minus one
+  if (span == ~std::uint64_t{0}) return next();
+  // Rejection sampling for unbiased results.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound + 1) % bound;
+  std::uint64_t v = next();
+  while (v > limit) v = next();
+  return lo + v % bound;
+}
+
+double rng::uniform01() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool rng::bernoulli(double p) { return uniform01() < p; }
+
+std::size_t rng::index(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("rng::index: empty container");
+  return static_cast<std::size_t>(uniform(0, size - 1));
+}
+
+zipf_sampler::zipf_sampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("zipf_sampler: n must be positive");
+  if (s < 0) throw std::invalid_argument("zipf_sampler: exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated floating-point error
+}
+
+std::size_t zipf_sampler::sample(rng& gen) const {
+  const double u = gen.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace subcover

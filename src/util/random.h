@@ -1,0 +1,56 @@
+// Deterministic pseudo-random generation for workloads, tests, and benches.
+//
+// `rng` is xoshiro256** (Blackman & Vigna) seeded via splitmix64 — fast,
+// high-quality, and reproducible across platforms (unlike std::mt19937
+// distributions, whose results are implementation-defined).
+// `zipf_sampler` draws from a Zipf(s) distribution over {0..n-1} via a
+// precomputed CDF and binary search, used for skewed subscription workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace subcover {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  // Uniform 64-bit value.
+  std::uint64_t next();
+  // Uniform integer in the closed interval [lo, hi]. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+  // Uniform double in [0, 1).
+  double uniform01();
+  // Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+  // Uniform element index for a container of the given size. Requires size > 0.
+  std::size_t index(std::size_t size);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+class zipf_sampler {
+ public:
+  // Zipf over {0, ..., n-1} with exponent s >= 0 (s = 0 is uniform).
+  // Throws std::invalid_argument for n == 0 or s < 0.
+  zipf_sampler(std::size_t n, double s);
+
+  std::size_t sample(rng& gen) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace subcover

@@ -1,0 +1,107 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subcover {
+
+namespace {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  const auto n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+summary summarize(std::vector<double> values) {
+  summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  double total = 0;
+  for (const double v : values) total += v;
+  s.mean = total / static_cast<double>(s.count);
+  double ss = 0;
+  for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stdev = s.count > 1 ? std::sqrt(ss / static_cast<double>(s.count - 1)) : 0;
+  s.p50 = quantile_sorted(values, 0.50);
+  s.p90 = quantile_sorted(values, 0.90);
+  s.p99 = quantile_sorted(values, 0.99);
+  return s;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0 || q > 1) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, q);
+}
+
+fit_result linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("linear_fit: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("linear_fit: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  fit_result f;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) throw std::invalid_argument("linear_fit: degenerate x values");
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double ymean = sy / n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = f.slope * xs[i] + f.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+  }
+  f.r2 = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+fit_result loglog_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0 || (i < ys.size() && ys[i] <= 0))
+      throw std::invalid_argument("loglog_fit: inputs must be positive");
+    lx[i] = std::log2(xs[i]);
+  }
+  for (std::size_t i = 0; i < ys.size(); ++i) ly[i] = std::log2(ys[i]);
+  return linear_fit(lx, ly);
+}
+
+void accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  total_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double accumulator::variance() const {
+  return n_ < 2 ? 0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double accumulator::stdev() const { return std::sqrt(variance()); }
+
+}  // namespace subcover

@@ -1,0 +1,67 @@
+// Summary statistics and least-squares fitting for the benchmark harness.
+//
+// `summary` condenses a sample into the moments and quantiles the benches
+// report. `linear_fit` performs ordinary least squares; benches use it on
+// log-log data to estimate scaling exponents (e.g. the d-1 growth of
+// exhaustive point dominance, paper Theorem 4.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace subcover {
+
+struct summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stdev = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+// Computes a summary of the sample. Returns a zeroed summary for empty input.
+summary summarize(std::vector<double> values);
+
+// Quantile via linear interpolation on the sorted sample, q in [0,1].
+// Throws std::invalid_argument on empty input or q outside [0,1].
+double quantile(std::vector<double> values, double q);
+
+struct fit_result {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;  // coefficient of determination
+};
+
+// Ordinary least-squares fit y ~ slope*x + intercept.
+// Throws std::invalid_argument if sizes differ or fewer than two points.
+fit_result linear_fit(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Convenience: fit on (log2 x, log2 y); slope is then the scaling exponent.
+// All inputs must be positive.
+fit_result loglog_fit(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Online mean/variance accumulator (Welford).
+class accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  // sample variance; 0 if n < 2
+  [[nodiscard]] double stdev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double total_ = 0;
+};
+
+}  // namespace subcover

@@ -1,0 +1,94 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace subcover {
+
+ascii_table::ascii_table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("ascii_table: need at least one column");
+}
+
+void ascii_table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("ascii_table::add_row: cell count does not match headers");
+  rows_.push_back(std::move(cells));
+}
+
+std::string ascii_table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_sep = [&] {
+    os << '+';
+    for (const auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_sep();
+  emit_row(headers_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return os.str();
+}
+
+std::string ascii_table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void ascii_table::print(std::ostream& os) const { os << to_string(); }
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_ratio(double v, int precision) { return fmt_double(v, precision) + "x"; }
+
+}  // namespace subcover

@@ -1,0 +1,39 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary prints self-describing tables that mirror the figures
+// and claims of the paper; this helper keeps their formatting uniform.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace subcover {
+
+class ascii_table {
+ public:
+  explicit ascii_table(std::vector<std::string> headers);
+
+  // Appends a row; must have exactly as many cells as there are headers
+  // (throws std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_sci(double v, int precision = 2);   // scientific notation
+std::string fmt_u64(std::uint64_t v);               // thousands separators
+std::string fmt_percent(double fraction, int precision = 2);
+std::string fmt_ratio(double v, int precision = 2);  // e.g. "12.3x"
+
+}  // namespace subcover

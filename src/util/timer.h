@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used by the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace subcover {
+
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_).count());
+  }
+  [[nodiscard]] double elapsed_us() const { return static_cast<double>(elapsed_ns()) / 1e3; }
+  [[nodiscard]] double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+  [[nodiscard]] double elapsed_s() const { return static_cast<double>(elapsed_ns()) / 1e9; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace subcover

@@ -1,0 +1,228 @@
+#include "util/wideint.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace subcover {
+
+namespace {
+// __int128 is a GCC/Clang extension; __extension__ silences -Wpedantic.
+__extension__ typedef unsigned __int128 u128;
+constexpr std::size_t kW = u512::kWords;
+}  // namespace
+
+u512 u512::max() {
+  u512 r;
+  for (std::size_t i = 0; i < kW; ++i) r.w_[i] = ~std::uint64_t{0};
+  return r;
+}
+
+u512 u512::pow2(int n) {
+  if (n < 0 || n >= kBits) throw std::invalid_argument("u512::pow2: exponent out of range");
+  u512 r;
+  r.set_bit(n);
+  return r;
+}
+
+u512 u512::mask(int n) {
+  if (n < 0 || n > kBits) throw std::invalid_argument("u512::mask: width out of range");
+  if (n == kBits) return max();
+  u512 r;
+  const int full = n / 64;
+  for (int i = 0; i < full; ++i) r.w_[static_cast<std::size_t>(i)] = ~std::uint64_t{0};
+  if (n % 64 != 0) r.w_[static_cast<std::size_t>(full)] = (std::uint64_t{1} << (n % 64)) - 1;
+  return r;
+}
+
+bool u512::is_zero() const {
+  for (const auto w : w_)
+    if (w != 0) return false;
+  return true;
+}
+
+int u512::bit_width() const {
+  for (int i = kWords - 1; i >= 0; --i) {
+    const auto w = w_[static_cast<std::size_t>(i)];
+    if (w != 0) return i * 64 + std::bit_width(w);
+  }
+  return 0;
+}
+
+int u512::popcount() const {
+  int c = 0;
+  for (const auto w : w_) c += std::popcount(w);
+  return c;
+}
+
+bool u512::bit(int i) const {
+  if (i < 0 || i >= kBits) throw std::invalid_argument("u512::bit: index out of range");
+  return (w_[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1U;
+}
+
+void u512::set_bit(int i, bool value) {
+  if (i < 0 || i >= kBits) throw std::invalid_argument("u512::set_bit: index out of range");
+  const auto m = std::uint64_t{1} << (i % 64);
+  auto& w = w_[static_cast<std::size_t>(i / 64)];
+  if (value)
+    w |= m;
+  else
+    w &= ~m;
+}
+
+double u512::to_double() const { return static_cast<double>(to_long_double()); }
+
+long double u512::to_long_double() const {
+  long double r = 0.0L;
+  for (int i = kWords - 1; i >= 0; --i) {
+    r = r * 18446744073709551616.0L /* 2^64 */ + static_cast<long double>(w_[static_cast<std::size_t>(i)]);
+  }
+  return r;
+}
+
+std::string u512::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  bool leading = true;
+  for (int i = kBits - 4; i >= 0; i -= 4) {
+    const int nibble = static_cast<int>((w_[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 0xF);
+    if (leading && nibble == 0 && i != 0) continue;
+    leading = false;
+    s.push_back(kDigits[nibble]);
+  }
+  return s;
+}
+
+std::string u512::to_string() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  u512 v = *this;
+  while (!v.is_zero()) {
+    std::uint64_t rem = 0;
+    v = v.div_u64(10, &rem);
+    digits.push_back(static_cast<char>('0' + rem));
+  }
+  return {digits.rbegin(), digits.rend()};
+}
+
+u512& u512::operator+=(const u512& o) {
+  u128 carry = 0;
+  for (std::size_t i = 0; i < kW; ++i) {
+    const u128 sum = static_cast<u128>(w_[i]) + o.w_[i] + carry;
+    w_[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return *this;
+}
+
+u512& u512::operator-=(const u512& o) {
+  u128 borrow = 0;
+  for (std::size_t i = 0; i < kW; ++i) {
+    const u128 diff = static_cast<u128>(w_[i]) - o.w_[i] - borrow;
+    w_[i] = static_cast<std::uint64_t>(diff);
+    borrow = (diff >> 64) & 1;
+  }
+  return *this;
+}
+
+u512& u512::operator++() { return *this += one(); }
+u512 u512::operator++(int) {
+  u512 old = *this;
+  ++*this;
+  return old;
+}
+u512& u512::operator--() { return *this -= one(); }
+u512 u512::operator--(int) {
+  u512 old = *this;
+  --*this;
+  return old;
+}
+
+u512& u512::operator<<=(int n) {
+  if (n < 0) throw std::invalid_argument("u512::operator<<=: negative shift");
+  if (n >= kBits) {
+    w_.fill(0);
+    return *this;
+  }
+  const int word_shift = n / 64;
+  const int bit_shift = n % 64;
+  for (int i = kWords - 1; i >= 0; --i) {
+    const int src = i - word_shift;
+    std::uint64_t v = 0;
+    if (src >= 0) {
+      v = w_[static_cast<std::size_t>(src)] << bit_shift;
+      if (bit_shift != 0 && src > 0) v |= w_[static_cast<std::size_t>(src - 1)] >> (64 - bit_shift);
+    }
+    w_[static_cast<std::size_t>(i)] = v;
+  }
+  return *this;
+}
+
+u512& u512::operator>>=(int n) {
+  if (n < 0) throw std::invalid_argument("u512::operator>>=: negative shift");
+  if (n >= kBits) {
+    w_.fill(0);
+    return *this;
+  }
+  const int word_shift = n / 64;
+  const int bit_shift = n % 64;
+  for (int i = 0; i < kWords; ++i) {
+    const int src = i + word_shift;
+    std::uint64_t v = 0;
+    if (src < kWords) {
+      v = w_[static_cast<std::size_t>(src)] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < kWords)
+        v |= w_[static_cast<std::size_t>(src + 1)] << (64 - bit_shift);
+    }
+    w_[static_cast<std::size_t>(i)] = v;
+  }
+  return *this;
+}
+
+u512& u512::operator&=(const u512& o) {
+  for (std::size_t i = 0; i < kW; ++i) w_[i] &= o.w_[i];
+  return *this;
+}
+u512& u512::operator|=(const u512& o) {
+  for (std::size_t i = 0; i < kW; ++i) w_[i] |= o.w_[i];
+  return *this;
+}
+u512& u512::operator^=(const u512& o) {
+  for (std::size_t i = 0; i < kW; ++i) w_[i] ^= o.w_[i];
+  return *this;
+}
+
+u512 u512::mul_u64(std::uint64_t m) const {
+  u512 r;
+  u128 carry = 0;
+  for (std::size_t i = 0; i < kW; ++i) {
+    const u128 prod = static_cast<u128>(w_[i]) * m + carry;
+    r.w_[i] = static_cast<std::uint64_t>(prod);
+    carry = prod >> 64;
+  }
+  return r;
+}
+
+u512 u512::div_u64(std::uint64_t divisor, std::uint64_t* remainder) const {
+  if (divisor == 0) throw std::invalid_argument("u512::div_u64: division by zero");
+  u512 q;
+  u128 rem = 0;
+  for (int i = kWords - 1; i >= 0; --i) {
+    const u128 cur = (rem << 64) | w_[static_cast<std::size_t>(i)];
+    q.w_[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  if (remainder != nullptr) *remainder = static_cast<std::uint64_t>(rem);
+  return q;
+}
+
+std::size_t u512::hash() const {
+  // FNV-1a over the words; adequate for hash-map use in tests and tooling.
+  std::size_t h = 1469598103934665603ULL;
+  for (const auto w : w_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace subcover

@@ -1,0 +1,110 @@
+// 512-bit fixed-width unsigned integer.
+//
+// Space-filling-curve keys in this library live in a universe of d dimensions
+// with k bits per coordinate (d*k <= 512), so a key needs up to 512 bits.
+// Exact standard-cube counts (products of up to d k-bit side lengths,
+// Lemma 3.5 of the paper) need the same width. `u512` provides exactly the
+// operations those uses need: modular +/-, increment, shifts, bitwise ops,
+// total ordering, multiplication/division by a 64-bit word, and printing.
+//
+// Semantics mirror built-in unsigned integers: arithmetic wraps mod 2^512.
+// The type is a regular value type (copyable, comparable, hashable).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace subcover {
+
+class u512 {
+ public:
+  static constexpr int kWords = 8;  // 64-bit words, little-endian
+  static constexpr int kBits = kWords * 64;
+
+  constexpr u512() = default;
+  // Implicit by design: u512 models an unsigned integer and must mix
+  // ergonomically with 64-bit literals (mirrors built-in integer widening).
+  constexpr u512(std::uint64_t v) : w_{v} {}  // NOLINT(google-explicit-constructor)
+
+  static constexpr u512 zero() { return u512(); }
+  static constexpr u512 one() { return u512(1); }
+  // All bits set (2^512 - 1).
+  static u512 max();
+  // 2^n. Requires 0 <= n < 512.
+  static u512 pow2(int n);
+  // Low `n` bits set (2^n - 1). Requires 0 <= n <= 512.
+  static u512 mask(int n);
+
+  [[nodiscard]] bool is_zero() const;
+  // Index of the highest set bit plus one; 0 for zero. (Paper's b(x).)
+  [[nodiscard]] int bit_width() const;
+  [[nodiscard]] int popcount() const;
+  [[nodiscard]] bool bit(int i) const;
+  void set_bit(int i, bool value = true);
+
+  // Truncating access to the low 64 bits.
+  [[nodiscard]] std::uint64_t low64() const { return w_[0]; }
+  [[nodiscard]] std::uint64_t word(int i) const { return w_[static_cast<std::size_t>(i)]; }
+  // Lossy conversion (exact for values up to 2^53).
+  [[nodiscard]] double to_double() const;
+  [[nodiscard]] long double to_long_double() const;
+
+  [[nodiscard]] std::string to_hex() const;   // minimal hex, no prefix
+  [[nodiscard]] std::string to_string() const;  // decimal
+
+  u512& operator+=(const u512& o);
+  u512& operator-=(const u512& o);
+  u512& operator++();
+  u512 operator++(int);
+  u512& operator--();
+  u512 operator--(int);
+
+  u512& operator<<=(int n);
+  u512& operator>>=(int n);
+  u512& operator&=(const u512& o);
+  u512& operator|=(const u512& o);
+  u512& operator^=(const u512& o);
+
+  // Multiplication by a 64-bit word, wrapping mod 2^512.
+  [[nodiscard]] u512 mul_u64(std::uint64_t m) const;
+  // Division by a nonzero 64-bit word; remainder optionally returned.
+  // Throws std::invalid_argument if divisor == 0.
+  [[nodiscard]] u512 div_u64(std::uint64_t divisor, std::uint64_t* remainder = nullptr) const;
+
+  friend u512 operator+(u512 a, const u512& b) { return a += b; }
+  friend u512 operator-(u512 a, const u512& b) { return a -= b; }
+  friend u512 operator<<(u512 a, int n) { return a <<= n; }
+  friend u512 operator>>(u512 a, int n) { return a >>= n; }
+  friend u512 operator&(u512 a, const u512& b) { return a &= b; }
+  friend u512 operator|(u512 a, const u512& b) { return a |= b; }
+  friend u512 operator^(u512 a, const u512& b) { return a ^= b; }
+  friend u512 operator~(u512 a) {
+    for (auto& w : a.w_) w = ~w;
+    return a;
+  }
+
+  friend std::strong_ordering operator<=>(const u512& a, const u512& b) {
+    for (int i = kWords - 1; i >= 0; --i) {
+      const auto ai = a.w_[static_cast<std::size_t>(i)];
+      const auto bi = b.w_[static_cast<std::size_t>(i)];
+      if (ai != bi) return ai < bi ? std::strong_ordering::less : std::strong_ordering::greater;
+    }
+    return std::strong_ordering::equal;
+  }
+  friend bool operator==(const u512& a, const u512& b) = default;
+
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  std::array<std::uint64_t, kWords> w_{};  // w_[0] is least significant
+};
+
+}  // namespace subcover
+
+template <>
+struct std::hash<subcover::u512> {
+  std::size_t operator()(const subcover::u512& v) const noexcept { return v.hash(); }
+};

@@ -1,0 +1,34 @@
+#include "workload/event_gen.h"
+
+#include <stdexcept>
+
+namespace subcover::workload {
+
+event_gen::event_gen(const schema& s, std::uint64_t seed) : schema_(s), rng_(seed) {}
+
+event event_gen::next() {
+  std::vector<std::uint64_t> values;
+  values.reserve(static_cast<std::size_t>(schema_.attribute_count()));
+  for (int a = 0; a < schema_.attribute_count(); ++a) {
+    const auto& def = schema_.attribute(a);
+    const std::uint64_t max = def.type == attribute_type::categorical
+                                  ? def.labels.size() - 1
+                                  : schema_.max_value(a);
+    values.push_back(rng_.uniform(0, max));
+  }
+  return {schema_, std::move(values)};
+}
+
+event event_gen::next_matching(const subscription& sub) {
+  if (sub.attribute_count() != schema_.attribute_count())
+    throw std::invalid_argument("event_gen: subscription schema mismatch");
+  std::vector<std::uint64_t> values;
+  values.reserve(static_cast<std::size_t>(schema_.attribute_count()));
+  for (int a = 0; a < schema_.attribute_count(); ++a) {
+    const auto& r = sub.range(a);
+    values.push_back(rng_.uniform(r.lo, r.hi));
+  }
+  return {schema_, std::move(values)};
+}
+
+}  // namespace subcover::workload

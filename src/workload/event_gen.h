@@ -1,0 +1,27 @@
+// Event generators: uniform over the schema domain, or targeted inside a
+// given subscription's rectangle (for delivery-completeness tests).
+#pragma once
+
+#include <cstdint>
+
+#include "pubsub/event.h"
+#include "pubsub/subscription.h"
+#include "util/random.h"
+
+namespace subcover::workload {
+
+class event_gen {
+ public:
+  event_gen(const schema& s, std::uint64_t seed);
+
+  // Uniform over the full attribute domain.
+  event next();
+  // Uniform over the subscription's rectangle (always matches it).
+  event next_matching(const subscription& sub);
+
+ private:
+  schema schema_;
+  rng rng_;
+};
+
+}  // namespace subcover::workload

@@ -1,0 +1,78 @@
+#include "workload/rect_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace subcover::workload {
+
+namespace {
+
+// Random value with exactly `bits` significant bits.
+std::uint64_t random_with_bit_length(rng& gen, int bits) {
+  const std::uint64_t top = std::uint64_t{1} << (bits - 1);
+  return top | (bits > 1 ? gen.uniform(0, top - 1) : 0);
+}
+
+void check_profile(const universe& u, int gamma, int alpha) {
+  if (gamma < 1 || alpha < 0 || gamma + alpha > u.bits())
+    throw std::invalid_argument("rect_gen: need 1 <= gamma and gamma + alpha <= k");
+}
+
+}  // namespace
+
+extremal_rect random_extremal(rng& gen, const universe& u, int gamma, int alpha) {
+  check_profile(u, gamma, alpha);
+  std::array<std::uint64_t, kMaxDims> len{};
+  for (int i = 0; i < u.dims(); ++i) {
+    int b = gamma;
+    if (u.dims() > 1) {
+      if (i == u.dims() - 1)
+        b = gamma + alpha;
+      else if (i > 0)
+        b = static_cast<int>(gen.uniform(static_cast<std::uint64_t>(gamma),
+                                         static_cast<std::uint64_t>(gamma + alpha)));
+    }
+    len[static_cast<std::size_t>(i)] = random_with_bit_length(gen, b);
+  }
+  return {u, len};
+}
+
+extremal_rect worst_case_extremal(const universe& u, int gamma, int alpha, int m) {
+  check_profile(u, gamma, alpha);
+  if (m < 1) throw std::invalid_argument("worst_case_extremal: m must be >= 1");
+  auto top_ones = [&](int b) {
+    const int ones = std::min(m, b);
+    // `ones` one-bits followed by b - ones zero bits.
+    return ((std::uint64_t{1} << ones) - 1) << (b - ones);
+  };
+  std::array<std::uint64_t, kMaxDims> len{};
+  len[0] = top_ones(gamma);
+  for (int i = 1; i < u.dims(); ++i) len[static_cast<std::size_t>(i)] = top_ones(gamma + alpha);
+  return {u, len};
+}
+
+extremal_rect adversarial_extremal(const universe& u, int gamma, int alpha) {
+  check_profile(u, gamma, alpha);
+  std::array<std::uint64_t, kMaxDims> len{};
+  const std::uint64_t longest = (std::uint64_t{1} << (gamma + alpha)) - 1;
+  for (int i = 0; i < u.dims(); ++i) len[static_cast<std::size_t>(i)] = longest;
+  len[static_cast<std::size_t>(u.dims() - 1)] = (std::uint64_t{1} << gamma) - 1;
+  return {u, len};
+}
+
+rect random_rect(rng& gen, const universe& u, std::uint64_t max_side) {
+  const std::uint64_t cap = max_side == 0 ? u.side() : std::min(max_side, u.side());
+  point lo(u.dims());
+  point hi(u.dims());
+  for (int i = 0; i < u.dims(); ++i) {
+    const std::uint64_t side = gen.uniform(1, cap);
+    const std::uint64_t start = gen.uniform(0, u.side() - side);
+    lo[i] = static_cast<std::uint32_t>(start);
+    hi[i] = static_cast<std::uint32_t>(start + side - 1);
+  }
+  return {lo, hi};
+}
+
+}  // namespace subcover::workload

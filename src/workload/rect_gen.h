@@ -1,0 +1,34 @@
+// Generators for query rectangles with controlled bit-length profiles — the
+// knobs of the paper's analysis: gamma = b(shortest side) and the aspect
+// ratio alpha = b(longest) - b(shortest).
+#pragma once
+
+#include "geometry/extremal.h"
+#include "geometry/rect.h"
+#include "geometry/universe.h"
+#include "util/random.h"
+
+namespace subcover::workload {
+
+// Random extremal rectangle with b(l_min) == gamma on dimension 0 and
+// b(l_max) == gamma + alpha on the last dimension; intermediate dimensions
+// get a uniform bit length in [gamma, gamma + alpha]. Bits below each
+// leading bit are uniform random. Requires gamma >= 1 and
+// gamma + alpha <= k. Throws std::invalid_argument otherwise.
+extremal_rect random_extremal(rng& gen, const universe& u, int gamma, int alpha);
+
+// The Lemma 3.6 worst-case shape for the truncated decomposition: the top
+// min(m, b) bits of every side are ones; dimension 0 has b = gamma, all
+// others b = gamma + alpha.
+extremal_rect worst_case_extremal(const universe& u, int gamma, int alpha, int m);
+
+// The Section 4 adversarial rectangle for the exhaustive lower bound:
+// shortest side 2^gamma - 1 on the last dimension, all other sides
+// 2^(gamma+alpha) - 1 (all-ones patterns). Requires gamma + alpha <= k.
+extremal_rect adversarial_extremal(const universe& u, int gamma, int alpha);
+
+// Uniform random axis-aligned rectangle inside the universe; if max_side is
+// nonzero, each side length is drawn from [1, max_side].
+rect random_rect(rng& gen, const universe& u, std::uint64_t max_side = 0);
+
+}  // namespace subcover::workload

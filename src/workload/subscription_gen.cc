@@ -1,0 +1,125 @@
+#include "workload/subscription_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace subcover::workload {
+
+subscription_gen::subscription_gen(const schema& s, subscription_gen_options options,
+                                   std::uint64_t seed)
+    : schema_(s), options_(options), rng_(seed) {
+  if (options_.mean_width <= 0 || options_.mean_width > 0.5)
+    throw std::invalid_argument("subscription_gen: mean_width must be in (0, 0.5]");
+  if (options_.wildcard_prob < 0 || options_.wildcard_prob > 1)
+    throw std::invalid_argument("subscription_gen: wildcard_prob must be in [0, 1]");
+  if (options_.kind == workload_kind::clustered) {
+    if (options_.clusters < 1)
+      throw std::invalid_argument("subscription_gen: clusters must be >= 1");
+    cluster_centers_.resize(static_cast<std::size_t>(schema_.attribute_count()));
+    for (int a = 0; a < schema_.attribute_count(); ++a) {
+      auto& centers = cluster_centers_[static_cast<std::size_t>(a)];
+      centers.reserve(static_cast<std::size_t>(options_.clusters));
+      for (int c = 0; c < options_.clusters; ++c)
+        centers.push_back(rng_.uniform(0, schema_.max_value(a)));
+    }
+  }
+  if (options_.kind == workload_kind::zipf) {
+    if (options_.zipf_grid < 2)
+      throw std::invalid_argument("subscription_gen: zipf_grid must be >= 2");
+    for (int a = 0; a < schema_.attribute_count(); ++a) {
+      (void)a;
+      zipf_.emplace_back(static_cast<std::size_t>(options_.zipf_grid), options_.zipf_s);
+    }
+  }
+}
+
+std::uint64_t subscription_gen::pick_center(int attr) {
+  const std::uint64_t max = schema_.max_value(attr);
+  switch (options_.kind) {
+    case workload_kind::uniform:
+      return rng_.uniform(0, max);
+    case workload_kind::clustered: {
+      const auto& centers = cluster_centers_[static_cast<std::size_t>(attr)];
+      const std::uint64_t base = centers[rng_.index(centers.size())];
+      const auto spread =
+          static_cast<std::uint64_t>(options_.cluster_spread * static_cast<double>(max));
+      const std::uint64_t lo = base > spread ? base - spread : 0;
+      const std::uint64_t hi = std::min(max, base + spread);
+      return rng_.uniform(lo, hi);
+    }
+    case workload_kind::zipf: {
+      // Zipf-ranked grid cell, uniform within the cell. A deterministic
+      // shuffle-free mapping keeps hot cells spread over the domain.
+      const auto cell = zipf_[static_cast<std::size_t>(attr)].sample(rng_);
+      const std::uint64_t grid = static_cast<std::uint64_t>(options_.zipf_grid);
+      // Golden-ratio hop scatters consecutive ranks across the domain.
+      const std::uint64_t scattered = (cell * 11400714819323198485ULL) % grid;
+      const std::uint64_t cell_width = (max + 1) / grid + 1;
+      const std::uint64_t base = scattered * cell_width;
+      return std::min(max, base + rng_.uniform(0, cell_width - 1));
+    }
+  }
+  throw std::logic_error("subscription_gen: unknown workload kind");
+}
+
+subscription subscription_gen::next() {
+  std::vector<attr_range> ranges;
+  ranges.reserve(static_cast<std::size_t>(schema_.attribute_count()));
+  for (int a = 0; a < schema_.attribute_count(); ++a) {
+    const std::uint64_t max = schema_.max_value(a);
+    if (rng_.bernoulli(options_.wildcard_prob)) {
+      ranges.push_back({0, max});
+      continue;
+    }
+    if (schema_.attribute(a).type == attribute_type::categorical) {
+      // Categorical constraints are equalities on a valid label.
+      const auto labels = schema_.attribute(a).labels.size();
+      const std::uint64_t v = rng_.uniform(0, labels - 1);
+      ranges.push_back({v, v});
+      continue;
+    }
+    const std::uint64_t center = pick_center(a);
+    const double width_frac = rng_.uniform01() * 2.0 * options_.mean_width;
+    const auto half =
+        static_cast<std::uint64_t>(width_frac * static_cast<double>(max) / 2.0);
+    std::uint64_t lo = center > half ? center - half : 0;
+    std::uint64_t hi = std::min(max, center + half);
+    if (options_.interior_ranges && max >= 2) {
+      lo = std::clamp<std::uint64_t>(lo, 1, max - 1);
+      hi = std::clamp<std::uint64_t>(hi, lo, max - 1);
+    }
+    ranges.push_back({lo, hi});
+  }
+  return {schema_, std::move(ranges)};
+}
+
+schema make_uniform_schema(int attributes, int bits) {
+  std::vector<attribute_def> attrs;
+  attrs.reserve(static_cast<std::size_t>(attributes));
+  for (int i = 0; i < attributes; ++i)
+    attrs.push_back({"attr" + std::to_string(i), attribute_type::numeric, bits, {}});
+  return schema(std::move(attrs));
+}
+
+schema make_stock_schema() {
+  return schema({
+      {"stock",
+       attribute_type::categorical,
+       8,
+       {"IBM", "AAPL", "MSFT", "GOOG", "AMZN", "ORCL", "INTC", "CSCO", "NVDA", "AMD", "TSM",
+        "QCOM", "TXN", "MU", "HPQ", "DELL"}},
+      {"volume", attribute_type::numeric, 16, {}},
+      {"price", attribute_type::numeric, 14, {}},
+  });
+}
+
+schema make_sensor_schema() {
+  return schema({
+      {"region", attribute_type::categorical, 6, {"north", "south", "east", "west", "center"}},
+      {"temperature", attribute_type::numeric, 10, {}},
+      {"humidity", attribute_type::numeric, 8, {}},
+      {"battery", attribute_type::numeric, 8, {}},
+  });
+}
+
+}  // namespace subcover::workload

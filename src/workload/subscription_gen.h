@@ -1,0 +1,71 @@
+// Synthetic subscription workloads for the covering benchmarks.
+//
+// The paper argues approximate covering finds most covering relationships
+// "if subscriptions are well distributed over the universe"; these
+// generators produce workloads across that spectrum:
+//   uniform    — ranges with uniform centers: covering pairs are incidental.
+//   clustered  — ranges concentrated around a few hotspots with varying
+//                widths: covering-rich (popular topics with broad and narrow
+//                subscribers), the regime where covering pays off.
+//   zipf       — range centers drawn from a Zipf-skewed grid: few hot values
+//                attract most subscriptions (stock-ticker-like).
+#pragma once
+
+#include <cstdint>
+
+#include "pubsub/schema.h"
+#include "pubsub/subscription.h"
+#include "util/random.h"
+
+namespace subcover::workload {
+
+enum class workload_kind { uniform, clustered, zipf };
+
+struct subscription_gen_options {
+  workload_kind kind = workload_kind::uniform;
+  // Mean fraction of an attribute's domain a range spans (width is uniform
+  // in (0, 2*mean_width]).
+  double mean_width = 0.2;
+  // Probability that an attribute is left unconstrained (full range).
+  double wildcard_prob = 0.1;
+  // Keep non-wildcard numeric ranges strictly inside (0, max): ranges that
+  // touch a domain boundary transform to unit-thickness dominance regions
+  // (the paper's degenerate M x 1 aspect-ratio case), which only the
+  // budget-capped search handles gracefully. Default on for benchmarks.
+  bool interior_ranges = true;
+  // clustered: number of hotspot centers and their relative spread.
+  int clusters = 16;
+  double cluster_spread = 0.05;
+  // zipf: skew exponent and grid resolution for range centers.
+  double zipf_s = 1.0;
+  int zipf_grid = 256;
+};
+
+class subscription_gen {
+ public:
+  subscription_gen(const schema& s, subscription_gen_options options, std::uint64_t seed);
+
+  subscription next();
+
+  [[nodiscard]] const schema& message_schema() const { return schema_; }
+
+ private:
+  std::uint64_t pick_center(int attr);
+
+  schema schema_;
+  subscription_gen_options options_;
+  rng rng_;
+  std::vector<std::vector<std::uint64_t>> cluster_centers_;  // per attribute
+  std::vector<zipf_sampler> zipf_;                           // per attribute
+};
+
+// Common schemas used by examples, tests, and benches.
+schema make_uniform_schema(int attributes, int bits);
+// The introduction's stock-quote schema: categorical symbol + numeric
+// volume and price.
+schema make_stock_schema();
+// A four-attribute environmental-sensor schema (region, temp, humidity,
+// battery) exercising mixed bit widths.
+schema make_sensor_schema();
+
+}  // namespace subcover::workload

@@ -1,0 +1,120 @@
+#include "broker/broker.h"
+
+#include <gtest/gtest.h>
+
+#include "covering/linear_covering_index.h"
+#include "pubsub/parser.h"
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+covering_index_factory linear_factory() {
+  return [](const schema& s) { return std::make_unique<linear_covering_index>(s); };
+}
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  schema s_ = workload::make_uniform_schema(1, 8);
+  network_metrics m_;
+
+  [[nodiscard]] broker make_broker(std::vector<int> links, bool covering = true) const {
+    broker_options o;
+    o.use_covering = covering;
+    return {0, s_, links, linear_factory(), o};
+  }
+  [[nodiscard]] subscription sub(const std::string& text) const {
+    return parse_subscription(s_, text);
+  }
+};
+
+TEST_F(BrokerTest, LocalSubscriptionForwardsToAllLinks) {
+  broker b = make_broker({1, 2, 3});
+  const auto action = b.handle_subscribe(kLocalLink, 1, sub("attr0 <= 10"), m_);
+  EXPECT_EQ(action.forward_links, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(b.routing_entries(), 1U);
+}
+
+TEST_F(BrokerTest, NeighborSubscriptionNotForwardedBack) {
+  broker b = make_broker({1, 2});
+  const auto action = b.handle_subscribe(1, 1, sub("attr0 <= 10"), m_);
+  EXPECT_EQ(action.forward_links, (std::vector<int>{2}));
+}
+
+TEST_F(BrokerTest, CoveredSubscriptionSuppressed) {
+  broker b = make_broker({1});
+  (void)b.handle_subscribe(kLocalLink, 1, sub("attr0 <= 100"), m_);
+  const auto action = b.handle_subscribe(kLocalLink, 2, sub("attr0 <= 50"), m_);
+  EXPECT_TRUE(action.forward_links.empty());
+  EXPECT_EQ(m_.covering_hits, 1U);
+  // Routing table still records the covered subscription locally.
+  EXPECT_EQ(b.routing_entries(), 2U);
+  EXPECT_EQ(b.forwarded_to(1), 1U);
+}
+
+TEST_F(BrokerTest, FloodingModeForwardsEverything) {
+  broker b = make_broker({1}, /*covering=*/false);
+  (void)b.handle_subscribe(kLocalLink, 1, sub("attr0 <= 100"), m_);
+  const auto action = b.handle_subscribe(kLocalLink, 2, sub("attr0 <= 50"), m_);
+  EXPECT_EQ(action.forward_links, (std::vector<int>{1}));
+  EXPECT_EQ(m_.covering_checks, 0U);
+}
+
+TEST_F(BrokerTest, EventRoutedToMatchingLinksOnly) {
+  broker b = make_broker({1, 2});
+  (void)b.handle_subscribe(1, 1, sub("attr0 <= 10"), m_);
+  (void)b.handle_subscribe(2, 2, sub("attr0 >= 200"), m_);
+  (void)b.handle_subscribe(kLocalLink, 3, sub("attr0 = 5"), m_);
+  const auto action = b.handle_event(kLocalLink, event(s_, {5}));
+  EXPECT_EQ(action.forward_links, (std::vector<int>{1}));
+  EXPECT_EQ(action.local_deliveries, (std::vector<sub_id>{3}));
+}
+
+TEST_F(BrokerTest, EventNotSentBackToSource) {
+  broker b = make_broker({1, 2});
+  (void)b.handle_subscribe(1, 1, sub("attr0 <= 10"), m_);
+  (void)b.handle_subscribe(2, 2, sub("attr0 <= 10"), m_);
+  const auto action = b.handle_event(1, event(s_, {5}));
+  EXPECT_EQ(action.forward_links, (std::vector<int>{2}));
+}
+
+TEST_F(BrokerTest, UnsubscribeWithdrawsAndReforwards) {
+  broker b = make_broker({1});
+  (void)b.handle_subscribe(kLocalLink, 1, sub("attr0 <= 100"), m_);
+  (void)b.handle_subscribe(kLocalLink, 2, sub("attr0 <= 50"), m_);  // covered by 1
+  EXPECT_EQ(b.forwarded_to(1), 1U);
+  const auto action = b.handle_unsubscribe(kLocalLink, 1, m_);
+  EXPECT_EQ(action.forward_links, (std::vector<int>{1}));
+  ASSERT_EQ(action.reforwards.size(), 1U);
+  EXPECT_EQ(action.reforwards[0].first, 1);
+  EXPECT_EQ(action.reforwards[0].second.first, 2U);
+  EXPECT_EQ(b.forwarded_to(1), 1U);
+  EXPECT_EQ(b.routing_entries(), 1U);
+}
+
+TEST_F(BrokerTest, UnsubscribeOfSuppressedSubscriptionSendsNothing) {
+  broker b = make_broker({1});
+  (void)b.handle_subscribe(kLocalLink, 1, sub("attr0 <= 100"), m_);
+  (void)b.handle_subscribe(kLocalLink, 2, sub("attr0 <= 50"), m_);
+  const auto action = b.handle_unsubscribe(kLocalLink, 2, m_);
+  EXPECT_TRUE(action.forward_links.empty());
+  EXPECT_TRUE(action.reforwards.empty());
+  EXPECT_EQ(b.forwarded_to(1), 1U);
+}
+
+TEST_F(BrokerTest, UnsubscribeUnknownThrows) {
+  broker b = make_broker({1});
+  EXPECT_THROW((void)b.handle_unsubscribe(kLocalLink, 99, m_), std::logic_error);
+}
+
+TEST_F(BrokerTest, CoveringChecksCountedInMetrics) {
+  broker b = make_broker({1, 2});
+  (void)b.handle_subscribe(kLocalLink, 1, sub("attr0 <= 100"), m_);
+  EXPECT_EQ(m_.covering_checks, 2U);  // one per outgoing link
+  (void)b.handle_subscribe(kLocalLink, 2, sub("attr0 <= 50"), m_);
+  EXPECT_EQ(m_.covering_checks, 4U);
+  EXPECT_EQ(m_.covering_hits, 2U);
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,181 @@
+#include "broker/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "covering/linear_covering_index.h"
+#include "covering/sfc_covering_index.h"
+#include "pubsub/parser.h"
+#include "workload/event_gen.h"
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+network_options with_linear(bool covering, double eps = 0.0) {
+  network_options o;
+  o.use_covering = covering;
+  o.epsilon = eps;
+  o.factory = [](const schema& s) { return std::make_unique<linear_covering_index>(s); };
+  return o;
+}
+
+TEST(Network, SingleBrokerDelivery) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network net(topology::line(1), s, with_linear(true));
+  const auto id = net.subscribe(0, parse_subscription(s, "attr0 <= 10"));
+  const auto delivered = net.publish(0, event(s, {5}));
+  EXPECT_EQ(delivered, (std::vector<sub_id>{id}));
+  EXPECT_TRUE(net.publish(0, event(s, {50})).empty());
+}
+
+TEST(Network, DeliveryAcrossLine) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network net(topology::line(3), s, with_linear(true));
+  const auto id = net.subscribe(2, parse_subscription(s, "attr0 >= 100"));
+  const auto delivered = net.publish(0, event(s, {200}));
+  EXPECT_EQ(delivered, (std::vector<sub_id>{id}));
+  // Two broker-to-broker hops for the subscription and for the event.
+  EXPECT_EQ(net.metrics().subscription_messages, 2U);
+  EXPECT_EQ(net.metrics().event_messages, 2U);
+}
+
+TEST(Network, EventsOnlyTravelWhereSubscriptionsLead) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network net(topology::star(4), s, with_linear(true));
+  (void)net.subscribe(1, parse_subscription(s, "attr0 <= 10"));
+  net.mutable_metrics().reset_traffic();
+  (void)net.publish(2, event(s, {200}));  // matches nothing
+  // Event goes 2 -> 0 (star center)? No: center has no matching table entry
+  // for any link, so it stops at the publisher.
+  EXPECT_EQ(net.metrics().event_messages, 0U);
+  (void)net.publish(2, event(s, {5}));
+  // 2 -> 0 -> 1: two hops.
+  EXPECT_EQ(net.metrics().event_messages, 2U);
+}
+
+TEST(Network, CoveringReducesSubscriptionTraffic) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network with_cov(topology::line(5), s, with_linear(true));
+  network without(topology::line(5), s, with_linear(false));
+  // A broad subscription then many narrow ones from the same broker.
+  (void)with_cov.subscribe(0, parse_subscription(s, "attr0 <= 200"));
+  (void)without.subscribe(0, parse_subscription(s, "attr0 <= 200"));
+  for (int i = 0; i < 10; ++i) {
+    const auto narrow = parse_subscription(s, "attr0 <= " + std::to_string(100 - i));
+    (void)with_cov.subscribe(0, narrow);
+    (void)without.subscribe(0, narrow);
+  }
+  EXPECT_EQ(with_cov.metrics().subscription_messages, 4U);  // only the broad one travels
+  EXPECT_EQ(without.metrics().subscription_messages, 44U);  // 11 subs * 4 hops
+  EXPECT_LT(with_cov.total_routing_entries(), without.total_routing_entries());
+}
+
+TEST(Network, DeliveryCompletenessWithCovering) {
+  // The safety property: covering (exact or approximate) must not lose
+  // deliveries. Randomized workload on a tree, validated against ground
+  // truth.
+  const schema s = workload::make_uniform_schema(2, 8);
+  workload::subscription_gen_options wopts;
+  wopts.kind = workload::workload_kind::clustered;
+  for (const double eps : {0.0, 0.1, 0.5}) {
+    network_options nopts;
+    nopts.use_covering = true;
+    nopts.epsilon = eps;
+    nopts.factory = [](const schema& sc) {
+      // Small budget: completeness must hold even when many checks settle.
+      sfc_covering_options so;
+      so.max_cubes = 2048;
+      return std::make_unique<sfc_covering_index>(sc, so);
+    };
+    network net(topology::balanced_tree(2, 3), s, nopts);
+    workload::subscription_gen subs(s, wopts, 515);
+    workload::event_gen events(s, 616);
+    rng broker_pick(717);
+    for (int i = 0; i < 120; ++i)
+      (void)net.subscribe(static_cast<int>(broker_pick.index(15)), subs.next());
+    for (int e = 0; e < 60; ++e) {
+      const auto ev = events.next();
+      const auto publisher = static_cast<int>(broker_pick.index(15));
+      const auto delivered = net.publish(publisher, ev);
+      EXPECT_EQ(delivered, net.expected_recipients(ev)) << "eps=" << eps;
+    }
+  }
+}
+
+TEST(Network, UnsubscribeRestoresForwardingState) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network net(topology::line(3), s, with_linear(true));
+  const auto broad = net.subscribe(0, parse_subscription(s, "attr0 <= 200"));
+  const auto narrow = net.subscribe(0, parse_subscription(s, "attr0 <= 100"));
+  // While the broad subscription lives, narrow events still reach broker 0.
+  EXPECT_EQ(net.publish(2, event(s, {50})).size(), 2U);
+  // Withdraw the coverer: the narrow subscription must be re-forwarded so
+  // deliveries continue.
+  EXPECT_TRUE(net.unsubscribe(broad));
+  EXPECT_GT(net.metrics().reforwards, 0U);
+  const auto delivered = net.publish(2, event(s, {50}));
+  EXPECT_EQ(delivered, (std::vector<sub_id>{narrow}));
+  // And the broad subscription no longer exists anywhere.
+  EXPECT_TRUE(net.publish(2, event(s, {150})).empty());
+}
+
+TEST(Network, UnsubscribeUnknownReturnsFalse) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network net(topology::line(2), s, with_linear(true));
+  EXPECT_FALSE(net.unsubscribe(12345));
+}
+
+TEST(Network, RandomizedChurnKeepsCompleteness) {
+  // Interleave subscribes, unsubscribes, and publishes; deliveries must
+  // always match ground truth.
+  const schema s = workload::make_uniform_schema(2, 6);
+  network net(topology::balanced_tree(3, 2), s, with_linear(true));
+  workload::subscription_gen subs(s, {}, 818);
+  workload::event_gen events(s, 919);
+  rng gen(1020);
+  std::vector<sub_id> active;
+  for (int step = 0; step < 300; ++step) {
+    const auto roll = gen.uniform(0, 9);
+    if (roll < 4 || active.empty()) {
+      active.push_back(net.subscribe(static_cast<int>(gen.index(13)), subs.next()));
+    } else if (roll < 6) {
+      const auto pick = gen.index(active.size());
+      EXPECT_TRUE(net.unsubscribe(active[pick]));
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto ev = events.next();
+      EXPECT_EQ(net.publish(static_cast<int>(gen.index(13)), ev),
+                net.expected_recipients(ev))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(Network, OwnerBrokerTracked) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network net(topology::line(3), s, with_linear(true));
+  const auto id = net.subscribe(2, subscription::match_all(s));
+  EXPECT_EQ(net.owner_broker(id), 2);
+  EXPECT_FALSE(net.owner_broker(id + 1).has_value());
+  EXPECT_EQ(net.active_subscriptions(), 1U);
+}
+
+TEST(Network, BadBrokerIdsThrow) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network net(topology::line(2), s, with_linear(true));
+  EXPECT_THROW((void)net.subscribe(2, subscription::match_all(s)), std::invalid_argument);
+  EXPECT_THROW((void)net.publish(-1, event(s, {0})), std::invalid_argument);
+  EXPECT_THROW((void)net.broker_at(5), std::invalid_argument);
+}
+
+TEST(Network, DefaultFactoryIsSfc) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network net(topology::line(2), s, {});
+  const auto id = net.subscribe(1, parse_subscription(s, "attr0 >= 7"));
+  EXPECT_EQ(net.publish(0, event(s, {9})), (std::vector<sub_id>{id}));
+}
+
+}  // namespace
+}  // namespace subcover

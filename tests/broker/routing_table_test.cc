@@ -1,0 +1,85 @@
+#include "broker/routing_table.h"
+
+#include <gtest/gtest.h>
+
+#include "pubsub/parser.h"
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+class RoutingTableTest : public ::testing::Test {
+ protected:
+  schema s_ = workload::make_uniform_schema(1, 8);
+  routing_table t_;
+
+  [[nodiscard]] subscription sub(const std::string& text) const {
+    return parse_subscription(s_, text);
+  }
+};
+
+TEST_F(RoutingTableTest, AddRemoveContains) {
+  t_.add(1, 100, sub("attr0 <= 10"));
+  EXPECT_TRUE(t_.contains(1, 100));
+  EXPECT_FALSE(t_.contains(2, 100));
+  EXPECT_TRUE(t_.remove(1, 100));
+  EXPECT_FALSE(t_.contains(1, 100));
+  EXPECT_FALSE(t_.remove(1, 100));
+}
+
+TEST_F(RoutingTableTest, DuplicateAddThrows) {
+  t_.add(1, 100, sub("attr0 <= 10"));
+  EXPECT_THROW(t_.add(1, 100, sub("attr0 <= 20")), std::invalid_argument);
+  // Same id on a different link is fine (arrives over multiple links).
+  t_.add(2, 100, sub("attr0 <= 10"));
+}
+
+TEST_F(RoutingTableTest, EntryCounts) {
+  EXPECT_EQ(t_.total_entries(), 0U);
+  t_.add(kLocalLink, 1, sub("attr0 <= 10"));
+  t_.add(1, 2, sub("attr0 >= 5"));
+  t_.add(1, 3, sub("attr0 = 7"));
+  EXPECT_EQ(t_.total_entries(), 3U);
+  EXPECT_EQ(t_.entries_on(1), 2U);
+  EXPECT_EQ(t_.entries_on(kLocalLink), 1U);
+  EXPECT_EQ(t_.entries_on(9), 0U);
+}
+
+TEST_F(RoutingTableTest, MatchingLinks) {
+  t_.add(1, 10, sub("attr0 <= 10"));
+  t_.add(2, 20, sub("attr0 >= 200"));
+  t_.add(3, 30, sub("attr0 in [5, 8]"));
+  const event e(s_, {7});
+  EXPECT_EQ(t_.matching_links(e, /*exclude_link=*/-99), (std::vector<int>{1, 3}));
+  // Excluded link is skipped even if it matches.
+  EXPECT_EQ(t_.matching_links(e, 1), (std::vector<int>{3}));
+}
+
+TEST_F(RoutingTableTest, MatchingSubs) {
+  t_.add(kLocalLink, 10, sub("attr0 <= 10"));
+  t_.add(kLocalLink, 11, sub("attr0 >= 5"));
+  t_.add(1, 12, sub("attr0 = 7"));
+  EXPECT_EQ(t_.matching_subs(kLocalLink, event(s_, {7})), (std::vector<sub_id>{10, 11}));
+  EXPECT_EQ(t_.matching_subs(kLocalLink, event(s_, {3})), (std::vector<sub_id>{10}));
+  EXPECT_TRUE(t_.matching_subs(5, event(s_, {3})).empty());
+}
+
+TEST_F(RoutingTableTest, SubsNotFrom) {
+  t_.add(1, 10, sub("attr0 <= 10"));
+  t_.add(2, 20, sub("attr0 >= 5"));
+  t_.add(kLocalLink, 30, sub("attr0 = 7"));
+  const auto not_from_1 = t_.subs_not_from(1);
+  ASSERT_EQ(not_from_1.size(), 2U);
+  EXPECT_EQ(not_from_1[0].first, 30U);  // local link (-1) sorts first
+  EXPECT_EQ(not_from_1[1].first, 20U);
+}
+
+TEST_F(RoutingTableTest, RemoveCleansEmptyLink) {
+  t_.add(1, 10, sub("attr0 <= 10"));
+  EXPECT_TRUE(t_.remove(1, 10));
+  EXPECT_EQ(t_.total_entries(), 0U);
+  EXPECT_TRUE(t_.matching_links(event(s_, {5}), -99).empty());
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,162 @@
+#include "covering/sfc_covering_index.h"
+
+#include <gtest/gtest.h>
+
+#include "covering/linear_covering_index.h"
+#include "covering/sampled_covering_index.h"
+#include "pubsub/parser.h"
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+TEST(SfcCoveringIndex, AllCurvesAgreeExhaustively) {
+  const schema s = workload::make_uniform_schema(2, 6);
+  workload::subscription_gen_options wopts;
+  wopts.kind = workload::workload_kind::clustered;
+  workload::subscription_gen gen(s, wopts, 33);
+
+  sfc_covering_options zo;
+  zo.max_cubes = std::uint64_t{1} << 23;
+  zo.settle_on_budget = false;
+  sfc_covering_options hi = zo;
+  sfc_covering_options gr = zo;
+  zo.curve = curve_kind::z_order;
+  hi.curve = curve_kind::hilbert;
+  gr.curve = curve_kind::gray_code;
+  sfc_covering_index iz(s, zo);
+  sfc_covering_index ih(s, hi);
+  sfc_covering_index ig(s, gr);
+  linear_covering_index oracle(s);
+  for (sub_id id = 0; id < 150; ++id) {
+    const auto sub = gen.next();
+    iz.insert(id, sub);
+    ih.insert(id, sub);
+    ig.insert(id, sub);
+    oracle.insert(id, sub);
+  }
+  for (int q = 0; q < 100; ++q) {
+    const auto query = gen.next();
+    const bool expected = oracle.find_covering(query, 0.0).has_value();
+    EXPECT_EQ(iz.find_covering(query, 0.0).has_value(), expected);
+    EXPECT_EQ(ih.find_covering(query, 0.0).has_value(), expected);
+    EXPECT_EQ(ig.find_covering(query, 0.0).has_value(), expected);
+  }
+}
+
+TEST(SfcCoveringIndex, NamesReflectCurve) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  sfc_covering_options o;
+  o.curve = curve_kind::hilbert;
+  EXPECT_EQ(sfc_covering_index(s, o).name(), "sfc-hilbert");
+  o.curve = curve_kind::gray_code;
+  EXPECT_EQ(sfc_covering_index(s, o).name(), "sfc-gray");
+}
+
+TEST(SfcCoveringIndex, EraseThenNoLongerCovers) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  sfc_covering_index idx(s);
+  idx.insert(5, subscription::match_all(s));
+  const subscription narrow(s, {{1, 2}, {3, 4}});
+  EXPECT_TRUE(idx.find_covering(narrow, 0.0).has_value());
+  EXPECT_TRUE(idx.erase(5));
+  EXPECT_FALSE(idx.find_covering(narrow, 0.0).has_value());
+  EXPECT_EQ(idx.size(), 0U);
+}
+
+TEST(SfcCoveringIndex, SelfCoverageAfterInsert) {
+  // Any inserted subscription covers itself; an exhaustive (unbudgeted)
+  // query must hit. The self point sits at the query region's anchor corner
+  // — the very last cell in descending-volume probe order — so this also
+  // exercises full-plan traversal.
+  const schema s = workload::make_uniform_schema(2, 5);
+  workload::subscription_gen gen(s, {}, 44);
+  sfc_covering_options so;
+  so.max_cubes = std::uint64_t{1} << 23;
+  so.settle_on_budget = false;
+  sfc_covering_index idx(s, so);
+  for (sub_id id = 0; id < 100; ++id) {
+    const auto sub = gen.next();
+    idx.insert(id, sub);
+    EXPECT_TRUE(idx.find_covering(sub, 0.0).has_value());
+  }
+}
+
+TEST(SfcCoveringIndex, StatsPopulated) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  sfc_covering_index idx(s);
+  idx.insert(1, subscription::match_all(s));
+  covering_check_stats st;
+  const auto hit = idx.find_covering(subscription(s, {{5, 6}, {7, 8}}), 0.05, &st);
+  EXPECT_TRUE(hit.has_value());
+  EXPECT_TRUE(st.found);
+  EXPECT_GT(st.dominance.runs_probed, 0U);
+  EXPECT_GT(st.dominance.cubes_enumerated, 0U);
+}
+
+TEST(SampledCoveringIndex, CanReportFalseCoverings) {
+  // The MC baseline's two-sided error: a nearly-covering subscription gets
+  // reported as covering once no sample lands in the uncovered sliver.
+  const schema s = workload::make_uniform_schema(1, 16);
+  sampled_covering_index idx(s, /*samples=*/16);
+  // Stored covers [0, 65000]; query [0, 65535]: 99.2% inside.
+  idx.insert(1, subscription(s, {{0, 65000}}));
+  const subscription query(s, {{0, 65535}});
+  int false_hits = 0;
+  for (int t = 0; t < 50; ++t)
+    if (idx.find_covering(query, 0.0).has_value()) ++false_hits;
+  EXPECT_GT(false_hits, 0);  // p(miss sliver per check) = 0.992^16 ~ 0.88
+}
+
+TEST(SampledCoveringIndex, DetectsTrueCoveringReliably) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  sampled_covering_index idx(s, 32);
+  idx.insert(1, subscription::match_all(s));
+  for (int t = 0; t < 20; ++t)
+    EXPECT_TRUE(idx.find_covering(subscription(s, {{1, 2}, {3, 4}}), 0.0).has_value());
+}
+
+TEST(SfcCoveringIndex, MixedWidthScalingPreservesCoveringSemantics) {
+  // Narrow attributes are scaled onto the universe grid; exhaustive SFC
+  // detection must agree with the linear oracle on a mixed-width schema.
+  const schema s({{"wide", attribute_type::numeric, 6, {}},
+                  {"narrow", attribute_type::numeric, 3, {}}});
+  workload::subscription_gen gen(s, {}, 66);
+  sfc_covering_options so;
+  so.max_cubes = std::uint64_t{1} << 23;
+  so.settle_on_budget = false;
+  sfc_covering_index sfc(s, so);
+  linear_covering_index oracle(s);
+  for (sub_id id = 0; id < 150; ++id) {
+    const auto sub = gen.next();
+    sfc.insert(id, sub);
+    oracle.insert(id, sub);
+  }
+  for (int q = 0; q < 100; ++q) {
+    const auto query = gen.next();
+    EXPECT_EQ(sfc.find_covering(query, 0.0).has_value(),
+              oracle.find_covering(query, 0.0).has_value())
+        << query.to_string(s);
+  }
+}
+
+TEST(SfcCoveringIndex, DegenerateOpenEndedQuerySettlesWithinBudget) {
+  // Open-ended constraints ("volume >= 200") transform into unit-thickness
+  // dominance regions (the paper's M x 1 case): the search must respect its
+  // cube budget, report settling, and stay one-sided — it must not hang or
+  // fabricate a covering.
+  const schema s = workload::make_stock_schema();
+  sfc_covering_options so;
+  so.max_cubes = 1024;
+  sfc_covering_index idx(s, so);
+  idx.insert(1, parse_subscription(s, "stock = AAPL"));  // does not cover the query
+  covering_check_stats st;
+  const auto hit = idx.find_covering(
+      parse_subscription(s, "stock = IBM, volume >= 200, price <= 400"), 0.05, &st);
+  EXPECT_FALSE(hit.has_value());
+  EXPECT_TRUE(st.dominance.budget_exhausted);
+  EXPECT_LE(st.dominance.cubes_enumerated, 1024U);
+}
+
+}  // namespace
+}  // namespace subcover

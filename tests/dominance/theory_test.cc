@@ -1,0 +1,145 @@
+#include "dominance/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/extremal.h"
+#include "sfc/extremal_decomposition.h"
+#include "sfc/runs.h"
+#include "util/random.h"
+#include "workload/rect_gen.h"
+
+namespace subcover {
+namespace {
+
+TEST(Lemma32, MinM) {
+  // m = ceil(log2(2d/eps)).
+  EXPECT_EQ(theory::lemma32_min_m(0.05, 2), 7);   // log2(80) = 6.32
+  EXPECT_EQ(theory::lemma32_min_m(0.5, 2), 3);    // log2(8) = 3
+  EXPECT_EQ(theory::lemma32_min_m(0.01, 10), 11); // log2(2000) = 10.97
+}
+
+TEST(Lemma32, InvalidArgs) {
+  EXPECT_THROW(theory::lemma32_min_m(0.0, 2), std::invalid_argument);
+  EXPECT_THROW(theory::lemma32_min_m(1.0, 2), std::invalid_argument);
+  EXPECT_THROW(theory::lemma32_min_m(0.5, 0), std::invalid_argument);
+}
+
+TEST(Lemma32, VolumeGuaranteeFormula) {
+  EXPECT_NEAR(static_cast<double>(theory::lemma32_volume_guarantee(3, 2)), 1.0 - 4.0 / 8, 1e-12);
+  EXPECT_NEAR(static_cast<double>(theory::lemma32_volume_guarantee(10, 4)), 1.0 - 8.0 / 1024,
+              1e-12);
+}
+
+TEST(Lemma32, TruncationSatisfiesGuaranteeEmpirically) {
+  // For random extremal rectangles and every m, the truncated volume ratio
+  // respects 1 - 2d/2^m.
+  for (const int d : {2, 4, 8}) {
+    const universe u(d, 9);
+    rng gen(static_cast<std::uint64_t>(d));
+    for (int trial = 0; trial < 40; ++trial) {
+      std::array<std::uint64_t, kMaxDims> len{};
+      for (int i = 0; i < d; ++i) len[static_cast<std::size_t>(i)] = gen.uniform(1, u.side());
+      const extremal_rect r(u, len);
+      for (int m = 1; m <= 10; ++m) {
+        const auto t = r.truncated(u, m);
+        const long double ratio = t.volume_ld() / r.volume_ld();
+        EXPECT_GE(static_cast<double>(ratio),
+                  static_cast<double>(theory::lemma32_volume_guarantee(m, d)) - 1e-12)
+            << "d=" << d << " m=" << m << " " << r.to_string();
+      }
+    }
+  }
+}
+
+TEST(Lemma37, BoundFormula) {
+  // m * (2^alpha * (2^m - 1))^(d-1).
+  EXPECT_NEAR(static_cast<double>(theory::lemma37_cube_bound(3, 0, 2)), 3 * 7.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(theory::lemma37_cube_bound(3, 2, 3)), 3 * std::pow(28.0, 2),
+              1e-9);
+  EXPECT_THROW(theory::lemma37_cube_bound(0, 0, 2), std::invalid_argument);
+}
+
+TEST(Lemma37, BoundsWorstCaseTruncatedDecomposition) {
+  // cubes(R(t(l,m))) for the Lemma 3.6 worst-case shape stays below the
+  // assumption-free bound, across dimensions, aspect ratios and m. The
+  // paper's literal bound additionally holds whenever its Case 2.1
+  // assumption 2^alpha > d - 1 does.
+  for (const int d : {2, 3, 4}) {
+    const universe u(d, 10);
+    for (int alpha = 0; alpha <= 3; ++alpha) {
+      for (int m = 1; m <= 4; ++m) {
+        const int gamma = u.bits() - alpha;
+        const auto wc = workload::worst_case_extremal(u, gamma, alpha, m);
+        const auto truncated = wc.truncated(u, m);
+        const auto cubes = extremal_cube_count(u, truncated);
+        EXPECT_LE(cubes.to_long_double(), theory::lemma37_cube_bound_general(m, alpha, d))
+            << "d=" << d << " alpha=" << alpha << " m=" << m;
+        if ((1 << alpha) > d - 1) {
+          EXPECT_LE(cubes.to_long_double(), theory::lemma37_cube_bound(m, alpha, d))
+              << "paper bound, d=" << d << " alpha=" << alpha << " m=" << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(Lemma37, PaperBoundViolatedWithoutItsAssumption) {
+  // Characterization of the discrepancy we found: at d = 3, alpha = 0,
+  // m = 2 (so 2^alpha = 1 <= d - 1 = 2, violating the paper's Case 2.1
+  // assumption), the worst-case shape produces 20 cubes while the literal
+  // Lemma 3.7 bound is m * (2^m - 1)^(d-1) = 18.
+  const universe u(3, 10);
+  const auto wc = workload::worst_case_extremal(u, 10, 0, 2);
+  const auto cubes = extremal_cube_count(u, wc.truncated(u, 2));
+  EXPECT_EQ(cubes, u512(20));
+  EXPECT_GT(cubes.to_long_double(), theory::lemma37_cube_bound(2, 0, 3));
+  EXPECT_LE(cubes.to_long_double(), theory::lemma37_cube_bound_general(2, 0, 3));
+}
+
+TEST(Thm31, BoundComposition) {
+  // Theorem 3.1 bound equals Lemma 3.7 evaluated at m = lemma32_min_m.
+  EXPECT_EQ(theory::thm31_query_bound(0.05, 1, 3),
+            theory::lemma37_cube_bound(theory::lemma32_min_m(0.05, 3), 1, 3));
+}
+
+TEST(Thm41, LowerBoundFormula) {
+  // (2^(alpha-1) * l_d)^(d-1).
+  EXPECT_NEAR(static_cast<double>(theory::thm41_lower_bound(3, 7, 2)), 28.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(theory::thm41_lower_bound(0, 8, 3)), 16.0, 1e-9);
+  EXPECT_THROW(theory::thm41_lower_bound(0, 8, 0), std::invalid_argument);
+}
+
+TEST(Thm41, AdversarialRectangleMeetsLowerBound) {
+  // The Section 4 construction: exhaustive runs on the Z curve are at least
+  // (2^(alpha-1) * l_d)^(d-1).
+  const universe u(2, 10);
+  const auto z = make_curve(curve_kind::z_order, u);
+  for (int alpha = 0; alpha <= 3; ++alpha) {
+    for (int gamma = 2; gamma + alpha <= 8; ++gamma) {
+      const auto adv = workload::adversarial_extremal(u, gamma, alpha);
+      const auto runs = count_runs(*z, adv);
+      const long double bound =
+          theory::thm41_lower_bound(alpha, adv.length(u.dims() - 1), u.dims());
+      EXPECT_GE(static_cast<long double>(runs), bound) << "alpha=" << alpha << " g=" << gamma;
+    }
+  }
+}
+
+TEST(Thm41, ThreeDimensionalLowerBound) {
+  const universe u(3, 6);
+  const auto z = make_curve(curve_kind::z_order, u);
+  for (int alpha = 0; alpha <= 2; ++alpha) {
+    const int gamma = 3;
+    const auto adv = workload::adversarial_extremal(u, gamma, alpha);
+    const auto runs = count_runs(*z, adv);
+    const long double bound =
+        theory::thm41_lower_bound(alpha, adv.length(u.dims() - 1), u.dims());
+    EXPECT_GE(static_cast<long double>(runs), bound) << "alpha=" << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace subcover

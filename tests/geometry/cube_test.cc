@@ -1,0 +1,82 @@
+#include "geometry/cube.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace subcover {
+namespace {
+
+TEST(StandardCube, ConstructionAligned) {
+  const standard_cube c(point{4, 8}, 2);
+  EXPECT_EQ(c.side(), 4U);
+  EXPECT_EQ(c.side_bits(), 2);
+  EXPECT_EQ(c.cell_count(), u512(16));
+}
+
+TEST(StandardCube, RejectsMisalignedCorner) {
+  EXPECT_THROW(standard_cube(point{3, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(standard_cube(point{0, 2}, 2), std::invalid_argument);
+}
+
+TEST(StandardCube, UnitCubeAnywhere) {
+  const standard_cube c(point{3, 5}, 0);
+  EXPECT_EQ(c.side(), 1U);
+  EXPECT_EQ(c.as_rect(), rect(point{3, 5}, point{3, 5}));
+}
+
+TEST(StandardCube, Containing) {
+  const standard_cube c = standard_cube::containing(point{5, 9}, 2);
+  EXPECT_EQ(c.corner(), (point{4, 8}));
+  EXPECT_TRUE(c.contains(point{5, 9}));
+}
+
+TEST(StandardCube, AsRect) {
+  const standard_cube c(point{4, 0}, 2);
+  EXPECT_EQ(c.as_rect(), rect(point{4, 0}, point{7, 3}));
+}
+
+TEST(StandardCube, LevelInUniverse) {
+  const universe u(2, 5);
+  // Side 2^3 cube: 2 bisections from the 2^5 universe.
+  EXPECT_EQ(standard_cube(point{0, 8}, 3).level(u), 2);
+  // A cell is at level k.
+  EXPECT_EQ(standard_cube(point{1, 1}, 0).level(u), 5);
+}
+
+TEST(StandardCube, NestedOrDisjoint) {
+  // Lemma 2.1: two standard cubes are nested or disjoint. Exhaustive check
+  // over all cubes of a small 2-D universe.
+  const int k = 3;
+  std::vector<standard_cube> cubes;
+  for (int s = 0; s <= k; ++s) {
+    const std::uint32_t step = 1U << s;
+    for (std::uint32_t x = 0; x < (1U << k); x += step)
+      for (std::uint32_t y = 0; y < (1U << k); y += step)
+        cubes.emplace_back(point{x, y}, s);
+  }
+  for (const auto& a : cubes) {
+    for (const auto& b : cubes) {
+      if (a == b) continue;
+      const bool nested = a.contains(b) || b.contains(a);
+      const bool disjoint = !a.as_rect().intersects(b.as_rect());
+      EXPECT_TRUE(nested != disjoint) << a.to_string() << " vs " << b.to_string();
+    }
+  }
+}
+
+TEST(StandardCube, ContainsCube) {
+  const standard_cube big(point{0, 0}, 3);
+  const standard_cube small(point{4, 4}, 2);
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(StandardCube, RejectsBadSideBits) {
+  EXPECT_THROW(standard_cube(point{0, 0}, -1), std::invalid_argument);
+  EXPECT_THROW(standard_cube(point{0, 0}, kMaxBitsPerDim + 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace subcover

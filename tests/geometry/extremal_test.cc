@@ -1,0 +1,122 @@
+#include "geometry/extremal.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace subcover {
+namespace {
+
+std::array<std::uint64_t, kMaxDims> lengths(std::initializer_list<std::uint64_t> ls) {
+  std::array<std::uint64_t, kMaxDims> a{};
+  std::size_t i = 0;
+  for (const auto l : ls) a[i++] = l;
+  return a;
+}
+
+TEST(ExtremalRect, ToRectAnchorsAtMaxCorner) {
+  const universe u(2, 9);  // 512 x 512
+  const extremal_rect r(u, lengths({256, 257}));
+  const rect box = r.to_rect(u);
+  EXPECT_EQ(box.lo()[0], 256U);
+  EXPECT_EQ(box.hi()[0], 511U);
+  EXPECT_EQ(box.lo()[1], 255U);
+  EXPECT_EQ(box.hi()[1], 511U);
+}
+
+TEST(ExtremalRect, FullUniverseSide) {
+  const universe u(2, 4);
+  const extremal_rect r(u, lengths({16, 1}));
+  const rect box = r.to_rect(u);
+  EXPECT_EQ(box.lo()[0], 0U);
+  EXPECT_EQ(box.hi()[0], 15U);
+  EXPECT_EQ(box.lo()[1], 15U);
+}
+
+TEST(ExtremalRect, RejectsBadLengths) {
+  const universe u(2, 4);
+  EXPECT_THROW(extremal_rect(u, lengths({0, 4})), std::invalid_argument);
+  EXPECT_THROW(extremal_rect(u, lengths({17, 4})), std::invalid_argument);
+}
+
+TEST(ExtremalRect, QueryRegionOfPoint) {
+  const universe u(2, 4);
+  // Dominance region of x is [x, max] per dimension: l_i = 16 - x_i.
+  const auto r = extremal_rect::query_region(u, point{10, 0});
+  EXPECT_EQ(r.length(0), 6U);
+  EXPECT_EQ(r.length(1), 16U);
+  const rect box = r.to_rect(u);
+  EXPECT_TRUE(box.contains(point{10, 0}));
+  EXPECT_TRUE(box.contains(point{15, 15}));
+  EXPECT_FALSE(box.contains(point{9, 15}));
+}
+
+TEST(ExtremalRect, QueryRegionOfMaxCornerIsSingleCell) {
+  const universe u(3, 4);
+  const auto r = extremal_rect::query_region(u, point{15, 15, 15});
+  EXPECT_EQ(r.volume(), u512::one());
+}
+
+TEST(ExtremalRect, Truncated) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({257, 300}));
+  const auto t1 = r.truncated(u, 1);
+  EXPECT_EQ(t1.length(0), 256U);
+  EXPECT_EQ(t1.length(1), 256U);
+  const auto t2 = r.truncated(u, 2);
+  EXPECT_EQ(t2.length(0), 256U);
+  EXPECT_EQ(t2.length(1), 256U);  // 300 = 100101100b; bits 8,7 are "10"
+  const auto t4 = r.truncated(u, 4);
+  EXPECT_EQ(t4.length(0), 256U);        // 257 = 100000001b; bits 8..5 are "1000"
+  EXPECT_EQ(t4.length(1), 256U + 32U);  // 300 = 100101100b; bits 8..5 are "1001"
+  // Truncation is contained in the original.
+  EXPECT_TRUE(r.to_rect(u).contains(t2.to_rect(u)));
+}
+
+TEST(ExtremalRect, TruncatedIdentityWhenMLarge) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({257, 300}));
+  EXPECT_EQ(r.truncated(u, 10), r);
+}
+
+TEST(ExtremalRect, MaskedFromBit) {
+  const universe u(2, 4);
+  const extremal_rect r(u, lengths({0b1011, 0b0110}));
+  const auto s1 = r.masked_from_bit(u, 1);
+  EXPECT_EQ(s1.length(0), 0b1010U);
+  EXPECT_EQ(s1.length(1), 0b0110U);
+  const auto s3 = r.masked_from_bit(u, 3);
+  EXPECT_EQ(s3.length(0), 0b1000U);
+  EXPECT_EQ(s3.length(1), 0U);
+  EXPECT_TRUE(s3.is_empty());
+}
+
+TEST(ExtremalRect, Volume) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({256, 256}));
+  EXPECT_EQ(r.volume(), u512(65536));
+  EXPECT_DOUBLE_EQ(static_cast<double>(r.volume_ld()), 65536.0);
+}
+
+TEST(ExtremalRect, AspectRatio) {
+  const universe u(3, 10);
+  // b(7)=3, b(16)=5, b(1023)=10: alpha = 10 - 3 = 7.
+  const extremal_rect r(u, lengths({7, 16, 1023}));
+  EXPECT_EQ(r.min_side_bits(), 3);
+  EXPECT_EQ(r.max_side_bits(), 10);
+  EXPECT_EQ(r.aspect_ratio(), 7);
+}
+
+TEST(ExtremalRect, AspectRatioZeroForEqualSides) {
+  const universe u(2, 9);
+  EXPECT_EQ(extremal_rect(u, lengths({256, 257})).aspect_ratio(), 0);
+}
+
+TEST(ExtremalRect, VolumeMatchesRectVolume) {
+  const universe u(3, 6);
+  const extremal_rect r(u, lengths({5, 9, 33}));
+  EXPECT_EQ(r.volume(), r.to_rect(u).volume());
+}
+
+}  // namespace
+}  // namespace subcover

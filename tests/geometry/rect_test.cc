@@ -1,0 +1,85 @@
+#include "geometry/rect.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace subcover {
+namespace {
+
+TEST(Rect, ConstructionAndSides) {
+  const rect r(point{1, 2}, point{4, 2});
+  EXPECT_EQ(r.dims(), 2);
+  EXPECT_EQ(r.side(0), 4U);
+  EXPECT_EQ(r.side(1), 1U);
+}
+
+TEST(Rect, RejectsInvertedBounds) {
+  EXPECT_THROW(rect(point{5, 0}, point{4, 9}), std::invalid_argument);
+}
+
+TEST(Rect, RejectsDimsMismatch) {
+  EXPECT_THROW(rect(point{1}, point{2, 3}), std::invalid_argument);
+}
+
+TEST(Rect, Whole) {
+  const universe u(3, 4);
+  const rect w = rect::whole(u);
+  EXPECT_EQ(w.volume(), u512::pow2(12));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.lo()[i], 0U);
+    EXPECT_EQ(w.hi()[i], 15U);
+  }
+}
+
+TEST(Rect, ContainsPoint) {
+  const rect r(point{1, 1}, point{3, 3});
+  EXPECT_TRUE(r.contains(point{1, 1}));
+  EXPECT_TRUE(r.contains(point{3, 3}));
+  EXPECT_TRUE(r.contains(point{2, 2}));
+  EXPECT_FALSE(r.contains(point{0, 2}));
+  EXPECT_FALSE(r.contains(point{2, 4}));
+}
+
+TEST(Rect, ContainsRect) {
+  const rect outer(point{0, 0}, point{9, 9});
+  const rect inner(point{2, 3}, point{4, 5});
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Rect, Intersects) {
+  const rect a(point{0, 0}, point{4, 4});
+  const rect b(point{4, 4}, point{8, 8});  // touch at a corner cell
+  const rect c(point{5, 5}, point{8, 8});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Rect, Intersection) {
+  const rect a(point{0, 0}, point{4, 6});
+  const rect b(point{2, 3}, point{8, 8});
+  const auto i = a.intersection(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, rect(point{2, 3}, point{4, 6}));
+  EXPECT_FALSE(a.intersection(rect(point{5, 0}, point{6, 6})).has_value());
+}
+
+TEST(Rect, VolumeExact) {
+  const rect r(point{0, 0, 0}, point{1, 2, 3});
+  EXPECT_EQ(r.volume(), u512(2 * 3 * 4));
+  EXPECT_DOUBLE_EQ(static_cast<double>(r.volume_ld()), 24.0);
+}
+
+TEST(Rect, VolumeSingleCell) {
+  const rect r(point{7, 7}, point{7, 7});
+  EXPECT_EQ(r.volume(), u512::one());
+}
+
+TEST(Rect, ToString) {
+  EXPECT_EQ(rect(point{1, 2}, point{3, 4}).to_string(), "[1,3] x [2,4]");
+}
+
+}  // namespace
+}  // namespace subcover

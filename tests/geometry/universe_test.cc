@@ -1,0 +1,55 @@
+#include "geometry/universe.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace subcover {
+namespace {
+
+TEST(Universe, BasicProperties) {
+  const universe u(4, 8);
+  EXPECT_EQ(u.dims(), 4);
+  EXPECT_EQ(u.bits(), 8);
+  EXPECT_EQ(u.side(), 256U);
+  EXPECT_EQ(u.coord_max(), 255U);
+  EXPECT_EQ(u.key_bits(), 32);
+  EXPECT_EQ(u.cell_count(), u512::pow2(32));
+}
+
+TEST(Universe, SingleDimension) {
+  const universe u(1, 1);
+  EXPECT_EQ(u.side(), 2U);
+  EXPECT_EQ(u.cell_count(), u512(2));
+}
+
+TEST(Universe, MaximumKeyWidth) {
+  // 32 dims * 16 bits = 512 key bits: exactly at the limit.
+  const universe u(32, 16);
+  EXPECT_EQ(u.key_bits(), 512);
+}
+
+TEST(Universe, RejectsBadDims) {
+  EXPECT_THROW(universe(0, 8), std::invalid_argument);
+  EXPECT_THROW(universe(-1, 8), std::invalid_argument);
+  EXPECT_THROW(universe(33, 8), std::invalid_argument);
+}
+
+TEST(Universe, RejectsBadBits) {
+  EXPECT_THROW(universe(2, 0), std::invalid_argument);
+  EXPECT_THROW(universe(2, 31), std::invalid_argument);
+}
+
+TEST(Universe, RejectsKeyOverflow) {
+  // 32 dims * 17 bits = 544 > 512.
+  EXPECT_THROW(universe(32, 17), std::invalid_argument);
+  EXPECT_THROW(universe(18, 30), std::invalid_argument);
+}
+
+TEST(Universe, Equality) {
+  EXPECT_EQ(universe(2, 8), universe(2, 8));
+  EXPECT_FALSE(universe(2, 8) == universe(2, 9));
+}
+
+}  // namespace
+}  // namespace subcover

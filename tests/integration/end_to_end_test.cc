@@ -1,0 +1,155 @@
+// End-to-end scenarios exercising the full public API: parse -> index ->
+// propagate -> publish -> deliver, across index types and curves.
+#include <gtest/gtest.h>
+
+#include "subcover.h"
+
+namespace subcover {
+namespace {
+
+TEST(EndToEnd, StockTickerScenario) {
+  // The introduction's scenario on a 7-broker tree with the SFC index.
+  const schema s = workload::make_stock_schema();
+  network_options o;
+  o.use_covering = true;
+  o.epsilon = 0.05;
+  network net(topology::balanced_tree(2, 2), s, o);
+
+  const auto broad = net.subscribe(3, parse_subscription(s, "stock = IBM"));
+  const auto narrow = net.subscribe(3, parse_subscription(s, "stock = IBM, volume > 500"));
+  const auto other = net.subscribe(6, parse_subscription(s, "stock = AAPL, price < 100"));
+
+  const auto ev = parse_event(s, "stock = IBM, volume = 1000, price = 88");
+  const auto delivered = net.publish(4, ev);
+  EXPECT_EQ(delivered, (std::vector<sub_id>{broad, narrow}));
+
+  const auto ev2 = parse_event(s, "stock = AAPL, volume = 10, price = 99");
+  EXPECT_EQ(net.publish(0, ev2), (std::vector<sub_id>{other}));
+}
+
+TEST(EndToEnd, ApproximateCoveringSavesTrafficWithoutLosingEvents) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  workload::subscription_gen_options wo;
+  wo.kind = workload::workload_kind::uniform;
+  wo.mean_width = 0.45;
+
+  auto run = [&](bool covering, double eps) {
+    network_options o;
+    o.use_covering = covering;
+    o.epsilon = eps;
+    o.factory = [](const schema& sc) {
+      sfc_covering_options so;
+      so.max_cubes = 2048;
+      return std::make_unique<sfc_covering_index>(sc, so);
+    };
+    network net(topology::balanced_tree(2, 3), s, o);
+    workload::subscription_gen subs(s, wo, 42);
+    workload::event_gen events(s, 43);
+    rng pick(44);
+    for (int i = 0; i < 150; ++i)
+      (void)net.subscribe(static_cast<int>(pick.index(15)), subs.next());
+    std::uint64_t correct = 0;
+    for (int e = 0; e < 40; ++e) {
+      const auto ev = events.next();
+      if (net.publish(static_cast<int>(pick.index(15)), ev) == net.expected_recipients(ev))
+        ++correct;
+    }
+    return std::tuple{net.metrics().subscription_messages, net.total_routing_entries(),
+                      correct};
+  };
+
+  const auto [flood_msgs, flood_entries, flood_ok] = run(false, 0.0);
+  const auto [exact_msgs, exact_entries, exact_ok] = run(true, 0.0);
+  const auto [approx_msgs, approx_entries, approx_ok] = run(true, 0.1);
+
+  // Everyone delivers correctly.
+  EXPECT_EQ(flood_ok, 40U);
+  EXPECT_EQ(exact_ok, 40U);
+  EXPECT_EQ(approx_ok, 40U);
+  // Covering reduces traffic and table size. (Exact vs approximate message
+  // counts are not strictly ordered: a missed covering forwards a
+  // subscription that may itself suppress others downstream.)
+  EXPECT_LT(exact_msgs, flood_msgs);
+  EXPECT_LT(approx_msgs, flood_msgs);
+  EXPECT_LT(static_cast<double>(approx_msgs), 1.5 * static_cast<double>(exact_msgs));
+  EXPECT_LT(exact_entries, flood_entries);
+  EXPECT_LE(approx_entries, flood_entries);
+}
+
+TEST(EndToEnd, UmbrellaHeaderQuickstartWorks) {
+  // The README quickstart, verbatim.
+  schema s({{"temperature", attribute_type::numeric, 10, {}},
+            {"pressure", attribute_type::numeric, 10, {}}});
+  sfc_covering_index index(s);
+  index.insert(1, parse_subscription(s, "temperature in [100, 900], pressure in [200, 800]"));
+  auto hit = index.find_covering(
+      parse_subscription(s, "temperature in [300, 700], pressure in [350, 650]"), 0.05);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1U);
+}
+
+TEST(EndToEnd, AllCurvesDeliverIdentically) {
+  const schema s = workload::make_sensor_schema();
+  for (const auto kind :
+       {curve_kind::z_order, curve_kind::hilbert, curve_kind::gray_code}) {
+    network_options o;
+    o.use_covering = true;
+    o.epsilon = 0.05;
+    o.factory = [kind](const schema& sc) {
+      sfc_covering_options co;
+      co.curve = kind;
+      co.max_cubes = 2048;
+      return std::make_unique<sfc_covering_index>(sc, co);
+    };
+    network net(topology::line(4), s, o);
+    workload::subscription_gen subs(s, {}, 99);
+    workload::event_gen events(s, 98);
+    rng pick(97);
+    for (int i = 0; i < 80; ++i)
+      (void)net.subscribe(static_cast<int>(pick.index(4)), subs.next());
+    for (int e = 0; e < 30; ++e) {
+      const auto ev = events.next();
+      EXPECT_EQ(net.publish(static_cast<int>(pick.index(4)), ev),
+                net.expected_recipients(ev))
+          << curve_kind_name(kind);
+    }
+  }
+}
+
+TEST(EndToEnd, UnsafeMonteCarloIndexLosesDeliveries) {
+  // Demonstrates why one-sided error matters: the MC baseline's false
+  // covering claims suppress subscriptions that were not actually covered,
+  // and events silently vanish. (This is a characterization test: with this
+  // seed and workload the loss is reliably nonzero.)
+  const schema s = workload::make_uniform_schema(2, 12);
+  network_options o;
+  o.use_covering = true;
+  o.factory = [](const schema& sc) {
+    return std::make_unique<sampled_covering_index>(sc, /*samples=*/4);
+  };
+  network net(topology::line(6), s, o);
+  workload::subscription_gen_options wo;
+  wo.kind = workload::workload_kind::clustered;
+  wo.clusters = 3;
+  workload::subscription_gen subs(s, wo, 7);
+  rng pick(8);
+  std::vector<std::pair<sub_id, subscription>> all;
+  for (int i = 0; i < 100; ++i) {
+    const auto sub = subs.next();
+    all.emplace_back(net.subscribe(static_cast<int>(pick.index(6)), sub), sub);
+  }
+  workload::event_gen events(s, 9);
+  std::uint64_t lost = 0;
+  for (int e = 0; e < 100; ++e) {
+    // Publish events that target random subscriptions to stress the misses.
+    const auto& [id, sub] = all[pick.index(all.size())];
+    const auto ev = events.next_matching(sub);
+    const auto delivered = net.publish(static_cast<int>(pick.index(6)), ev);
+    const auto expected = net.expected_recipients(ev);
+    if (delivered != expected) ++lost;
+  }
+  EXPECT_GT(lost, 0U);
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,81 @@
+#include "pubsub/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "pubsub/parser.h"
+#include "workload/event_gen.h"
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+TEST(Matching, PaperIntroExample) {
+  // The event [stock = IBM, volume = 1000, current = 88] must match the
+  // subscription [stock = IBM, volume > 500, current < 95] (Section 1).
+  const schema s = workload::make_stock_schema();
+  const auto sub = parse_subscription(s, "stock = IBM, volume > 500, price < 95");
+  const auto hit = parse_event(s, "stock = IBM, volume = 1000, price = 88");
+  EXPECT_TRUE(matches(sub, hit));
+  EXPECT_FALSE(matches(sub, parse_event(s, "stock = AAPL, volume = 1000, price = 88")));
+  EXPECT_FALSE(matches(sub, parse_event(s, "stock = IBM, volume = 500, price = 88")));
+  EXPECT_FALSE(matches(sub, parse_event(s, "stock = IBM, volume = 1000, price = 95")));
+}
+
+TEST(Matching, BoundariesInclusive) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  const auto sub = parse_subscription(s, "attr0 in [10, 20]");
+  EXPECT_TRUE(matches(sub, event(s, {10})));
+  EXPECT_TRUE(matches(sub, event(s, {20})));
+  EXPECT_FALSE(matches(sub, event(s, {9})));
+  EXPECT_FALSE(matches(sub, event(s, {21})));
+}
+
+TEST(Matching, MatchAllMatchesEverything) {
+  const schema s = workload::make_uniform_schema(3, 6);
+  const auto all = subscription::match_all(s);
+  workload::event_gen gen(s, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(matches(all, gen.next()));
+}
+
+TEST(Matching, SchemaMismatchThrows) {
+  const schema a = workload::make_uniform_schema(2, 8);
+  const schema b = workload::make_uniform_schema(3, 8);
+  EXPECT_THROW(matches(subscription::match_all(a), event(b, {1, 2, 3})),
+               std::invalid_argument);
+}
+
+TEST(Matching, CoveringImpliesMatchSuperset) {
+  // If s1 covers s2, every event matching s2 matches s1 — the semantic
+  // definition N(s1) superset of N(s2), validated by sampling.
+  const schema s = workload::make_uniform_schema(3, 8);
+  workload::subscription_gen subs(s, {}, 11);
+  workload::event_gen events(s, 13);
+  int covering_pairs = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s1 = subs.next();
+    const auto s2 = subs.next();
+    if (!s1.covers(s2)) continue;
+    ++covering_pairs;
+    for (int e = 0; e < 30; ++e) {
+      const auto ev = events.next_matching(s2);
+      EXPECT_TRUE(matches(s2, ev));
+      EXPECT_TRUE(matches(s1, ev));
+    }
+  }
+  EXPECT_GT(covering_pairs, 0);
+}
+
+TEST(Matching, MatchAllIndices) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  const std::vector<subscription> subs{
+      parse_subscription(s, "attr0 <= 10"),
+      parse_subscription(s, "attr0 >= 5"),
+      parse_subscription(s, "attr0 = 7"),
+  };
+  const auto hits = match_all(subs, event(s, {7}));
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(match_all(subs, event(s, {11})), (std::vector<std::size_t>{1}));
+}
+
+}  // namespace
+}  // namespace subcover

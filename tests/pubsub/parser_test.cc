@@ -1,0 +1,110 @@
+#include "pubsub/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+TEST(ParseSubscription, PaperIntroExample) {
+  // "[stock = IBM, volume > 500, current < 95]" from Section 1 (current ->
+  // price in our stock schema).
+  const schema s = workload::make_stock_schema();
+  const auto sub = parse_subscription(s, "stock = IBM, volume > 500, price < 95");
+  EXPECT_EQ(sub.range(0).lo, s.label_value(0, "IBM"));
+  EXPECT_EQ(sub.range(0).hi, s.label_value(0, "IBM"));
+  EXPECT_EQ(sub.range(1).lo, 501U);
+  EXPECT_EQ(sub.range(1).hi, s.max_value(1));
+  EXPECT_EQ(sub.range(2).lo, 0U);
+  EXPECT_EQ(sub.range(2).hi, 94U);
+}
+
+TEST(ParseSubscription, Operators) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  EXPECT_EQ(parse_subscription(s, "attr0 >= 5").range(0), (attr_range{5, 255}));
+  EXPECT_EQ(parse_subscription(s, "attr0 > 5").range(0), (attr_range{6, 255}));
+  EXPECT_EQ(parse_subscription(s, "attr0 <= 5").range(0), (attr_range{0, 5}));
+  EXPECT_EQ(parse_subscription(s, "attr0 < 5").range(0), (attr_range{0, 4}));
+  EXPECT_EQ(parse_subscription(s, "attr0 = 5").range(0), (attr_range{5, 5}));
+  EXPECT_EQ(parse_subscription(s, "attr0 in [3, 9]").range(0), (attr_range{3, 9}));
+}
+
+TEST(ParseSubscription, EmptyTextIsMatchAll) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  EXPECT_EQ(parse_subscription(s, ""), subscription::match_all(s));
+  EXPECT_EQ(parse_subscription(s, "attr0 = *"), subscription::match_all(s));
+}
+
+TEST(ParseSubscription, BracketedForm) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  const auto sub = parse_subscription(s, "[attr0 = 7, attr1 >= 9]");
+  EXPECT_EQ(sub.range(0), (attr_range{7, 7}));
+  EXPECT_EQ(sub.range(1), (attr_range{9, 255}));
+}
+
+TEST(ParseSubscription, ConstraintsIntersect) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  const auto sub = parse_subscription(s, "attr0 >= 5, attr0 <= 10");
+  EXPECT_EQ(sub.range(0), (attr_range{5, 10}));
+}
+
+TEST(ParseSubscription, EmptyIntersectionThrows) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  EXPECT_THROW(parse_subscription(s, "attr0 > 10, attr0 < 5"), std::invalid_argument);
+}
+
+TEST(ParseSubscription, Errors) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  EXPECT_THROW(parse_subscription(s, "bogus = 1"), std::invalid_argument);
+  EXPECT_THROW(parse_subscription(s, "attr0 ~ 1"), std::invalid_argument);
+  EXPECT_THROW(parse_subscription(s, "attr0 = 300"), std::invalid_argument);
+  EXPECT_THROW(parse_subscription(s, "attr0 in [5, 3]"), std::invalid_argument);
+  EXPECT_THROW(parse_subscription(s, "attr0 in [1, 2"), std::invalid_argument);
+  EXPECT_THROW(parse_subscription(s, "attr0 = 1 trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_subscription(s, "attr0 < 0"), std::invalid_argument);
+  EXPECT_THROW(parse_subscription(s, "attr0 > 255"), std::invalid_argument);
+}
+
+TEST(ParseSubscription, CategoricalLabels) {
+  const schema s = workload::make_stock_schema();
+  const auto sub = parse_subscription(s, "stock = AAPL");
+  EXPECT_EQ(sub.range(0).lo, s.label_value(0, "AAPL"));
+  EXPECT_THROW(parse_subscription(s, "stock = KODAK"), std::invalid_argument);
+}
+
+TEST(ParseEvent, PaperIntroExample) {
+  // "[stock = IBM, volume = 1000, current = 88]".
+  const schema s = workload::make_stock_schema();
+  const auto e = parse_event(s, "stock = IBM, volume = 1000, price = 88");
+  EXPECT_EQ(e.value(0), s.label_value(0, "IBM"));
+  EXPECT_EQ(e.value(1), 1000U);
+  EXPECT_EQ(e.value(2), 88U);
+}
+
+TEST(ParseEvent, RequiresAllAttributes) {
+  const schema s = workload::make_stock_schema();
+  EXPECT_THROW(parse_event(s, "stock = IBM, volume = 10"), std::invalid_argument);
+}
+
+TEST(ParseEvent, RejectsRangesAndDuplicates) {
+  const schema s = workload::make_stock_schema();
+  EXPECT_THROW(parse_event(s, "stock = IBM, volume >= 10, price = 1"), std::invalid_argument);
+  EXPECT_THROW(parse_event(s, "stock = IBM, stock = AAPL, volume = 1, price = 1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_event(s, "stock = *, volume = 1, price = 1"), std::invalid_argument);
+}
+
+TEST(ParseRoundTrip, SubscriptionToStringReparses) {
+  const schema s = workload::make_stock_schema();
+  workload::subscription_gen gen(s, {}, 7);
+  for (int i = 0; i < 50; ++i) {
+    const auto sub = gen.next();
+    EXPECT_EQ(parse_subscription(s, sub.to_string(s)), sub) << sub.to_string(s);
+  }
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,104 @@
+#include "pubsub/subscription.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+schema two_attr() {
+  return schema({{"a", attribute_type::numeric, 8, {}}, {"b", attribute_type::numeric, 8, {}}});
+}
+
+TEST(Subscription, Construction) {
+  const schema s = two_attr();
+  const subscription sub(s, {{10, 20}, {0, 255}});
+  EXPECT_EQ(sub.attribute_count(), 2);
+  EXPECT_EQ(sub.range(0).lo, 10U);
+  EXPECT_EQ(sub.range(0).hi, 20U);
+}
+
+TEST(Subscription, RejectsBadRanges) {
+  const schema s = two_attr();
+  EXPECT_THROW(subscription(s, {{20, 10}, {0, 255}}), std::invalid_argument);
+  EXPECT_THROW(subscription(s, {{0, 256}, {0, 255}}), std::invalid_argument);
+  EXPECT_THROW(subscription(s, {{0, 1}}), std::invalid_argument);
+}
+
+TEST(Subscription, MatchAll) {
+  const schema s = two_attr();
+  const auto all = subscription::match_all(s);
+  EXPECT_EQ(all.range(0).lo, 0U);
+  EXPECT_EQ(all.range(0).hi, 255U);
+  // match_all covers everything.
+  EXPECT_TRUE(all.covers(subscription(s, {{5, 5}, {7, 9}})));
+}
+
+TEST(Subscription, CoversReflexive) {
+  const schema s = two_attr();
+  const subscription sub(s, {{10, 20}, {30, 40}});
+  EXPECT_TRUE(sub.covers(sub));
+}
+
+TEST(Subscription, CoversContainment) {
+  const schema s = two_attr();
+  const subscription broad(s, {{10, 20}, {30, 40}});
+  const subscription narrow(s, {{12, 18}, {30, 40}});
+  EXPECT_TRUE(broad.covers(narrow));
+  EXPECT_FALSE(narrow.covers(broad));
+}
+
+TEST(Subscription, CoversRequiresAllAttributes) {
+  const schema s = two_attr();
+  const subscription a(s, {{10, 20}, {30, 40}});
+  const subscription b(s, {{12, 18}, {29, 40}});  // second range pokes out
+  EXPECT_FALSE(a.covers(b));
+}
+
+TEST(Subscription, CoversIsPartialOrderAntisymmetry) {
+  const schema s = two_attr();
+  const subscription a(s, {{0, 10}, {0, 5}});
+  const subscription b(s, {{0, 5}, {0, 10}});
+  EXPECT_FALSE(a.covers(b));
+  EXPECT_FALSE(b.covers(a));
+}
+
+TEST(Subscription, CoversTransitiveRandomized) {
+  const schema s = two_attr();
+  workload::subscription_gen gen(s, {}, 99);
+  int checked = 0;
+  std::vector<subscription> subs;
+  for (int i = 0; i < 60; ++i) subs.push_back(gen.next());
+  for (const auto& a : subs)
+    for (const auto& b : subs)
+      for (const auto& c : subs)
+        if (a.covers(b) && b.covers(c)) {
+          EXPECT_TRUE(a.covers(c));
+          ++checked;
+        }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Subscription, VolumeLd) {
+  const schema s = two_attr();
+  const subscription sub(s, {{0, 9}, {5, 5}});
+  EXPECT_DOUBLE_EQ(static_cast<double>(sub.volume_ld()), 10.0);
+}
+
+TEST(Subscription, ToString) {
+  const schema s = two_attr();
+  EXPECT_EQ(subscription(s, {{3, 3}, {0, 255}}).to_string(s), "[a = 3, b = *]");
+  EXPECT_EQ(subscription(s, {{1, 2}, {4, 5}}).to_string(s), "[a in [1, 2], b in [4, 5]]");
+}
+
+TEST(Subscription, EqualityAndDefault) {
+  const schema s = two_attr();
+  EXPECT_EQ(subscription(s, {{1, 2}, {3, 4}}), subscription(s, {{1, 2}, {3, 4}}));
+  EXPECT_FALSE(subscription(s, {{1, 2}, {3, 4}}) == subscription(s, {{1, 2}, {3, 5}}));
+}
+
+}  // namespace
+}  // namespace subcover

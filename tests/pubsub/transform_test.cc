@@ -1,0 +1,89 @@
+#include "pubsub/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+TEST(Transform, PointLayout) {
+  const schema s = workload::make_uniform_schema(2, 8);  // k = 8, max 255
+  const subscription sub(s, {{10, 20}, {30, 40}});
+  const point p = to_dominance_point(s, sub);
+  ASSERT_EQ(p.dims(), 4);
+  EXPECT_EQ(p[0], 255U - 10U);  // shifted -lo
+  EXPECT_EQ(p[1], 20U);         // hi
+  EXPECT_EQ(p[2], 255U - 30U);
+  EXPECT_EQ(p[3], 40U);
+}
+
+TEST(Transform, NarrowAttributesScaleOntoUniverseGrid) {
+  // Mixed widths: a 4-bit attribute inside an 8-bit universe. Lower bounds
+  // map to cell starts, upper bounds to cell ends, so wildcards land exactly
+  // on the universe boundary.
+  const schema s({{"wide", attribute_type::numeric, 8, {}},
+                  {"narrow", attribute_type::numeric, 4, {}}});
+  const universe u = s.dominance_universe();
+  ASSERT_EQ(u.bits(), 8);
+  const auto all = subscription::match_all(s);
+  const point p = to_dominance_point(s, all);
+  EXPECT_EQ(p[0], 255U);  // wide lo = 0
+  EXPECT_EQ(p[1], 255U);  // wide hi = 255
+  EXPECT_EQ(p[2], 255U);  // narrow lo = 0 scaled
+  EXPECT_EQ(p[3], 255U);  // narrow hi = 15 -> (15+1)*16 - 1 = 255
+  const subscription mid(s, {{1, 2}, {3, 5}});
+  const point q = to_dominance_point(s, mid);
+  EXPECT_EQ(q[2], 255U - 3U * 16U);
+  EXPECT_EQ(q[3], 6U * 16U - 1U);
+  EXPECT_EQ(from_dominance_point(s, q), mid);
+}
+
+TEST(Transform, RoundTrip) {
+  const schema s = workload::make_uniform_schema(3, 10);
+  workload::subscription_gen gen(s, {}, 17);
+  for (int i = 0; i < 100; ++i) {
+    const auto sub = gen.next();
+    EXPECT_EQ(from_dominance_point(s, to_dominance_point(s, sub)), sub);
+  }
+}
+
+TEST(Transform, CoveringEquivalence) {
+  // The EO82 equivalence (Section 1.1): s1 covers s2 iff p(s1) dominates
+  // p(s2), for every pair in a random workload.
+  const schema s = workload::make_uniform_schema(2, 8);
+  workload::subscription_gen gen(s, {}, 19);
+  std::vector<subscription> subs;
+  for (int i = 0; i < 80; ++i) subs.push_back(gen.next());
+  int covering = 0;
+  for (const auto& s1 : subs) {
+    const point p1 = to_dominance_point(s, s1);
+    for (const auto& s2 : subs) {
+      const point p2 = to_dominance_point(s, s2);
+      EXPECT_EQ(s1.covers(s2), p1.dominates(p2));
+      if (s1.covers(s2)) ++covering;
+    }
+  }
+  EXPECT_GT(covering, 0);
+}
+
+TEST(Transform, MixedBitWidthsStayInUniverse) {
+  // Attributes narrower than the universe width map into the universe.
+  const schema s = workload::make_stock_schema();  // widths 8/16/14, k = 16
+  const universe u = s.dominance_universe();
+  workload::subscription_gen gen(s, {}, 23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(to_dominance_point(s, gen.next()).inside(u));
+  }
+}
+
+TEST(Transform, MatchAllDominatesEverything) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  const point top = to_dominance_point(s, subscription::match_all(s));
+  workload::subscription_gen gen(s, {}, 29);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(top.dominates(to_dominance_point(s, gen.next())));
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,203 @@
+#include "sfc/extremal_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "sfc/decomposition.h"
+#include "util/bitops.h"
+#include "util/random.h"
+
+namespace subcover {
+namespace {
+
+std::array<std::uint64_t, kMaxDims> lengths(std::initializer_list<std::uint64_t> ls) {
+  std::array<std::uint64_t, kMaxDims> a{};
+  std::size_t i = 0;
+  for (const auto l : ls) a[i++] = l;
+  return a;
+}
+
+extremal_rect random_extremal(rng& gen, const universe& u) {
+  std::array<std::uint64_t, kMaxDims> len{};
+  for (int i = 0; i < u.dims(); ++i)
+    len[static_cast<std::size_t>(i)] = gen.uniform(1, u.side());
+  return {u, len};
+}
+
+TEST(LevelOccupied, MatchesBits) {
+  const universe u(2, 4);
+  const extremal_rect r(u, lengths({0b1010, 0b0100}));
+  EXPECT_FALSE(level_occupied(r, 0));
+  EXPECT_TRUE(level_occupied(r, 1));
+  EXPECT_TRUE(level_occupied(r, 2));
+  EXPECT_TRUE(level_occupied(r, 3));
+  EXPECT_FALSE(level_occupied(r, 4));
+}
+
+TEST(ExtremalLevelCounts, FigureTwoExample256) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({256, 256}));
+  const auto counts = extremal_level_counts(u, r);
+  EXPECT_EQ(counts[8], u512(1));
+  EXPECT_EQ(extremal_cube_count(u, r), u512(1));
+}
+
+TEST(ExtremalLevelCounts, FigureTwoExample257) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({257, 257}));
+  const auto counts = extremal_level_counts(u, r);
+  EXPECT_EQ(counts[8], u512(1));    // one 256x256 cube
+  EXPECT_EQ(counts[0], u512(513));  // 257^2 - 256^2 unit cells
+  EXPECT_EQ(extremal_cube_count(u, r), u512(514));
+}
+
+TEST(ExtremalLevelCounts, HandSized2x3) {
+  // R(2,3): one 2x2 cube + two unit cells.
+  const universe u(2, 4);
+  const extremal_rect r(u, lengths({2, 3}));
+  const auto counts = extremal_level_counts(u, r);
+  EXPECT_EQ(counts[1], u512(1));
+  EXPECT_EQ(counts[0], u512(2));
+  EXPECT_EQ(extremal_cube_count(u, r), u512(3));
+}
+
+TEST(ExtremalLevelCounts, FullUniverse) {
+  const universe u(3, 4);
+  const extremal_rect r(u, lengths({16, 16, 16}));
+  const auto counts = extremal_level_counts(u, r);
+  EXPECT_EQ(counts[4], u512(1));
+  EXPECT_EQ(extremal_cube_count(u, r), u512(1));
+}
+
+TEST(ExtremalLevelCounts, MatchesGenericDecomposition) {
+  // Lemma 3.5's closed form == the greedy decomposition, across random
+  // extremal rectangles in several universes.
+  for (const auto& [d, k] : std::vector<std::pair<int, int>>{{1, 6}, {2, 5}, {3, 4}, {4, 3}}) {
+    const universe u(d, k);
+    rng gen(static_cast<std::uint64_t>(d * 100 + k));
+    for (int trial = 0; trial < 30; ++trial) {
+      const auto r = random_extremal(gen, u);
+      const auto analytic = extremal_level_counts(u, r);
+      const auto enumerated = decompose_rect_level_counts(u, r.to_rect(u));
+      for (int s = 0; s <= u.bits(); ++s) {
+        EXPECT_EQ(analytic[static_cast<std::size_t>(s)].low64(),
+                  enumerated[static_cast<std::size_t>(s)])
+            << r.to_string() << " level " << s << " d=" << d << " k=" << k;
+      }
+    }
+  }
+}
+
+std::set<std::string> level_cubes_via_paper(const universe& u, const extremal_rect& r, int i) {
+  std::set<std::string> out;
+  enumerate_level_cubes(u, r, i, [&](const standard_cube& c) {
+    EXPECT_EQ(c.side_bits(), i);
+    EXPECT_TRUE(out.insert(c.to_string()).second) << "duplicate " << c.to_string();
+  });
+  return out;
+}
+
+std::set<std::string> level_cubes_via_generic(const universe& u, const extremal_rect& r, int i) {
+  std::set<std::string> out;
+  decompose_rect(u, r.to_rect(u), [&](const standard_cube& c) {
+    if (c.side_bits() == i) out.insert(c.to_string());
+  });
+  return out;
+}
+
+TEST(EnumerateLevelCubes, MatchesGenericOnFigureTwo) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({257, 257}));
+  for (int i = 0; i <= 9; ++i)
+    EXPECT_EQ(level_cubes_via_paper(u, r, i), level_cubes_via_generic(u, r, i)) << i;
+}
+
+TEST(EnumerateLevelCubes, MatchesGenericRandomized) {
+  // The paper's Algorithms 1-3 produce exactly the greedy partition
+  // (Lemma 3.4); cross-check per level on random extremal rects.
+  for (const auto& [d, k] : std::vector<std::pair<int, int>>{{1, 6}, {2, 5}, {3, 3}, {4, 3}}) {
+    const universe u(d, k);
+    rng gen(static_cast<std::uint64_t>(d * 10 + k));
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto r = random_extremal(gen, u);
+      for (int i = 0; i <= u.bits(); ++i) {
+        EXPECT_EQ(level_cubes_via_paper(u, r, i), level_cubes_via_generic(u, r, i))
+            << r.to_string() << " level " << i;
+      }
+    }
+  }
+}
+
+TEST(EnumerateLevelCubes, FullUniverseSideLength) {
+  // l = 2^k exercises the P_x == k case of Equation 1.
+  const universe u(2, 4);
+  const extremal_rect r(u, lengths({16, 16}));
+  for (int i = 0; i <= 4; ++i)
+    EXPECT_EQ(level_cubes_via_paper(u, r, i), level_cubes_via_generic(u, r, i)) << i;
+  const extremal_rect mixed(u, lengths({16, 5}));
+  for (int i = 0; i <= 4; ++i)
+    EXPECT_EQ(level_cubes_via_paper(u, mixed, i), level_cubes_via_generic(u, mixed, i)) << i;
+}
+
+TEST(EnumerateCubesDescending, DescendingOrderAndComplete) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({257, 300}));
+  int last_side = 10;
+  std::uint64_t total = 0;
+  u512 vol = 0;
+  enumerate_cubes_descending(u, r, [&](const standard_cube& c) {
+    EXPECT_LE(c.side_bits(), last_side);
+    last_side = c.side_bits();
+    ++total;
+    vol += c.cell_count();
+  });
+  EXPECT_EQ(u512(total), extremal_cube_count(u, r));
+  EXPECT_EQ(vol, r.volume());
+}
+
+TEST(EnumerateCubesDescending, BudgetExceededThrows) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({257, 257}));  // 514 cubes
+  EXPECT_THROW(
+      enumerate_cubes_descending(u, r, [](const standard_cube&) {}, /*max_cubes=*/100),
+      std::length_error);
+}
+
+TEST(EnumerateLevelCubes, EmptyLevelVisitsNothing) {
+  const universe u(2, 4);
+  const extremal_rect r(u, lengths({0b1010, 0b0100}));
+  enumerate_level_cubes(u, r, 0,
+                        [](const standard_cube&) { FAIL() << "level 0 must be empty"; });
+}
+
+TEST(ExtremalLevelCounts, Lemma34Structure) {
+  // D_i empty for i in [b(l_min), b(l_max)), and cubes of side >= 2^i tile
+  // R(S_i(l)) exactly (volume check).
+  const universe u(3, 6);
+  rng gen(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto r = random_extremal(gen, u);
+    int b_min = 64;
+    int b_max = 0;
+    for (int j = 0; j < u.dims(); ++j) {
+      b_min = std::min(b_min, bit_length(r.length(j)));
+      b_max = std::max(b_max, bit_length(r.length(j)));
+    }
+    const auto counts = extremal_level_counts(u, r);
+    for (int i = b_min; i < b_max && i <= u.bits(); ++i)
+      EXPECT_TRUE(counts[static_cast<std::size_t>(i)].is_zero())
+          << r.to_string() << " i=" << i;
+    // Volume of cubes with side >= 2^i equals vol(R(S_i(l))).
+    for (int i = 0; i <= u.bits(); ++i) {
+      u512 vol_ge = 0;
+      for (int s = i; s <= u.bits(); ++s)
+        vol_ge += counts[static_cast<std::size_t>(s)] << (s * u.dims());
+      EXPECT_EQ(vol_ge, r.masked_from_bit(u, i).volume()) << r.to_string() << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subcover

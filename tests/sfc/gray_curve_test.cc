@@ -1,0 +1,81 @@
+#include "sfc/gray_curve.h"
+
+#include <gtest/gtest.h>
+
+namespace subcover {
+namespace {
+
+TEST(GrayCode, EncodeDecodeSmall) {
+  // Reflected Gray code of 0..7: 0,1,3,2,6,7,5,4.
+  const std::uint64_t expected[] = {0, 1, 3, 2, 6, 7, 5, 4};
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(gray_encode(u512(i)).low64(), expected[i]);
+    EXPECT_EQ(gray_decode(u512(expected[i])).low64(), i);
+  }
+}
+
+TEST(GrayCode, RoundTripWide) {
+  for (int b = 0; b < 512; b += 37) {
+    const u512 v = u512::pow2(b) + u512(12345);
+    EXPECT_EQ(gray_decode(gray_encode(v)), v);
+    EXPECT_EQ(gray_encode(gray_decode(v)), v);
+  }
+}
+
+TEST(GrayCode, ConsecutiveCodesDifferInOneBit) {
+  u512 prev = gray_encode(u512::zero());
+  for (std::uint64_t i = 1; i < 1000; ++i) {
+    const u512 cur = gray_encode(u512(i));
+    EXPECT_EQ((cur ^ prev).popcount(), 1) << i;
+    prev = cur;
+  }
+}
+
+TEST(GrayCurve, BijectionExhaustive2D) {
+  const universe u(2, 3);
+  const gray_curve g(u);
+  std::vector<bool> seen(64, false);
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      const auto key = g.cell_key(point{x, y}).low64();
+      ASSERT_LT(key, 64U);
+      EXPECT_FALSE(seen[key]);
+      seen[key] = true;
+    }
+}
+
+// On the Gray-code curve consecutive cells differ in exactly one interleaved
+// bit, i.e. one coordinate changes and by a power of two.
+TEST(GrayCurve, ConsecutiveCellsDifferInOneCoordinate) {
+  const universe u(2, 4);
+  const gray_curve g(u);
+  point prev = g.cell_from_key(0);
+  for (std::uint64_t key = 1; key < 256; ++key) {
+    const point cur = g.cell_from_key(key);
+    int changed = 0;
+    for (int i = 0; i < 2; ++i)
+      if (cur[i] != prev[i]) ++changed;
+    EXPECT_EQ(changed, 1) << "key " << key;
+    prev = cur;
+  }
+}
+
+TEST(GrayCurve, RoundTrip) {
+  const universe u(3, 4);
+  const gray_curve g(u);
+  for (std::uint32_t x = 0; x < 16; ++x)
+    for (std::uint32_t y = 0; y < 16; ++y)
+      for (std::uint32_t z = 0; z < 16; z += 3) {
+        const point p{x, y, z};
+        EXPECT_EQ(g.cell_from_key(g.cell_key(p)), p);
+      }
+}
+
+TEST(GrayCurve, StartsAtOrigin) {
+  const universe u(2, 4);
+  const gray_curve g(u);
+  EXPECT_EQ(g.cell_key(point{0, 0}), u512::zero());
+}
+
+}  // namespace
+}  // namespace subcover

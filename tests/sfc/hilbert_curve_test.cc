@@ -1,0 +1,104 @@
+#include "sfc/hilbert_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace subcover {
+namespace {
+
+// The classic 2-D Hilbert curve on a 2x2 grid visits (0,0), (0,1), (1,1),
+// (1,0) (up to the reflection convention fixed by Skilling's algorithm:
+// dimension 0 is the first walked axis).
+TEST(HilbertCurve, Order1Shape) {
+  const universe u(2, 1);
+  const hilbert_curve h(u);
+  std::vector<point> order(4, point(2));
+  for (std::uint32_t x = 0; x < 2; ++x)
+    for (std::uint32_t y = 0; y < 2; ++y)
+      order[h.cell_key(point{x, y}).low64()] = point{x, y};
+  // Consecutive cells differ by exactly one step in one dimension.
+  for (int i = 0; i + 1 < 4; ++i) {
+    const int dx = std::abs(static_cast<int>(order[i][0]) - static_cast<int>(order[i + 1][0]));
+    const int dy = std::abs(static_cast<int>(order[i][1]) - static_cast<int>(order[i + 1][1]));
+    EXPECT_EQ(dx + dy, 1) << "step " << i;
+  }
+  EXPECT_EQ(order[0], (point{0, 0}));
+}
+
+// Adjacency is the defining property of the Hilbert curve: consecutive keys
+// are orthogonally adjacent cells. (Z and Gray curves do not have this.)
+TEST(HilbertCurve, AdjacencyExhaustive2D) {
+  const universe u(2, 4);
+  const hilbert_curve h(u);
+  point prev = h.cell_from_key(0);
+  for (std::uint64_t key = 1; key < 256; ++key) {
+    const point cur = h.cell_from_key(key);
+    int dist = 0;
+    for (int i = 0; i < 2; ++i)
+      dist += std::abs(static_cast<int>(cur[i]) - static_cast<int>(prev[i]));
+    EXPECT_EQ(dist, 1) << "key " << key;
+    prev = cur;
+  }
+}
+
+TEST(HilbertCurve, AdjacencyExhaustive3D) {
+  const universe u(3, 3);
+  const hilbert_curve h(u);
+  point prev = h.cell_from_key(0);
+  for (std::uint64_t key = 1; key < 512; ++key) {
+    const point cur = h.cell_from_key(key);
+    int dist = 0;
+    for (int i = 0; i < 3; ++i)
+      dist += std::abs(static_cast<int>(cur[i]) - static_cast<int>(prev[i]));
+    EXPECT_EQ(dist, 1) << "key " << key;
+    prev = cur;
+  }
+}
+
+TEST(HilbertCurve, AdjacencyExhaustive4D) {
+  const universe u(4, 2);
+  const hilbert_curve h(u);
+  point prev = h.cell_from_key(0);
+  for (std::uint64_t key = 1; key < 256; ++key) {
+    const point cur = h.cell_from_key(key);
+    int dist = 0;
+    for (int i = 0; i < 4; ++i)
+      dist += std::abs(static_cast<int>(cur[i]) - static_cast<int>(prev[i]));
+    EXPECT_EQ(dist, 1) << "key " << key;
+    prev = cur;
+  }
+}
+
+TEST(HilbertCurve, StartsAtOrigin) {
+  for (int d = 1; d <= 4; ++d) {
+    const universe u(d, 3);
+    const hilbert_curve h(u);
+    EXPECT_EQ(h.cell_key(point(d)), u512::zero()) << "d=" << d;
+  }
+}
+
+TEST(HilbertCurve, RoundTrip2D) {
+  const universe u(2, 5);
+  const hilbert_curve h(u);
+  for (std::uint32_t x = 0; x < 32; ++x)
+    for (std::uint32_t y = 0; y < 32; ++y) {
+      const point p{x, y};
+      EXPECT_EQ(h.cell_from_key(h.cell_key(p)), p);
+    }
+}
+
+TEST(HilbertCurve, RoundTripHighDims) {
+  const universe u(8, 10);
+  const hilbert_curve h(u);
+  // Spot-check a grid of points (exhaustive is infeasible at 2^80 cells).
+  for (std::uint32_t x = 0; x < 1024; x += 73) {
+    point p(8);
+    for (int i = 0; i < 8; ++i) p[i] = (x * (static_cast<std::uint32_t>(i) + 3)) % 1024;
+    EXPECT_EQ(h.cell_from_key(h.cell_key(p)), p);
+  }
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,93 @@
+// Behavioural equivalence of all sfc_array implementations.
+#include "sfcarray/sfc_array.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace subcover {
+namespace {
+
+class SfcArrayBehaviour : public ::testing::TestWithParam<sfc_array_kind> {
+ protected:
+  [[nodiscard]] std::unique_ptr<sfc_array> make() const { return make_sfc_array(GetParam()); }
+};
+
+TEST_P(SfcArrayBehaviour, InsertEraseLookup) {
+  auto a = make();
+  a->insert(u512(10), 1);
+  a->insert(u512(20), 2);
+  a->insert(u512(30), 3);
+  EXPECT_EQ(a->size(), 3U);
+  auto hit = a->first_in({u512(15), u512(25)});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 2U);
+  EXPECT_TRUE(a->erase(u512(20), 2));
+  EXPECT_FALSE(a->first_in({u512(15), u512(25)}).has_value());
+}
+
+TEST_P(SfcArrayBehaviour, CountIn) {
+  auto a = make();
+  for (std::uint64_t i = 0; i < 100; ++i) a->insert(u512(i), i);
+  EXPECT_EQ(a->count_in({u512(10), u512(19)}), 10U);
+  EXPECT_EQ(a->count_in({u512(200), u512(300)}), 0U);
+}
+
+TEST_P(SfcArrayBehaviour, ImplementationsAgreeUnderRandomOps) {
+  auto a = make();
+  auto reference = make_sfc_array(sfc_array_kind::sorted_vector);
+  rng gen(123);
+  for (int op = 0; op < 2000; ++op) {
+    const std::uint64_t key = gen.uniform(0, 300);
+    const std::uint64_t id = gen.uniform(0, 10);
+    switch (gen.uniform(0, 2)) {
+      case 0:
+        a->insert(u512(key), id);
+        reference->insert(u512(key), id);
+        break;
+      case 1:
+        EXPECT_EQ(a->erase(u512(key), id), reference->erase(u512(key), id));
+        break;
+      default: {
+        const std::uint64_t lo = gen.uniform(0, 300);
+        const std::uint64_t hi = gen.uniform(lo, 300);
+        const key_range r{u512(lo), u512(hi)};
+        const auto x = a->first_in(r);
+        const auto y = reference->first_in(r);
+        ASSERT_EQ(x.has_value(), y.has_value());
+        if (x.has_value()) {
+          EXPECT_EQ(x->key, y->key);
+          EXPECT_EQ(x->id, y->id);
+        }
+        EXPECT_EQ(a->count_in(r), reference->count_in(r));
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(a->size(), reference->size());
+}
+
+TEST_P(SfcArrayBehaviour, ForEachVisitsAllInOrder) {
+  auto a = make();
+  rng gen(9);
+  for (int i = 0; i < 300; ++i) a->insert(u512(gen.uniform(0, 1000)), static_cast<std::uint64_t>(i));
+  std::size_t n = 0;
+  u512 prev = 0;
+  a->for_each([&](const sfc_array::entry& e) {
+    EXPECT_LE(prev, e.key);
+    prev = e.key;
+    ++n;
+  });
+  EXPECT_EQ(n, a->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SfcArrayBehaviour,
+                         ::testing::Values(sfc_array_kind::skiplist,
+                                           sfc_array_kind::sorted_vector),
+                         [](const ::testing::TestParamInfo<sfc_array_kind>& info) {
+                           return info.param == sfc_array_kind::skiplist ? "skiplist"
+                                                                         : "sorted_vector";
+                         });
+
+}  // namespace
+}  // namespace subcover

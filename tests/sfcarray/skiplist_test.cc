@@ -1,0 +1,144 @@
+#include "sfcarray/skiplist_array.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+
+namespace subcover {
+namespace {
+
+TEST(Skiplist, EmptyBehaviour) {
+  skiplist_array sl;
+  EXPECT_EQ(sl.size(), 0U);
+  EXPECT_FALSE(sl.first_in({u512(0), u512::max()}).has_value());
+  EXPECT_EQ(sl.count_in({u512(0), u512::max()}), 0U);
+  EXPECT_FALSE(sl.erase(u512(1), 1));
+  sl.check_invariants();
+}
+
+TEST(Skiplist, SingleInsertLookup) {
+  skiplist_array sl;
+  sl.insert(u512(100), 7);
+  EXPECT_EQ(sl.size(), 1U);
+  const auto e = sl.first_in({u512(50), u512(150)});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->key, u512(100));
+  EXPECT_EQ(e->id, 7U);
+  EXPECT_FALSE(sl.first_in({u512(0), u512(99)}).has_value());
+  EXPECT_FALSE(sl.first_in({u512(101), u512(200)}).has_value());
+}
+
+TEST(Skiplist, BoundaryInclusive) {
+  skiplist_array sl;
+  sl.insert(u512(10), 1);
+  EXPECT_TRUE(sl.first_in({u512(10), u512(10)}).has_value());
+}
+
+TEST(Skiplist, FirstInReturnsSmallestKey) {
+  skiplist_array sl;
+  sl.insert(u512(30), 3);
+  sl.insert(u512(20), 2);
+  sl.insert(u512(10), 1);
+  const auto e = sl.first_in({u512(15), u512(100)});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->id, 2U);
+}
+
+TEST(Skiplist, DuplicateKeysAllowed) {
+  skiplist_array sl;
+  sl.insert(u512(5), 1);
+  sl.insert(u512(5), 2);
+  sl.insert(u512(5), 3);
+  EXPECT_EQ(sl.size(), 3U);
+  EXPECT_EQ(sl.count_in({u512(5), u512(5)}), 3U);
+  EXPECT_TRUE(sl.erase(u512(5), 2));
+  EXPECT_FALSE(sl.erase(u512(5), 2));
+  EXPECT_EQ(sl.count_in({u512(5), u512(5)}), 2U);
+  sl.check_invariants();
+}
+
+TEST(Skiplist, EraseMaintainsOrder) {
+  skiplist_array sl;
+  for (std::uint64_t i = 0; i < 100; ++i) sl.insert(u512(i * 3), i);
+  for (std::uint64_t i = 0; i < 100; i += 2) EXPECT_TRUE(sl.erase(u512(i * 3), i));
+  EXPECT_EQ(sl.size(), 50U);
+  sl.check_invariants();
+  // Remaining entries are the odd ones.
+  std::uint64_t seen = 0;
+  sl.for_each([&](const sfc_array::entry& e) {
+    EXPECT_EQ(e.id % 2, 1U);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 50U);
+}
+
+TEST(Skiplist, ForEachInOrder) {
+  skiplist_array sl;
+  rng gen(5);
+  for (int i = 0; i < 500; ++i) sl.insert(u512(gen.next()) << 64, static_cast<std::uint64_t>(i));
+  u512 prev = 0;
+  sl.for_each([&](const sfc_array::entry& e) {
+    EXPECT_LE(prev, e.key);
+    prev = e.key;
+  });
+}
+
+TEST(Skiplist, WideKeys) {
+  skiplist_array sl;
+  const u512 big = u512::pow2(500);
+  sl.insert(big, 1);
+  sl.insert(big + 1, 2);
+  const auto e = sl.first_in({big + 1, u512::max()});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->id, 2U);
+}
+
+TEST(Skiplist, RandomizedAgainstMultimapOracle) {
+  skiplist_array sl;
+  std::multimap<std::pair<std::uint64_t, std::uint64_t>, bool> oracle;  // (key.low, id)
+  rng gen(77);
+  for (int op = 0; op < 5000; ++op) {
+    const std::uint64_t key = gen.uniform(0, 500);
+    const std::uint64_t id = gen.uniform(0, 20);
+    const int action = static_cast<int>(gen.uniform(0, 2));
+    if (action == 0) {
+      sl.insert(u512(key), id);
+      oracle.insert({{key, id}, true});
+    } else if (action == 1) {
+      const bool erased = sl.erase(u512(key), id);
+      const auto it = oracle.find({key, id});
+      EXPECT_EQ(erased, it != oracle.end());
+      if (it != oracle.end()) oracle.erase(it);
+    } else {
+      const std::uint64_t lo = gen.uniform(0, 500);
+      const std::uint64_t hi = gen.uniform(lo, 500);
+      const auto hit = sl.first_in({u512(lo), u512(hi)});
+      // Oracle: smallest (key, id) with key in [lo, hi].
+      auto oit = oracle.lower_bound({lo, 0});
+      const bool expect_hit = oit != oracle.end() && oit->first.first <= hi;
+      EXPECT_EQ(hit.has_value(), expect_hit);
+      if (expect_hit && hit.has_value()) {
+        EXPECT_EQ(hit->key.low64(), oit->first.first);
+        EXPECT_EQ(hit->id, oit->first.second);
+      }
+    }
+  }
+  EXPECT_EQ(sl.size(), oracle.size());
+  sl.check_invariants();
+}
+
+TEST(Skiplist, LargeScaleInsertCount) {
+  skiplist_array sl;
+  const int n = 20'000;
+  rng gen(9);
+  for (int i = 0; i < n; ++i)
+    sl.insert(u512(gen.next()), static_cast<std::uint64_t>(i));
+  EXPECT_EQ(sl.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(sl.count_in({u512(0), u512::max()}), static_cast<std::uint64_t>(n));
+  sl.check_invariants();
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,113 @@
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace subcover {
+namespace {
+
+TEST(BitLength, MatchesPaperExample) {
+  // Paper Section 3.1: b(9) = 4.
+  EXPECT_EQ(bit_length(9), 4);
+}
+
+TEST(BitLength, Zero) { EXPECT_EQ(bit_length(0), 0); }
+
+TEST(BitLength, PowersOfTwo) {
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(bit_length(std::uint64_t{1} << i), i + 1) << i;
+}
+
+TEST(BitLength, AllOnes) {
+  EXPECT_EQ(bit_length(1), 1);
+  EXPECT_EQ(bit_length(3), 2);
+  EXPECT_EQ(bit_length(7), 3);
+  EXPECT_EQ(bit_length(~std::uint64_t{0}), 64);
+}
+
+TEST(BitAt, Basic) {
+  EXPECT_TRUE(bit_at(0b1010, 1));
+  EXPECT_FALSE(bit_at(0b1010, 0));
+  EXPECT_TRUE(bit_at(0b1010, 3));
+  EXPECT_FALSE(bit_at(0b1010, 4));
+}
+
+TEST(KeepBitsFrom, Basic) {
+  // S_1(0b1011) = 0b1010.
+  EXPECT_EQ(keep_bits_from(0b1011, 1), 0b1010U);
+  EXPECT_EQ(keep_bits_from(0b1011, 0), 0b1011U);
+  EXPECT_EQ(keep_bits_from(0b1011, 2), 0b1000U);
+  EXPECT_EQ(keep_bits_from(0b1011, 4), 0U);
+}
+
+TEST(KeepBitsFrom, LargeShiftIsZero) {
+  EXPECT_EQ(keep_bits_from(~std::uint64_t{0}, 64), 0U);
+  EXPECT_EQ(keep_bits_from(~std::uint64_t{0}, 100), 0U);
+}
+
+TEST(TruncateToMsb, KeepsTopBits) {
+  // t(x, m) keeps the m most significant bit POSITIONS (paper Section 3.1):
+  // t(1011b, 2) keeps bits 3..2 -> 1000b; t(1011b, 3) keeps bits 3..1 -> 1010b.
+  EXPECT_EQ(truncate_to_msb(0b1011, 2), 0b1000U);
+  EXPECT_EQ(truncate_to_msb(0b1011, 3), 0b1010U);
+  EXPECT_EQ(truncate_to_msb(0b1011, 1), 0b1000U);
+}
+
+TEST(TruncateToMsb, MoreBitsThanValueIsIdentity) {
+  EXPECT_EQ(truncate_to_msb(0b1011, 4), 0b1011U);
+  EXPECT_EQ(truncate_to_msb(0b1011, 10), 0b1011U);
+}
+
+TEST(TruncateToMsb, PaperChoiceOfM) {
+  // The 257 example of Figure 2: t(257, 1) = 256.
+  EXPECT_EQ(truncate_to_msb(257, 1), 256U);
+  EXPECT_EQ(truncate_to_msb(257, 8), 256U);
+  EXPECT_EQ(truncate_to_msb(257, 9), 257U);
+}
+
+TEST(FloorPow2, Basic) {
+  EXPECT_EQ(floor_pow2(1), 1U);
+  EXPECT_EQ(floor_pow2(2), 2U);
+  EXPECT_EQ(floor_pow2(3), 2U);
+  EXPECT_EQ(floor_pow2(255), 128U);
+  EXPECT_EQ(floor_pow2(256), 256U);
+}
+
+TEST(IsPow2, Basic) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(CeilLog2, Basic) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1 << 20), 20);
+  EXPECT_EQ(ceil_log2((1 << 20) + 1), 21);
+}
+
+TEST(TrailingZeros, Basic) {
+  EXPECT_EQ(trailing_zeros(1), 0);
+  EXPECT_EQ(trailing_zeros(8), 3);
+  EXPECT_EQ(trailing_zeros(0), 64);
+  EXPECT_EQ(trailing_zeros(0b1011000), 3);
+}
+
+// Property: t(x, m) <= x < t(x, m) + 2^(b(x)-m) for m < b(x) — the error
+// bound Lemma 3.2's proof relies on.
+TEST(TruncateToMsb, ErrorBoundProperty) {
+  for (std::uint64_t x : {3ULL, 9ULL, 100ULL, 257ULL, 1023ULL, 65535ULL, 123456789ULL}) {
+    for (int m = 1; m < bit_length(x); ++m) {
+      const auto t = truncate_to_msb(x, m);
+      EXPECT_LE(t, x);
+      EXPECT_LT(x, t + (std::uint64_t{1} << (bit_length(x) - m)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,73 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace subcover {
+namespace {
+
+cli_flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return {static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(CliFlags, DefaultsWhenAbsent) {
+  auto f = make({});
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_EQ(f.get_double("eps", 0.5), 0.5);
+  EXPECT_TRUE(f.get_bool("verbose", true));
+  EXPECT_EQ(f.get_string("mode", "fast"), "fast");
+  f.finish();
+}
+
+TEST(CliFlags, ParsesValues) {
+  auto f = make({"--n=42", "--eps=0.25", "--verbose", "--mode=slow"});
+  EXPECT_EQ(f.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("eps", 0), 0.25);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_EQ(f.get_string("mode", ""), "slow");
+  f.finish();
+}
+
+TEST(CliFlags, BoolExplicit) {
+  auto f = make({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(CliFlags, RejectsBadInt) {
+  auto f = make({"--n=12x"});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(CliFlags, RejectsBadDouble) {
+  auto f = make({"--eps=abc"});
+  EXPECT_THROW(f.get_double("eps", 0), std::invalid_argument);
+}
+
+TEST(CliFlags, RejectsBadBool) {
+  auto f = make({"--v=yes"});
+  EXPECT_THROW(f.get_bool("v", false), std::invalid_argument);
+}
+
+TEST(CliFlags, RejectsNonFlagArgument) {
+  EXPECT_THROW(make({"positional"}), std::invalid_argument);
+}
+
+TEST(CliFlags, FinishRejectsUnknownFlags) {
+  auto f = make({"--unknown=1"});
+  EXPECT_THROW(f.finish(), std::invalid_argument);
+}
+
+TEST(CliFlags, NegativeNumbers) {
+  auto f = make({"--n=-5", "--x=-0.5"});
+  EXPECT_EQ(f.get_int("n", 0), -5);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 0), -0.5);
+}
+
+}  // namespace
+}  // namespace subcover

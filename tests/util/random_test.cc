@@ -1,0 +1,137 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+#include <stdexcept>
+
+namespace subcover {
+namespace {
+
+TEST(Rng, Deterministic) {
+  rng a(42);
+  rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng a(1);
+  rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  rng gen(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = gen.uniform(10, 20);
+    EXPECT_GE(v, 10U);
+    EXPECT_LE(v, 20U);
+  }
+}
+
+TEST(Rng, UniformSingleton) {
+  rng gen(7);
+  EXPECT_EQ(gen.uniform(5, 5), 5U);
+}
+
+TEST(Rng, UniformFullRangeDoesNotHang) {
+  rng gen(7);
+  (void)gen.uniform(0, ~std::uint64_t{0});
+}
+
+TEST(Rng, UniformEmptyRangeThrows) {
+  rng gen(7);
+  EXPECT_THROW(gen.uniform(6, 5), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversRange) {
+  rng gen(7);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10'000; ++i) ++counts[gen.uniform(0, 9)];
+  EXPECT_EQ(counts.size(), 10U);
+  for (const auto& [v, c] : counts) {
+    (void)v;
+    EXPECT_GT(c, 700);  // ~1000 expected per bucket
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  rng gen(7);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = gen.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  rng gen(7);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += gen.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10'000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  rng gen(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.bernoulli(0.0));
+    EXPECT_TRUE(gen.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, IndexThrowsOnEmpty) {
+  rng gen(7);
+  EXPECT_THROW(gen.index(0), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  rng gen(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  gen.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+  zipf_sampler z(10, 0.0);
+  rng gen(7);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20'000; ++i) ++counts[z.sample(gen)];
+  for (const auto& [v, c] : counts) {
+    (void)v;
+    EXPECT_NEAR(c, 2000, 400);
+  }
+}
+
+TEST(Zipf, SkewPrefersLowRanks) {
+  zipf_sampler z(100, 1.2);
+  rng gen(7);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20'000; ++i) ++counts[z.sample(gen)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20'000 / 10);  // rank 0 dominates
+}
+
+TEST(Zipf, InvalidArguments) {
+  EXPECT_THROW(zipf_sampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(zipf_sampler(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, SamplesInRange) {
+  zipf_sampler z(5, 2.0);
+  rng gen(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.sample(gen), 5U);
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace subcover {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0U);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Summarize, SingleValue) {
+  const auto s = summarize({5.0});
+  EXPECT_EQ(s.count, 1U);
+  EXPECT_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.p50, 5.0);
+  EXPECT_EQ(s.stdev, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const auto s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5U);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stdev, 1.5811, 1e-3);
+}
+
+TEST(Quantile, Interpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0, 10}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({0, 10}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({0, 10}, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(Quantile, Invalid) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(LinearFit, ExactLine) {
+  const auto f = linear_fit({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFit, Errors) {
+  EXPECT_THROW(linear_fit({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({2, 2}, {1, 3}), std::invalid_argument);  // degenerate x
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+  // y = 4 * x^3.
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    xs.push_back(x);
+    ys.push_back(4 * x * x * x);
+  }
+  const auto f = loglog_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 2.0, 1e-9);  // log2(4)
+}
+
+TEST(LogLogFit, RejectsNonPositive) {
+  EXPECT_THROW(loglog_fit({1, 0}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(loglog_fit({1, 2}, {1, -1}), std::invalid_argument);
+}
+
+TEST(Accumulator, MatchesSummarize) {
+  accumulator acc;
+  std::vector<double> values{2, 4, 4, 4, 5, 5, 7, 9};
+  for (const double v : values) acc.add(v);
+  const auto s = summarize(values);
+  EXPECT_EQ(acc.count(), s.count);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(acc.stdev(), s.stdev, 1e-12);
+  EXPECT_EQ(acc.min(), s.min);
+  EXPECT_EQ(acc.max(), s.max);
+  EXPECT_DOUBLE_EQ(acc.total(), 40.0);
+}
+
+TEST(Accumulator, EmptyVariance) {
+  accumulator acc;
+  EXPECT_EQ(acc.variance(), 0.0);
+  acc.add(5);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace subcover {
+namespace {
+
+TEST(AsciiTable, RendersHeadersAndRows) {
+  ascii_table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| 22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(AsciiTable, ColumnWidthsAdapt) {
+  ascii_table t({"h"});
+  t.add_row({"longvalue"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| longvalue |"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsMismatchedRow) {
+  ascii_table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, RejectsEmptyHeaders) {
+  EXPECT_THROW(ascii_table({}), std::invalid_argument);
+}
+
+TEST(AsciiTable, Csv) {
+  ascii_table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Formatters, Double) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.0, 0), "3");
+}
+
+TEST(Formatters, Sci) { EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04"); }
+
+TEST(Formatters, U64ThousandsSeparators) {
+  EXPECT_EQ(fmt_u64(0), "0");
+  EXPECT_EQ(fmt_u64(999), "999");
+  EXPECT_EQ(fmt_u64(1000), "1,000");
+  EXPECT_EQ(fmt_u64(1234567), "1,234,567");
+  EXPECT_EQ(fmt_u64(1000000000), "1,000,000,000");
+}
+
+TEST(Formatters, Percent) { EXPECT_EQ(fmt_percent(0.123456, 2), "12.35%"); }
+
+TEST(Formatters, Ratio) { EXPECT_EQ(fmt_ratio(12.3456), "12.35x"); }
+
+}  // namespace
+}  // namespace subcover

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "pubsub/matching.h"
+#include "util/bitops.h"
+#include "workload/event_gen.h"
+#include "workload/rect_gen.h"
+#include "workload/subscription_gen.h"
+
+namespace subcover {
+namespace {
+
+TEST(RectGen, RandomExtremalRespectsProfile) {
+  const universe u(4, 10);
+  rng gen(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto r = workload::random_extremal(gen, u, 4, 3);
+    EXPECT_EQ(bit_length(r.length(0)), 4);
+    EXPECT_EQ(bit_length(r.length(3)), 7);
+    EXPECT_EQ(r.min_side_bits(), 4);
+    EXPECT_EQ(r.max_side_bits(), 7);
+    EXPECT_EQ(r.aspect_ratio(), 3);
+  }
+}
+
+TEST(RectGen, AlphaZeroAllSidesSameBitLength) {
+  const universe u(3, 8);
+  rng gen(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto r = workload::random_extremal(gen, u, 5, 0);
+    EXPECT_EQ(r.aspect_ratio(), 0);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(bit_length(r.length(i)), 5);
+  }
+}
+
+TEST(RectGen, RejectsBadProfile) {
+  const universe u(2, 8);
+  rng gen(3);
+  EXPECT_THROW(workload::random_extremal(gen, u, 0, 0), std::invalid_argument);
+  EXPECT_THROW(workload::random_extremal(gen, u, 6, 3), std::invalid_argument);
+  EXPECT_THROW(workload::worst_case_extremal(u, 4, 2, 0), std::invalid_argument);
+}
+
+TEST(RectGen, WorstCaseTopBitsAllOnes) {
+  const universe u(3, 10);
+  const auto r = workload::worst_case_extremal(u, 5, 2, 3);
+  // dim 0: b=5, top 3 bits ones: 11100b = 28.
+  EXPECT_EQ(r.length(0), 0b11100U);
+  // dims 1, 2: b=7, top 3 bits ones: 1110000b = 112.
+  EXPECT_EQ(r.length(1), 0b1110000U);
+  EXPECT_EQ(r.length(2), 0b1110000U);
+}
+
+TEST(RectGen, WorstCaseMLargerThanGamma) {
+  const universe u(2, 10);
+  const auto r = workload::worst_case_extremal(u, 3, 0, 8);
+  EXPECT_EQ(r.length(0), 7U);  // all 3 bits set
+}
+
+TEST(RectGen, AdversarialShape) {
+  const universe u(3, 10);
+  const auto r = workload::adversarial_extremal(u, 4, 2);
+  EXPECT_EQ(r.length(0), 63U);  // 2^(4+2) - 1
+  EXPECT_EQ(r.length(1), 63U);
+  EXPECT_EQ(r.length(2), 15U);  // shortest side on the last dimension
+  EXPECT_EQ(r.aspect_ratio(), 2);
+}
+
+TEST(RectGen, RandomRectInsideUniverse) {
+  const universe u(3, 6);
+  rng gen(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto r = workload::random_rect(gen, u, 16);
+    EXPECT_TRUE(rect::whole(u).contains(r));
+    for (int i = 0; i < 3; ++i) EXPECT_LE(r.side(i), 16U);
+  }
+}
+
+TEST(SubscriptionGen, ProducesValidSubscriptions) {
+  for (const auto kind : {workload::workload_kind::uniform, workload::workload_kind::clustered,
+                          workload::workload_kind::zipf}) {
+    const schema s = workload::make_uniform_schema(3, 10);
+    workload::subscription_gen_options o;
+    o.kind = kind;
+    workload::subscription_gen gen(s, o, 5);
+    for (int i = 0; i < 200; ++i) {
+      const auto sub = gen.next();  // constructor validates ranges
+      EXPECT_EQ(sub.attribute_count(), 3);
+    }
+  }
+}
+
+TEST(SubscriptionGen, WildcardProbability) {
+  const schema s = workload::make_uniform_schema(1, 10);
+  workload::subscription_gen_options o;
+  o.wildcard_prob = 1.0;
+  workload::subscription_gen gen(s, o, 6);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(gen.next(), subscription::match_all(s));
+}
+
+TEST(SubscriptionGen, ClusteredProducesMoreCoveringThanUniform) {
+  // The clustered workload exists to create covering-rich sets; verify the
+  // covering-pair density exceeds the uniform workload's.
+  const schema s = workload::make_uniform_schema(2, 10);
+  auto count_covering = [&](workload::workload_kind kind, std::uint64_t seed) {
+    workload::subscription_gen_options o;
+    o.kind = kind;
+    o.clusters = 4;
+    workload::subscription_gen gen(s, o, seed);
+    std::vector<subscription> subs;
+    for (int i = 0; i < 150; ++i) subs.push_back(gen.next());
+    int pairs = 0;
+    for (const auto& a : subs)
+      for (const auto& b : subs)
+        if (&a != &b && a.covers(b)) ++pairs;
+    return pairs;
+  };
+  EXPECT_GT(count_covering(workload::workload_kind::clustered, 7),
+            count_covering(workload::workload_kind::uniform, 7));
+}
+
+TEST(SubscriptionGen, CategoricalConstraintsAreEqualities) {
+  const schema s = workload::make_stock_schema();
+  workload::subscription_gen_options o;
+  o.wildcard_prob = 0.0;
+  workload::subscription_gen gen(s, o, 8);
+  for (int i = 0; i < 100; ++i) {
+    const auto sub = gen.next();
+    EXPECT_EQ(sub.range(0).lo, sub.range(0).hi);
+    EXPECT_LT(sub.range(0).hi, s.attribute(0).labels.size());
+  }
+}
+
+TEST(SubscriptionGen, InvalidOptionsThrow) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  workload::subscription_gen_options o;
+  o.mean_width = 0.0;
+  EXPECT_THROW(workload::subscription_gen(s, o, 1), std::invalid_argument);
+  o = {};
+  o.wildcard_prob = 1.5;
+  EXPECT_THROW(workload::subscription_gen(s, o, 1), std::invalid_argument);
+  o = {};
+  o.kind = workload::workload_kind::clustered;
+  o.clusters = 0;
+  EXPECT_THROW(workload::subscription_gen(s, o, 1), std::invalid_argument);
+}
+
+TEST(EventGen, UniformEventsAreValid) {
+  const schema s = workload::make_stock_schema();
+  workload::event_gen gen(s, 9);
+  for (int i = 0; i < 200; ++i) {
+    const auto e = gen.next();
+    EXPECT_EQ(e.attribute_count(), 3);
+    // Categorical values stay within the label dictionary.
+    EXPECT_LT(e.value(0), s.attribute(0).labels.size());
+  }
+}
+
+TEST(EventGen, MatchingEventsMatch) {
+  const schema s = workload::make_uniform_schema(3, 10);
+  workload::subscription_gen subs(s, {}, 10);
+  workload::event_gen events(s, 11);
+  for (int i = 0; i < 100; ++i) {
+    const auto sub = subs.next();
+    EXPECT_TRUE(matches(sub, events.next_matching(sub)));
+  }
+}
+
+TEST(Schemas, PrefabSchemasAreValid) {
+  EXPECT_EQ(workload::make_stock_schema().attribute_count(), 3);
+  EXPECT_EQ(workload::make_sensor_schema().attribute_count(), 4);
+  EXPECT_EQ(workload::make_uniform_schema(5, 12).attribute_count(), 5);
+  // Dominance universes are well-formed.
+  EXPECT_EQ(workload::make_sensor_schema().dominance_universe().dims(), 8);
+}
+
+}  // namespace
+}  // namespace subcover
