@@ -1,9 +1,19 @@
 // E12 — google-benchmark micro-suite: per-operation costs of the building
-// blocks (key generation per curve, greedy decomposition, skip-list
-// operations, end-to-end covering checks).
+// blocks (key generation per curve, greedy decomposition, streaming run
+// coalescing, skip-list operations, warm-plan dominance queries, end-to-end
+// covering checks).
+//
+// Output: the usual console table, plus machine-readable JSON written to
+// BENCH_micro.json (override with --benchmark_out=...) so per-op ns and the
+// probes/cubes/runs counters feed the perf-trajectory tracking.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "covering/sfc_covering_index.h"
+#include "dominance/query_plan.h"
 #include "sfc/decomposition.h"
 #include "sfc/gray_curve.h"
 #include "sfc/hilbert_curve.h"
@@ -79,6 +89,62 @@ void BM_RunsOfRandomRect(benchmark::State& state) {
 }
 BENCHMARK(BM_RunsOfRandomRect);
 
+void BM_RunStreamReused(benchmark::State& state) {
+  // The allocation-free path: one warm run_stream over random rectangles.
+  const universe u(2, 10);
+  const z_curve z(u);
+  run_stream stream(z);
+  rng gen(7);
+  std::uint64_t total_runs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto side = gen.uniform(1, 512);
+    const auto x = gen.uniform(0, u.side() - side);
+    const auto y = gen.uniform(0, u.side() - side);
+    const rect r(point{static_cast<std::uint32_t>(x), static_cast<std::uint32_t>(y)},
+                 point{static_cast<std::uint32_t>(x + side - 1),
+                       static_cast<std::uint32_t>(y + side - 1)});
+    state.ResumeTiming();
+    stream.reset(r);
+    key_range run;
+    while (stream.next(&run)) ++total_runs;
+    benchmark::DoNotOptimize(total_runs);
+  }
+  state.counters["runs"] =
+      benchmark::Counter(static_cast<double>(total_runs), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RunStreamReused);
+
+void BM_DominanceQueryWarmPlan(benchmark::State& state) {
+  // Warm-plan query throughput, the acceptance metric of the plan->probe
+  // refactor. Arg: epsilon in percent (0 = exhaustive).
+  const universe u(2, 9);
+  dominance_index idx(u);
+  rng gen(11);
+  for (std::uint64_t i = 0; i < 50'000; ++i) idx.insert(random_point(gen, u), i);
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  query_plan plan(idx);
+  query_stats st;
+  std::uint64_t probes = 0;
+  std::uint64_t cubes = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const point x = random_point(gen, u);
+    benchmark::DoNotOptimize(plan.run(x, eps, &st));
+    probes += st.runs_probed;
+    cubes += st.cubes_enumerated;
+    runs += st.runs_in_plan;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["probes"] =
+      benchmark::Counter(static_cast<double>(probes), benchmark::Counter::kAvgIterations);
+  state.counters["cubes"] =
+      benchmark::Counter(static_cast<double>(cubes), benchmark::Counter::kAvgIterations);
+  state.counters["runs"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_DominanceQueryWarmPlan)->Arg(0)->Arg(1)->Arg(10);
+
 void BM_SkiplistInsert(benchmark::State& state) {
   skiplist_array sl;
   rng gen(3);
@@ -123,10 +189,23 @@ void BM_CoveringCheckApprox(benchmark::State& state) {
   wo.wildcard_prob = 0.0;
   workload::subscription_gen gen(s, wo, 77);
   const double eps = static_cast<double>(state.range(0)) / 100.0;
+  covering_check_stats st;
+  std::uint64_t probes = 0;
+  std::uint64_t cubes = 0;
+  std::uint64_t runs = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(idx.find_covering(gen.next(), eps));
+    benchmark::DoNotOptimize(idx.find_covering(gen.next(), eps, &st));
+    probes += st.dominance.runs_probed;
+    cubes += st.dominance.cubes_enumerated;
+    runs += st.dominance.runs_in_plan;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["probes"] =
+      benchmark::Counter(static_cast<double>(probes), benchmark::Counter::kAvgIterations);
+  state.counters["cubes"] =
+      benchmark::Counter(static_cast<double>(cubes), benchmark::Counter::kAvgIterations);
+  state.counters["runs"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_CoveringCheckApprox)->Arg(5)->Arg(20)->Arg(50);
 
@@ -147,4 +226,27 @@ BENCHMARK(BM_CoveringInsertErase);
 }  // namespace
 }  // namespace subcover
 
-BENCHMARK_MAIN();
+// Custom main: unless the caller passes --benchmark_out, also write the
+// results as JSON to BENCH_micro.json so perf tracking has a
+// machine-readable record of every run (per-op ns plus the probes / cubes /
+// runs counters).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+        std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+      has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,13 +16,39 @@ broker::broker(int id, const schema& s, const std::vector<int>& neighbor_links,
   }
 }
 
+broker::broker(int id, const schema& s, const std::vector<int>& neighbor_links,
+               const covering_index_factory& factory, broker_options options,
+               const std::map<int, std::vector<std::pair<sub_id, subscription>>>&
+                   initial_forwarded)
+    : broker(id, s, neighbor_links, factory, options) {
+  for (const auto& [link, subs] : initial_forwarded) bootstrap_forwarded(link, subs);
+}
+
+void broker::bootstrap_forwarded(int link,
+                                 const std::vector<std::pair<sub_id, subscription>>& subs) {
+  const auto it = forwarded_.find(link);
+  if (it == forwarded_.end())
+    throw std::invalid_argument("broker: bootstrap for unknown link");
+  auto& fwd_subs = forwarded_subs_.at(link);
+  // All-or-nothing: a duplicate id must not leave the covering index
+  // disagreeing with forwarded_subs_ (that would silently swallow later
+  // forwards), so validate before mutating either structure.
+  std::set<sub_id> batch_ids;
+  for (const auto& [id, s] : subs) {
+    (void)s;
+    if (fwd_subs.count(id) > 0 || !batch_ids.insert(id).second)
+      throw std::invalid_argument("broker: bootstrap duplicates a forwarded id");
+  }
+  it->second->insert_batch(subs);
+  for (const auto& [id, s] : subs) fwd_subs.emplace(id, s);
+}
+
 bool broker::covered_on_link(int link, const subscription& s, network_metrics& metrics) const {
   const auto it = forwarded_.find(link);
   SUBCOVER_CHECK(it != forwarded_.end(), "broker: unknown link");
-  covering_check_stats stats;
-  const auto hit = it->second->find_covering(s, options_.epsilon, &stats);
+  const auto hit = it->second->find_covering(s, options_.epsilon, &check_scratch_);
   ++metrics.covering_checks;
-  metrics.covering_check_ns += stats.elapsed_ns;
+  metrics.covering_check_ns += check_scratch_.elapsed_ns;
   if (hit.has_value()) ++metrics.covering_hits;
   return hit.has_value();
 }

@@ -43,6 +43,22 @@ class broker {
  public:
   broker(int id, const schema& s, const std::vector<int>& neighbor_links,
          const covering_index_factory& factory, broker_options options);
+  // Rebuilds a broker from persisted routing state: `initial_forwarded` maps
+  // a neighbor link to the (id, subscription) pairs already forwarded over
+  // it. Each link's covering index is populated through the bulk
+  // insert_batch path (one sort instead of one index descent per
+  // subscription on the sorted-vector backend). Links absent from the map
+  // start empty; throws std::invalid_argument for links not in
+  // `neighbor_links`.
+  broker(int id, const schema& s, const std::vector<int>& neighbor_links,
+         const covering_index_factory& factory, broker_options options,
+         const std::map<int, std::vector<std::pair<sub_id, subscription>>>& initial_forwarded);
+
+  // Bulk-populates the forwarded set of one link (the bootstrap primitive
+  // behind the constructor above). Ids must not already be forwarded on the
+  // link.
+  void bootstrap_forwarded(int link,
+                           const std::vector<std::pair<sub_id, subscription>>& subs);
 
   struct subscribe_action {
     std::vector<int> forward_links;  // links the subscription must be sent to
@@ -82,6 +98,12 @@ class broker {
   // plus the subscription bodies for re-forwarding after unsubscriptions.
   std::map<int, std::unique_ptr<covering_index>> forwarded_;
   std::map<int, std::map<sub_id, subscription>> forwarded_subs_;
+  // Per-broker scratch for covering checks: covered_on_link reuses it
+  // instead of constructing stats per call, and the per-link covering
+  // indexes reuse their own query-plan scratch underneath. Mutable because
+  // covered_on_link is logically const; this makes covered_on_link
+  // non-reentrant, matching the single-threaded broker contract.
+  mutable covering_check_stats check_scratch_;
 };
 
 }  // namespace subcover

@@ -8,6 +8,10 @@
 
 namespace subcover {
 
+void covering_index::insert_batch(const std::vector<std::pair<sub_id, subscription>>& subs) {
+  for (const auto& [id, s] : subs) insert(id, s);
+}
+
 std::unique_ptr<covering_index> make_covering_index(covering_index_kind kind, const schema& s) {
   switch (kind) {
     case covering_index_kind::sfc:

@@ -23,6 +23,8 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "dominance/query_stats.h"
 #include "pubsub/subscription.h"
@@ -49,6 +51,13 @@ class covering_index {
   // Registers a subscription under a caller-chosen unique id. Throws
   // std::invalid_argument if the id is already present.
   virtual void insert(sub_id id, const subscription& s) = 0;
+  // Bulk registration, equivalent to insert() per element. The default
+  // loops; the SFC index overrides it to bulk-load the dominance array
+  // (sort once instead of one descent per subscription), which is the fast
+  // path for broker bootstrap. Throws std::invalid_argument on a duplicate
+  // id; the SFC index validates the batch up front (all-or-nothing), the
+  // default loop may leave elements before the duplicate inserted.
+  virtual void insert_batch(const std::vector<std::pair<sub_id, subscription>>& subs);
   // Removes a subscription; returns false if the id is unknown.
   virtual bool erase(sub_id id) = 0;
   // Any stored subscription covering `s`, searching at least a (1 - epsilon)

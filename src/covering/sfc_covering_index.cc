@@ -1,5 +1,6 @@
 #include "covering/sfc_covering_index.h"
 
+#include <set>
 #include <stdexcept>
 
 #include "pubsub/transform.h"
@@ -45,6 +46,25 @@ void sfc_covering_index::insert(sub_id id, const subscription& s) {
   if (!inserted)
     throw std::invalid_argument("sfc_covering_index: duplicate id " + std::to_string(id));
   index_.insert(to_dominance_point(schema_, s), id);
+}
+
+void sfc_covering_index::insert_batch(const std::vector<std::pair<sub_id, subscription>>& subs) {
+  // Validate the whole batch before mutating anything: subs_ and the
+  // dominance index must never desync (a half-inserted id would be visible
+  // to erase but invisible to queries).
+  std::set<sub_id> batch_ids;
+  for (const auto& [id, s] : subs) {
+    (void)s;
+    if (subs_.count(id) > 0 || !batch_ids.insert(id).second)
+      throw std::invalid_argument("sfc_covering_index: duplicate id " + std::to_string(id));
+  }
+  std::vector<std::pair<point, std::uint64_t>> points;
+  points.reserve(subs.size());
+  for (const auto& [id, s] : subs) {
+    subs_.emplace(id, s);
+    points.emplace_back(to_dominance_point(schema_, s), id);
+  }
+  index_.insert_batch(points);
 }
 
 bool sfc_covering_index::erase(sub_id id) {

@@ -6,6 +6,12 @@
 // Every dominance hit is re-verified against the stored subscription before
 // being returned (defense in depth; the geometric construction already
 // guarantees it), so a returned id always truly covers `s` for any eps.
+//
+// find_covering routes through the dominance index's reusable query plan
+// (dominance/query_plan.h): the covering hot path performs no per-check
+// heap allocation once warm. The plan is per-index scratch, so concurrent
+// find_covering calls on one sfc_covering_index are not safe; a broker
+// keeps one index per link, which serializes naturally.
 #pragma once
 
 #include <map>
@@ -36,6 +42,9 @@ class sfc_covering_index final : public covering_index {
   explicit sfc_covering_index(const schema& s, sfc_covering_options options = {});
 
   void insert(sub_id id, const subscription& s) override;
+  // Bulk path: one EO82 transform pass + one dominance-array bulk load
+  // (sort + merge) instead of per-subscription index descents.
+  void insert_batch(const std::vector<std::pair<sub_id, subscription>>& subs) override;
   bool erase(sub_id id) override;
   [[nodiscard]] std::optional<sub_id> find_covering(
       const subscription& s, double epsilon,

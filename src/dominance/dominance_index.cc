@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
-#include "sfc/extremal_decomposition.h"
+#include "dominance/query_plan.h"
 #include "util/bitops.h"
-#include "util/timer.h"
 
 namespace subcover {
 
@@ -15,12 +13,27 @@ dominance_index::dominance_index(const universe& u, dominance_options options)
     : universe_(u),
       options_(options),
       curve_(make_curve(options.curve, u)),
-      array_(make_sfc_array(options.array)) {}
+      array_(make_sfc_array(options.array)),
+      plan_(std::make_unique<query_plan>(*this)) {}
+
+dominance_index::~dominance_index() = default;
 
 void dominance_index::insert(const point& p, std::uint64_t id) {
   if (!p.inside(universe_))
     throw std::invalid_argument("dominance_index::insert: point outside universe");
   array_->insert(curve_->cell_key(p), id);
+}
+
+void dominance_index::insert_batch(const std::vector<std::pair<point, std::uint64_t>>& items) {
+  for (const auto& [p, id] : items) {
+    (void)id;
+    if (!p.inside(universe_))
+      throw std::invalid_argument("dominance_index::insert_batch: point outside universe");
+  }
+  std::vector<sfc_array::entry> entries;
+  entries.reserve(items.size());
+  for (const auto& [p, id] : items) entries.push_back({curve_->cell_key(p), id});
+  array_->bulk_load(std::move(entries));
 }
 
 bool dominance_index::erase(const point& p, std::uint64_t id) {
@@ -40,115 +53,17 @@ int dominance_index::truncation_m(double epsilon) const {
 
 std::optional<std::uint64_t> dominance_index::query(const point& x, double epsilon,
                                                     query_stats* stats) const {
-  if (epsilon < 0 || epsilon >= 1)
-    throw std::invalid_argument("dominance_index::query: epsilon must be in [0, 1)");
-  if (!x.inside(universe_))
-    throw std::invalid_argument("dominance_index::query: point outside universe");
-  const stopwatch timer;
+  return plan_->run(x, epsilon, stats);
+}
 
-  const extremal_rect full = extremal_rect::query_region(universe_, x);
-  const long double vol_full = full.volume_ld();
-  const int m = truncation_m(epsilon);
-  const extremal_rect target = epsilon > 0 ? full.truncated(universe_, m) : full;
-
-  query_stats local;
-  query_stats& st = stats != nullptr ? *stats : local;
-  st = query_stats{};
-  st.truncation_m = m;
-  st.volume_fraction_planned = target.volume_ld() / vol_full;
-
-  // The Section 5 search: probe standard cubes of the (truncated) region in
-  // descending volume order, tracking the searched-volume ratio, and stop on
-  // a hit or once the ratio reaches 1 - epsilon.
-  //
-  // The exact per-level cube counts N_i (Lemma 3.5, closed form — no
-  // enumeration) tell us in advance how many levels the search can possibly
-  // need: levels are consumed largest-first, so the search never descends
-  // past the first level at which the cumulative volume reaches the
-  // coverage target. Cubes below that cutoff are never enumerated, which is
-  // what makes typical queries cheap even when the full decomposition is
-  // astronomical (regions with extreme aspect ratios, Theorem 4.1).
-  const std::vector<u512> level_counts = extremal_level_counts(universe_, target);
-  const long double coverage_target =
-      epsilon > 0 ? (1.0L - static_cast<long double>(epsilon)) * vol_full
-                  : target.volume_ld();
-
-  std::uint64_t budget = options_.max_cubes;
-  long double searched = 0;
-  long double planned_cum = 0;  // volume of levels enumerated so far
-  std::optional<std::uint64_t> result;
-  std::vector<key_range> level_ranges;
-  bool done = false;
-  for (int i = universe_.bits(); i >= 0 && !done; --i) {
-    const u512& count = level_counts[static_cast<std::size_t>(i)];
-    if (count.is_zero()) continue;
-    const long double cube_volume = std::pow(2.0L, i * universe_.dims());
-    const long double level_volume = count.to_long_double() * cube_volume;
-    // Cubes needed from this level: all of it, unless the coverage target
-    // falls inside this level (only possible for epsilon > 0; exhaustive
-    // queries always take whole levels so no floating-point boundary math
-    // can drop cubes).
-    std::uint64_t needed;
-    if (epsilon > 0 && planned_cum + level_volume >= coverage_target) {
-      needed = static_cast<std::uint64_t>(
-                   std::ceil((coverage_target - planned_cum) / cube_volume)) +
-               1;  // +1 absorbs long-double rounding at the boundary
-      done = true;  // no level below this one can be required
-    } else if (count.bit_width() > 63) {
-      needed = ~std::uint64_t{0};
-    } else {
-      needed = count.low64();
-    }
-    if (needed > budget) {
-      if (!options_.settle_on_budget)
-        throw std::length_error("dominance_index::query: cube budget exceeded");
-      st.budget_exhausted = true;
-      needed = budget;
-      done = true;
-    }
-    if (needed == 0) break;
-
-    level_ranges.clear();
-    try {
-      enumerate_level_cubes(
-          universe_, target, i,
-          [&](const standard_cube& c) { level_ranges.push_back(curve_->cube_range(c)); },
-          needed);
-    } catch (const std::length_error&) {
-      // Expected: the level holds more cubes than we need; we stop at
-      // `needed` of them (all cubes of a level have equal volume, so any
-      // subset of the right size reaches the same coverage).
-    }
-    st.cubes_enumerated += level_ranges.size();
-    budget -= level_ranges.size();
-    planned_cum += level_volume;
-
-    if (options_.merge_runs) level_ranges = merge_ranges(level_ranges);
-    st.runs_in_plan += level_ranges.size();
-    // Within the level, probe larger (merged) runs first.
-    std::stable_sort(level_ranges.begin(), level_ranges.end(),
-                     [](const key_range& a, const key_range& b) {
-                       return b.cell_count() < a.cell_count();
-                     });
-    for (const key_range& run : level_ranges) {
-      ++st.runs_probed;
-      const auto hit = array_->first_in(run);
-      searched += run.cell_count_ld();
-      if (hit.has_value()) {
-        result = hit->id;
-        st.found = true;
-        done = true;
-        break;
-      }
-      if (epsilon > 0 && searched >= coverage_target) {
-        done = true;
-        break;
-      }
-    }
-  }
-  st.volume_fraction_searched = searched / vol_full;
-  st.elapsed_ns = timer.elapsed_ns();
-  return result;
+std::vector<std::optional<std::uint64_t>> dominance_index::query_batch(
+    const std::vector<point>& xs, double epsilon, std::vector<query_stats>* stats) const {
+  std::vector<std::optional<std::uint64_t>> results;
+  results.reserve(xs.size());
+  if (stats != nullptr) stats->resize(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    results.push_back(plan_->run(xs[i], epsilon, stats != nullptr ? &(*stats)[i] : nullptr));
+  return results;
 }
 
 }  // namespace subcover

@@ -14,11 +14,20 @@
 //
 // The approximate search has one-sided error: a returned id always lies in
 // the query region (true dominance); only misses are possible.
+//
+// Query execution is split into a reusable query_plan (query_plan.h): the
+// plan owns all scratch the search needs, so a warm plan performs zero heap
+// allocations per query. query() routes through an index-internal plan —
+// convenient, but it makes concurrent query() calls on one index unsafe
+// even though query() is const. Concurrent readers (e.g. brokers sharing an
+// index across threads) must construct one query_plan per thread instead.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "dominance/query_stats.h"
 #include "geometry/extremal.h"
@@ -50,23 +59,45 @@ struct dominance_options {
   bool settle_on_budget = false;
 };
 
+class query_plan;
+
 class dominance_index {
  public:
   explicit dominance_index(const universe& u, dominance_options options = {});
+  ~dominance_index();
 
   // Multiset semantics; (p, id) pairs should be unique for erase to be
   // meaningful. Throws std::invalid_argument if p is outside the universe.
   void insert(const point& p, std::uint64_t id);
   bool erase(const point& p, std::uint64_t id);
 
+  // Bulk insertion, equivalent to insert() per element; lets the SFC array
+  // amortize (one sort + merge for the sorted-vector backend). Throws
+  // std::invalid_argument (without modifying the index) if any point is
+  // outside the universe.
+  void insert_batch(const std::vector<std::pair<point, std::uint64_t>>& items);
+
   // epsilon == 0 requests an exhaustive search; 0 < epsilon < 1 requests an
   // epsilon-approximate search (Problem 2). Values outside [0, 1) throw.
+  // Routes through an internal scratch plan: NOT safe to call concurrently
+  // on one index (see header comment).
   [[nodiscard]] std::optional<std::uint64_t> query(const point& x, double epsilon,
                                                    query_stats* stats = nullptr) const;
+
+  // Runs one query per point through a single warm plan; results[i] matches
+  // query(xs[i], epsilon). When `stats` is non-null it is resized to match
+  // and receives the per-query stats. Cheaper than repeated query() calls
+  // only in that it shares the same scratch — provided as the natural entry
+  // point for callers that already batch (broker bootstrap, benches).
+  [[nodiscard]] std::vector<std::optional<std::uint64_t>> query_batch(
+      const std::vector<point>& xs, double epsilon,
+      std::vector<query_stats>* stats = nullptr) const;
 
   [[nodiscard]] std::size_t size() const { return array_->size(); }
   [[nodiscard]] const universe& space() const { return universe_; }
   [[nodiscard]] const curve& sfc() const { return *curve_; }
+  // The underlying SFC array (read-only; query_plan probes it directly).
+  [[nodiscard]] const sfc_array& array() const { return *array_; }
   [[nodiscard]] const dominance_options& options() const { return options_; }
 
   // The truncation parameter the query will use for this epsilon:
@@ -80,6 +111,9 @@ class dominance_index {
   dominance_options options_;
   std::unique_ptr<curve> curve_;
   std::unique_ptr<sfc_array> array_;
+  // Scratch plan behind query(); mutable because query() is logically const.
+  // This is what makes query() non-reentrant (see header comment).
+  mutable std::unique_ptr<query_plan> plan_;
 };
 
 }  // namespace subcover

@@ -1,0 +1,139 @@
+#include "dominance/query_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dominance/dominance_index.h"
+#include "sfc/extremal_decomposition.h"
+#include "util/timer.h"
+
+namespace subcover {
+
+std::optional<std::uint64_t> query_plan::run(const point& x, double epsilon,
+                                             query_stats* stats) {
+  const dominance_index& idx = *index_;
+  const universe& u = idx.space();
+  const dominance_options& opts = idx.options();
+  if (epsilon < 0 || epsilon >= 1)
+    throw std::invalid_argument("dominance_index::query: epsilon must be in [0, 1)");
+  if (!x.inside(u))
+    throw std::invalid_argument("dominance_index::query: point outside universe");
+  const stopwatch timer;
+
+  const extremal_rect full = extremal_rect::query_region(u, x);
+  const long double vol_full = full.volume_ld();
+  const int m = idx.truncation_m(epsilon);
+  const extremal_rect target = epsilon > 0 ? full.truncated(u, m) : full;
+
+  query_stats local;
+  query_stats& st = stats != nullptr ? *stats : local;
+  st = query_stats{};
+  st.truncation_m = m;
+  st.volume_fraction_planned = target.volume_ld() / vol_full;
+
+  // The Section 5 search: probe standard cubes of the (truncated) region in
+  // descending volume order, tracking the searched-volume ratio, and stop on
+  // a hit or once the ratio reaches 1 - epsilon.
+  //
+  // The exact per-level cube counts N_i (Lemma 3.5, closed form — no
+  // enumeration) tell us in advance how many levels the search can possibly
+  // need: levels are consumed largest-first, so the search never descends
+  // past the first level at which the cumulative volume reaches the
+  // coverage target. Cubes below that cutoff are never enumerated, which is
+  // what makes typical queries cheap even when the full decomposition is
+  // astronomical (regions with extreme aspect ratios, Theorem 4.1).
+  extremal_level_counts_into(u, target, level_counts_);
+  const long double coverage_target =
+      epsilon > 0 ? (1.0L - static_cast<long double>(epsilon)) * vol_full
+                  : target.volume_ld();
+
+  std::uint64_t budget = opts.max_cubes;
+  long double searched = 0;
+  long double planned_cum = 0;  // volume of levels enumerated so far
+  std::optional<std::uint64_t> result;
+  bool done = false;
+  for (int i = u.bits(); i >= 0 && !done; --i) {
+    const u512& count = level_counts_[static_cast<std::size_t>(i)];
+    if (count.is_zero()) continue;
+    const long double cube_volume = std::ldexp(1.0L, i * u.dims());
+    const long double level_volume = count.to_long_double() * cube_volume;
+    // Cubes needed from this level: all of it, unless the coverage target
+    // falls inside this level (only possible for epsilon > 0; exhaustive
+    // queries always take whole levels so no floating-point boundary math
+    // can drop cubes).
+    std::uint64_t needed;
+    if (epsilon > 0 && planned_cum + level_volume >= coverage_target) {
+      needed = static_cast<std::uint64_t>(
+                   std::ceil((coverage_target - planned_cum) / cube_volume)) +
+               1;  // +1 absorbs long-double rounding at the boundary
+      done = true;  // no level below this one can be required
+    } else if (count.bit_width() > 63) {
+      needed = ~std::uint64_t{0};
+    } else {
+      needed = count.low64();
+    }
+    if (needed > budget) {
+      if (!opts.settle_on_budget)
+        throw std::length_error("dominance_index::query: cube budget exceeded");
+      st.budget_exhausted = true;
+      needed = budget;
+      done = true;
+    }
+    if (needed == 0) break;
+
+    // Stream exactly `needed` cubes of the level into the run frontier (all
+    // cubes of a level have equal volume, so any subset of the right size
+    // reaches the same coverage). The bool return stops enumeration cleanly
+    // — no exception control flow, no over-enumeration.
+    level_ranges_.clear();
+    std::uint64_t taken = 0;
+    enumerate_level_cubes(
+        u, target, i,
+        [&](const standard_cube& c) {
+          level_ranges_.push_back(idx.sfc().cube_range(c));
+          return ++taken < needed;
+        },
+        needed);
+    st.cubes_enumerated += level_ranges_.size();
+    budget -= level_ranges_.size();
+    planned_cum += level_volume;
+
+    if (opts.merge_runs) {
+      merge_ranges_inplace(level_ranges_);
+      // Within the level, probe larger merged runs first; ties keep
+      // ascending key order (the post-merge order), which makes the probe
+      // sequence deterministic and friendly to the array's locality cursor.
+      std::sort(level_ranges_.begin(), level_ranges_.end(),
+                [](const key_range& a, const key_range& b) {
+                  const u512 ca = a.cell_count();
+                  const u512 cb = b.cell_count();
+                  if (ca != cb) return cb < ca;
+                  return a.lo < b.lo;
+                });
+    }
+    // Without merging, all runs of a level are equal-volume cubes already in
+    // enumeration order — nothing to reorder.
+    st.runs_in_plan += level_ranges_.size();
+    for (const key_range& run : level_ranges_) {
+      ++st.runs_probed;
+      const auto hit = idx.array().first_in(run, &hint_);
+      searched += run.cell_count_ld();
+      if (hit.has_value()) {
+        result = hit->id;
+        st.found = true;
+        done = true;
+        break;
+      }
+      if (epsilon > 0 && searched >= coverage_target) {
+        done = true;
+        break;
+      }
+    }
+  }
+  st.volume_fraction_searched = searched / vol_full;
+  st.elapsed_ns = timer.elapsed_ns();
+  return result;
+}
+
+}  // namespace subcover

@@ -1,0 +1,63 @@
+// query_plan — the reusable, allocation-free engine behind
+// dominance_index::query (paper Section 5).
+//
+// Architecture (plan -> probe): a query is executed level by level, largest
+// standard cubes first. For each occupied level of the (possibly truncated,
+// Lemma 3.2) extremal query region, the plan enumerates exactly the cubes
+// the coverage target can still need (the closed-form level counts of
+// Lemma 3.5 bound the frontier in advance), coalesces their key intervals
+// into runs, orders the runs by volume, and probes them against the SFC
+// array, tracking the searched-volume fraction and the max_cubes budget.
+// The search stops at the first hit, at 1 - epsilon coverage, or when the
+// plan is exhausted — identical semantics to the original monolithic query.
+//
+// Scratch-buffer contract: a plan owns every buffer the search needs (the
+// per-level cube counts, the run frontier of the current level, and the
+// array probe cursor). Buffers are reused across run() calls, so after the
+// first query of a given shape the hot path performs zero heap allocations:
+// no std::function dispatch (template visitors), no materialization of the
+// full decomposition (per-level streaming with early stop), no
+// exception-based control flow, and in-place run coalescing.
+//
+// Thread-safety contract: a query_plan is mutable scratch and is NOT
+// thread-safe; use one plan per thread. dominance_index::query() routes
+// through an index-internal plan, so concurrent query() calls on one index
+// are not safe either — concurrent readers must each construct their own
+// query_plan over the shared index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dominance/query_stats.h"
+#include "geometry/point.h"
+#include "sfc/key_range.h"
+#include "sfcarray/sfc_array.h"
+#include "util/wideint.h"
+
+namespace subcover {
+
+class dominance_index;
+
+class query_plan {
+ public:
+  // Binds to an index; the plan must not outlive it. Cheap: buffers are
+  // grown lazily by the first run().
+  explicit query_plan(const dominance_index& index) : index_(&index) {}
+
+  // Executes one query; identical observable behavior (result and stats) to
+  // dominance_index::query(x, epsilon, stats).
+  std::optional<std::uint64_t> run(const point& x, double epsilon,
+                                   query_stats* stats = nullptr);
+
+  [[nodiscard]] const dominance_index& index() const { return *index_; }
+
+ private:
+  const dominance_index* index_;
+  std::vector<u512> level_counts_;      // Lemma 3.5 counts, reused per query
+  std::vector<key_range> level_ranges_; // run frontier of the current level
+  sfc_array::probe_hint hint_;          // probe-locality cursor
+};
+
+}  // namespace subcover

@@ -24,6 +24,19 @@ u512 curve::cell_key(const point& p) const {
   return cube_prefix(standard_cube(p, 0));
 }
 
+std::uint64_t curve::child_rank(const standard_cube& parent, const u512& parent_prefix,
+                                std::uint32_t child_mask) const {
+  (void)parent_prefix;
+  const int child_bits = parent.side_bits() - 1;
+  const auto half = static_cast<std::uint32_t>(std::uint64_t{1} << child_bits);
+  point corner = parent.corner();
+  for (int j = 0; j < corner.dims(); ++j)
+    if ((child_mask >> j) & 1U) corner[j] += half;
+  const int d = space().dims();
+  const std::uint64_t rank_mask = (d < 64 ? (std::uint64_t{1} << d) : 0) - 1;
+  return cube_prefix(standard_cube(corner, child_bits)).low64() & rank_mask;
+}
+
 key_range curve::cube_range(const standard_cube& c) const {
   const int shift = space().dims() * c.side_bits();
   const u512 lo = cube_prefix(c) << shift;

@@ -46,6 +46,18 @@ class curve {
   // mismatched dimensions.
   [[nodiscard]] virtual u512 cube_prefix(const standard_cube& c) const = 0;
 
+  // The key rank of a child cube among its 2^d siblings: the low d bits of
+  // cube_prefix(child), where the child of `parent` takes the upper half in
+  // dimension j iff bit j of `child_mask` is set. `parent_prefix` must equal
+  // cube_prefix(parent); prefix-derivable curves use it to avoid recomputing
+  // the full prefix (child prefix == parent_prefix * 2^d + rank), which is
+  // what lets cube_stream enumerate without any per-cube key computation.
+  // `parent` must have side_bits >= 1. The default builds the child cube and
+  // takes cube_prefix; Z and Gray override with O(d) bit logic.
+  [[nodiscard]] virtual std::uint64_t child_rank(const standard_cube& parent,
+                                                 const u512& parent_prefix,
+                                                 std::uint32_t child_mask) const;
+
   // Inverse of cell_key. The key must be < 2^(d*k).
   [[nodiscard]] virtual point cell_from_key(const u512& key) const = 0;
 

@@ -1,77 +1,20 @@
 #include "sfc/decomposition.h"
 
+#include <array>
 #include <stdexcept>
 
 namespace subcover {
 
-namespace {
+namespace detail {
 
-class decomposer {
- public:
-  decomposer(const universe& u, const rect& r, const cube_visitor& visit)
-      : u_(u), r_(r), visit_(visit) {}
-
-  void run() {
-    point origin(u_.dims());
-    descend(standard_cube(origin, u_.bits()));
-  }
-
- private:
-  // Precondition: `c` intersects r_.
-  void descend(const standard_cube& c) {
-    const rect cr = c.as_rect();
-    if (r_.contains(cr)) {
-      visit_(c);
-      return;
-    }
-    // A unit cube that intersects the region is contained in it, so side_bits
-    // is strictly positive here.
-    const int child_bits = c.side_bits() - 1;
-    const auto half = static_cast<std::uint32_t>(std::uint64_t{1} << child_bits);
-    point child_corner(u_.dims());
-    recurse_children(c, child_bits, half, 0, child_corner);
-  }
-
-  // Enumerates, dimension by dimension, the child cubes of `c` that intersect
-  // the region; only intersecting halves are explored, so work stays
-  // proportional to the output.
-  void recurse_children(const standard_cube& c, int child_bits, std::uint32_t half, int dim,
-                        point& corner) {
-    if (dim == u_.dims()) {
-      descend(standard_cube(corner, child_bits));
-      return;
-    }
-    const std::uint32_t base = c.corner()[dim];
-    // Lower half: [base, base + half - 1].
-    if (r_.lo()[dim] <= base + half - 1 && r_.hi()[dim] >= base) {
-      corner[dim] = base;
-      recurse_children(c, child_bits, half, dim + 1, corner);
-    }
-    // Upper half: [base + half, base + 2*half - 1].
-    if (r_.hi()[dim] >= base + half && r_.lo()[dim] <= base + 2 * half - 1) {
-      corner[dim] = base + half;
-      recurse_children(c, child_bits, half, dim + 1, corner);
-    }
-  }
-
-  const universe& u_;
-  const rect& r_;
-  const cube_visitor& visit_;
-};
-
-void check_region(const universe& u, const rect& r) {
+void check_decompose_region(const universe& u, const rect& r) {
   if (r.dims() != u.dims())
     throw std::invalid_argument("decompose_rect: region dimension mismatch");
   if (!rect::whole(u).contains(r))
     throw std::invalid_argument("decompose_rect: region outside the universe");
 }
 
-}  // namespace
-
-void decompose_rect(const universe& u, const rect& r, const cube_visitor& visit) {
-  check_region(u, r);
-  decomposer(u, r, visit).run();
-}
+}  // namespace detail
 
 std::vector<std::uint64_t> decompose_rect_level_counts(const universe& u, const rect& r) {
   std::vector<std::uint64_t> counts(static_cast<std::size_t>(u.bits()) + 1, 0);
@@ -85,6 +28,118 @@ std::uint64_t count_cubes(const universe& u, const rect& r) {
   std::uint64_t n = 0;
   decompose_rect(u, r, [&](const standard_cube&) { ++n; });
   return n;
+}
+
+void cube_stream::reset(const rect& r) {
+  detail::check_decompose_region(curve_->space(), r);
+  region_ = r;
+  pending_root_ = false;
+  depth_ = -1;
+  const universe& u = curve_->space();
+  const point origin(u.dims());
+  const standard_cube root(origin, u.bits());
+  if (region_.contains(root.as_rect())) {
+    // The region is the whole universe: the partition is the root cube.
+    pending_root_ = true;
+    return;
+  }
+  if (stack_.empty()) stack_.resize(1);
+  frame& f = stack_[0];
+  f.corner = origin;
+  f.prefix = u512::zero();  // the root's prefix is the empty bit string
+  f.side_bits = u.bits();
+  expand(f);
+  depth_ = 0;
+}
+
+bool cube_stream::next(standard_cube* out, key_range* range) {
+  const int d = curve_->space().dims();
+  if (pending_root_) {
+    pending_root_ = false;
+    const int k = curve_->space().bits();
+    *out = standard_cube(point(d), k);
+    if (range != nullptr) *range = {u512::zero(), u512::mask(d * k)};
+    return true;
+  }
+  while (depth_ >= 0) {
+    frame& f = stack_[static_cast<std::size_t>(depth_)];
+    if (f.next_child == f.children.size()) {
+      --depth_;
+      continue;
+    }
+    const child ch = f.children[f.next_child++];
+    const standard_cube c = child_cube(f, ch.mask);
+    const u512 prefix = (f.prefix << d) | u512(ch.rank);
+    if (region_.contains(c.as_rect())) {
+      *out = c;
+      if (range != nullptr) {
+        const int shift = d * c.side_bits();
+        const u512 lo = prefix << shift;
+        *range = {lo, lo | u512::mask(shift)};
+      }
+      return true;
+    }
+    // Not contained but intersecting: descend. `f` may dangle after the
+    // resize; everything needed from it was copied out above.
+    ++depth_;
+    if (static_cast<std::size_t>(depth_) >= stack_.size())
+      stack_.resize(static_cast<std::size_t>(depth_) + 1);
+    frame& g = stack_[static_cast<std::size_t>(depth_)];
+    g.corner = c.corner();
+    g.prefix = prefix;
+    g.side_bits = c.side_bits();
+    expand(g);
+  }
+  return false;
+}
+
+standard_cube cube_stream::child_cube(const frame& f, std::uint32_t mask) const {
+  const int child_bits = f.side_bits - 1;
+  const auto half = static_cast<std::uint32_t>(std::uint64_t{1} << child_bits);
+  point corner = f.corner;
+  for (int j = 0; j < corner.dims(); ++j)
+    if ((mask >> j) & 1U) corner[j] += half;
+  return standard_cube(corner, child_bits);
+}
+
+void cube_stream::expand(frame& f) {
+  const universe& u = curve_->space();
+  const int d = u.dims();
+  const int child_bits = f.side_bits - 1;
+  const auto half = static_cast<std::uint32_t>(std::uint64_t{1} << child_bits);
+  f.children.clear();
+  f.next_child = 0;
+
+  // Per dimension, which halves of the node intersect the region. The node
+  // itself intersects, so at least one half does in every dimension.
+  std::uint32_t forced = 0;  // dimensions where only the upper half intersects
+  std::array<int, kMaxDims> both{};
+  int nboth = 0;
+  for (int j = 0; j < d; ++j) {
+    const std::uint32_t base = f.corner[j];
+    const bool lo_ok = region_.lo()[j] <= base + half - 1 && region_.hi()[j] >= base;
+    const bool hi_ok = region_.hi()[j] >= base + half && region_.lo()[j] <= base + 2 * half - 1;
+    if (lo_ok && hi_ok) {
+      both[static_cast<std::size_t>(nboth++)] = j;
+    } else if (hi_ok) {
+      forced |= std::uint32_t{1} << j;
+    }
+  }
+
+  // Key rank among siblings: all children share the parent's prefix, so the
+  // low d bits of cube_prefix order them on the curve. child_rank derives
+  // them from the parent's prefix in O(d) on prefix-derivable curves.
+  const standard_cube parent(f.corner, f.side_bits);
+  const std::uint64_t combos = std::uint64_t{1} << nboth;
+  for (std::uint64_t m = 0; m < combos; ++m) {
+    std::uint32_t mask = forced;
+    for (int b = 0; b < nboth; ++b)
+      if ((m >> b) & 1U) mask |= std::uint32_t{1} << both[static_cast<std::size_t>(b)];
+    f.children.push_back({curve_->child_rank(parent, f.prefix, mask), mask});
+  }
+  if (f.children.size() > 1)
+    std::sort(f.children.begin(), f.children.end(),
+              [](const child& a, const child& b) { return a.rank < b.rank; });
 }
 
 }  // namespace subcover

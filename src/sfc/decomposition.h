@@ -8,24 +8,116 @@
 // cube, a cube fully inside the region is emitted; otherwise recursion
 // descends only into the children that intersect the region.
 //
+// Two enumeration styles are provided:
+//
+//   * decompose_rect(u, r, visitor) — push style. The visitor is a template
+//     parameter (any callable taking `const standard_cube&`), so the hot
+//     path is fully inlinable and performs no type-erased (std::function)
+//     dispatch and no heap allocation. A visitor returning bool can stop
+//     the enumeration early by returning false.
+//
+//   * cube_stream — pull style. An iterative, resumable enumerator that
+//     emits the cubes of the partition one at a time in *curve key order*
+//     (the order of their key intervals on a given SFC). The explicit stack
+//     replaces the recursion; a stream object is reusable via reset() and
+//     retains its per-depth buffers, so a warmed stream allocates nothing.
+//     Key order is what makes streaming run coalescing possible (runs.h).
+//
 // Complexity: O(output * d * k) — no dependence on the region's volume.
+// cube_stream additionally pays O(c log c) per internal node to order the
+// c <= 2^d intersecting children by key prefix.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "geometry/cube.h"
 #include "geometry/rect.h"
 #include "geometry/universe.h"
+#include "sfc/curve.h"
 
 namespace subcover {
 
-using cube_visitor = std::function<void(const standard_cube&)>;
+namespace detail {
+
+// Throws std::invalid_argument if r is not a region of u.
+void check_decompose_region(const universe& u, const rect& r);
+
+// Invokes the visitor; adapts void- and bool-returning callables to a
+// uniform "continue?" result.
+template <class Visitor>
+bool visit_cube(Visitor& visit, const standard_cube& c) {
+  if constexpr (std::is_convertible_v<decltype(visit(c)), bool>) {
+    return static_cast<bool>(visit(c));
+  } else {
+    visit(c);
+    return true;
+  }
+}
+
+template <class Visitor>
+class decomposer {
+ public:
+  decomposer(const universe& u, const rect& r, Visitor& visit)
+      : u_(u), r_(r), visit_(visit) {}
+
+  void run() {
+    point origin(u_.dims());
+    descend(standard_cube(origin, u_.bits()));
+  }
+
+ private:
+  // Precondition: `c` intersects r_. Returns false to abort the traversal.
+  bool descend(const standard_cube& c) {
+    const rect cr = c.as_rect();
+    if (r_.contains(cr)) return visit_cube(visit_, c);
+    // A unit cube that intersects the region is contained in it, so side_bits
+    // is strictly positive here.
+    const int child_bits = c.side_bits() - 1;
+    const auto half = static_cast<std::uint32_t>(std::uint64_t{1} << child_bits);
+    point child_corner(u_.dims());
+    return recurse_children(c, child_bits, half, 0, child_corner);
+  }
+
+  // Enumerates, dimension by dimension, the child cubes of `c` that intersect
+  // the region; only intersecting halves are explored, so work stays
+  // proportional to the output.
+  bool recurse_children(const standard_cube& c, int child_bits, std::uint32_t half, int dim,
+                        point& corner) {
+    if (dim == u_.dims()) return descend(standard_cube(corner, child_bits));
+    const std::uint32_t base = c.corner()[dim];
+    // Lower half: [base, base + half - 1].
+    if (r_.lo()[dim] <= base + half - 1 && r_.hi()[dim] >= base) {
+      corner[dim] = base;
+      if (!recurse_children(c, child_bits, half, dim + 1, corner)) return false;
+    }
+    // Upper half: [base + half, base + 2*half - 1].
+    if (r_.hi()[dim] >= base + half && r_.lo()[dim] <= base + 2 * half - 1) {
+      corner[dim] = base + half;
+      if (!recurse_children(c, child_bits, half, dim + 1, corner)) return false;
+    }
+    return true;
+  }
+
+  const universe& u_;
+  const rect& r_;
+  Visitor& visit_;
+};
+
+}  // namespace detail
 
 // Visits every cube of the minimal standard-cube partition of `r`.
 // `r` must lie inside the universe (throws std::invalid_argument otherwise).
-void decompose_rect(const universe& u, const rect& r, const cube_visitor& visit);
+// `visit` is any callable taking `const standard_cube&`; if it returns a
+// value convertible to bool, returning false stops the enumeration.
+template <class Visitor>
+void decompose_rect(const universe& u, const rect& r, Visitor&& visit) {
+  detail::check_decompose_region(u, r);
+  auto& v = visit;
+  detail::decomposer<std::remove_reference_t<Visitor>>(u, r, v).run();
+}
 
 // Number of cubes in the minimal partition, grouped by side_bits:
 // result[s] = number of cubes of side 2^s, for s in [0, k].
@@ -33,5 +125,62 @@ std::vector<std::uint64_t> decompose_rect_level_counts(const universe& u, const 
 
 // Total cubes(r): size of the minimal partition (paper Definition 3.1).
 std::uint64_t count_cubes(const universe& u, const rect& r);
+
+// Pull-style enumerator of the minimal standard-cube partition, in curve key
+// order: cubes come out ordered by their key interval on `c` (sibling cubes
+// are visited in key-prefix order, and a cube's interval nests inside its
+// parent's, so the global emission order is the key order). Used by
+// run_stream to coalesce adjacent intervals into maximal runs on the fly.
+//
+// Reuse contract: reset() rebinds the stream to a new region; the internal
+// stack and per-depth child buffers are retained across resets, so a warmed
+// stream performs no heap allocation. Not thread-safe; use one stream per
+// thread.
+class cube_stream {
+ public:
+  explicit cube_stream(const curve& c) : curve_(&c) {}
+  cube_stream(const curve& c, const rect& r) : curve_(&c) { reset(r); }
+
+  // Rebinds to a new region of the same curve's universe. Throws
+  // std::invalid_argument if the region lies outside the universe.
+  void reset(const rect& r);
+
+  // Emits the next cube of the partition, in key order; false when the
+  // partition is exhausted. When `range` is non-null it receives the cube's
+  // key interval (Fact 2.1) — derived from the prefixes the descent already
+  // tracks, with no curve key computation (child_rank gives each child's
+  // prefix from its parent's).
+  bool next(standard_cube* out, key_range* range = nullptr);
+
+  [[nodiscard]] const curve& sfc() const { return *curve_; }
+
+ private:
+  // A child of an internal node: which half it takes per dimension (bit j of
+  // `mask` set = upper half in dimension j) and its key rank among siblings
+  // (the low d bits of its cube_prefix).
+  struct child {
+    std::uint64_t rank;
+    std::uint32_t mask;
+  };
+  // One internal node of the descent with its resume position.
+  struct frame {
+    point corner;            // the node's corner
+    u512 prefix;             // the node's cube_prefix
+    int side_bits = 0;       // the node's side bits
+    std::size_t next_child = 0;
+    std::vector<child> children;  // intersecting children, sorted by rank
+  };
+
+  // Fills f.children for the node (f.corner, f.side_bits); the node is known
+  // to intersect the region and not be contained in it.
+  void expand(frame& f);
+  [[nodiscard]] standard_cube child_cube(const frame& f, std::uint32_t mask) const;
+
+  const curve* curve_;
+  rect region_;
+  std::vector<frame> stack_;  // grown once to depth k, then reused
+  int depth_ = -1;            // index of the active frame; -1 = exhausted
+  bool pending_root_ = false; // region == whole universe: emit the root cube
+};
 
 }  // namespace subcover

@@ -1,11 +1,5 @@
 #include "sfc/extremal_decomposition.h"
 
-#include <stdexcept>
-#include <utility>
-
-#include "util/bitops.h"
-#include "util/check.h"
-
 namespace subcover {
 
 bool level_occupied(const extremal_rect& r, int i) {
@@ -14,10 +8,11 @@ bool level_occupied(const extremal_rect& r, int i) {
   return false;
 }
 
-std::vector<u512> extremal_level_counts(const universe& u, const extremal_rect& r) {
+void extremal_level_counts_into(const universe& u, const extremal_rect& r,
+                                std::vector<u512>& out) {
   SUBCOVER_CHECK(r.dims() == u.dims(), "extremal_level_counts: dims mismatch");
   const int d = u.dims();
-  std::vector<u512> counts(static_cast<std::size_t>(u.bits()) + 1);
+  out.assign(static_cast<std::size_t>(u.bits()) + 1, u512::zero());
   // prod_at(i) = prod_j S_i(l_j); zero as soon as any masked side vanishes.
   auto prod_at = [&](int i) {
     u512 p = 1;
@@ -32,9 +27,17 @@ std::vector<u512> extremal_level_counts(const universe& u, const extremal_rect& 
   for (int i = 0; i <= u.bits(); ++i) {
     const u512 lower = prod_at(i + 1);
     // Lemma 3.5; the difference is always divisible by 2^(i*d).
-    counts[static_cast<std::size_t>(i)] = (upper - lower) >> (i * d);
+    out[static_cast<std::size_t>(i)] = (upper - lower) >> (i * d);
     upper = lower;
+    // Once a masked side vanishes every higher level is empty too; the
+    // buffer is already zero there.
+    if (lower.is_zero()) break;
   }
+}
+
+std::vector<u512> extremal_level_counts(const universe& u, const extremal_rect& r) {
+  std::vector<u512> counts;
+  extremal_level_counts_into(u, r, counts);
   return counts;
 }
 
@@ -42,131 +45,6 @@ u512 extremal_cube_count(const universe& u, const extremal_rect& r) {
   u512 total = 0;
   for (const auto& n : extremal_level_counts(u, r)) total += n;
   return total;
-}
-
-namespace {
-
-// Implements Algorithms 1-3 (Appendix A) for one level i.
-class level_enumerator {
- public:
-  level_enumerator(const universe& u, const extremal_rect& r, int i, const cube_visitor& visit,
-                   std::uint64_t max_cubes)
-      : u_(u), r_(r), i_(i), visit_(visit), max_cubes_(max_cubes) {}
-
-  void run() {
-    // Algorithm 1: each rectangle of D_i has exactly one lowest-index
-    // dimension s whose chosen bit P_s equals i.
-    for (int s = 0; s < u_.dims(); ++s) {
-      if (bit_at(r_.length(s), i_)) {
-        pin_ = s;
-        enum_rectangles(0);
-      }
-    }
-  }
-
- private:
-  // Algorithm 3 (EnumRectangles): choose a set bit P_t of l_t per dimension.
-  // Dimensions before the pinned one must choose bits > i (uniqueness);
-  // dimensions after it may choose bits >= i; the pinned one takes exactly i.
-  void enum_rectangles(int t) {
-    if (t == u_.dims()) {
-      comp_keys();
-      return;
-    }
-    if (t == pin_) {
-      p_[static_cast<std::size_t>(t)] = i_;
-      enum_rectangles(t + 1);
-      return;
-    }
-    const std::uint64_t len = r_.length(t);
-    const int lowest = t < pin_ ? i_ + 1 : i_;
-    for (int j = bit_length(len) - 1; j >= lowest; --j) {
-      if (bit_at(len, j)) {
-        p_[static_cast<std::size_t>(t)] = j;
-        enum_rectangles(t + 1);
-      }
-    }
-  }
-
-  // Algorithm 2 (CompKeys) via Equation 1: inside the rectangle indexed by P,
-  // cube corner coordinates have, per dimension x (writing l = l_x, P = P_x):
-  //   bits y in (P, k-1]  : complement of l's bit y
-  //   bit  y == P         : 1
-  //   bits y in [i, P)    : free (enumerate both values)
-  //   bits y in [0, i)    : 0 (corner alignment of a side-2^i cube)
-  // When l_x == 2^k the chosen bit is P == k, which lies outside the k-bit
-  // coordinate; building in 64 bits and masking to k bits handles it.
-  void comp_keys() {
-    const int d = u_.dims();
-    const std::uint64_t coord_mask = u_.side() - 1;
-    std::array<std::uint64_t, kMaxDims> base{};
-    free_bits_.clear();
-    for (int x = 0; x < d; ++x) {
-      const std::uint64_t len = r_.length(x);
-      const int px = p_[static_cast<std::size_t>(x)];
-      std::uint64_t c = ~len;  // bits above px will be kept from here
-      c = keep_bits_from(c, px + 1);
-      c |= std::uint64_t{1} << px;
-      base[static_cast<std::size_t>(x)] = c & coord_mask;
-      for (int y = i_; y < px; ++y) free_bits_.emplace_back(x, y);
-    }
-    const std::size_t f = free_bits_.size();
-    // A rectangle holds 2^f cubes; saturate the counter for f >= 64 — the
-    // per-call cube budget below stops enumeration long before overflow.
-    const std::uint64_t combos =
-        f >= 64 ? ~std::uint64_t{0} : std::uint64_t{1} << f;
-    for (std::uint64_t mask = 0; mask < combos; ++mask) {
-      std::array<std::uint64_t, kMaxDims> c = base;
-      for (std::size_t b = 0; b < f; ++b) {
-        if ((mask >> b) & 1U) {
-          const auto [dim, pos] = free_bits_[b];
-          c[static_cast<std::size_t>(dim)] |= std::uint64_t{1} << pos;
-        }
-      }
-      point corner(d);
-      for (int x = 0; x < d; ++x)
-        corner[x] = static_cast<std::uint32_t>(c[static_cast<std::size_t>(x)]);
-      if (++emitted_ > max_cubes_)
-        throw std::length_error("enumerate_level_cubes: cube budget exceeded");
-      visit_(standard_cube(corner, i_));
-    }
-  }
-
-  const universe& u_;
-  const extremal_rect& r_;
-  const int i_;
-  const cube_visitor& visit_;
-  const std::uint64_t max_cubes_;
-  int pin_ = 0;
-  std::array<int, kMaxDims> p_{};
-  std::vector<std::pair<int, int>> free_bits_;
-  std::uint64_t emitted_ = 0;
-};
-
-}  // namespace
-
-void enumerate_level_cubes(const universe& u, const extremal_rect& r, int i,
-                           const cube_visitor& visit, std::uint64_t max_cubes) {
-  SUBCOVER_CHECK(r.dims() == u.dims(), "enumerate_level_cubes: dims mismatch");
-  SUBCOVER_CHECK(i >= 0 && i <= u.bits(), "enumerate_level_cubes: level out of range");
-  if (!level_occupied(r, i)) return;
-  level_enumerator(u, r, i, visit, max_cubes).run();
-}
-
-void enumerate_cubes_descending(const universe& u, const extremal_rect& r,
-                                const cube_visitor& visit, std::uint64_t max_cubes) {
-  std::uint64_t budget = max_cubes;
-  for (int i = u.bits(); i >= 0; --i) {
-    std::uint64_t level_count = 0;
-    enumerate_level_cubes(
-        u, r, i,
-        [&](const standard_cube& c) {
-          ++level_count;
-          visit(c);
-        },
-        budget);
-    budget -= level_count;
-  }
 }
 
 }  // namespace subcover

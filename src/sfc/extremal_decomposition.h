@@ -8,14 +8,25 @@
 // R(S_i(l)). This lets the query engine enumerate cubes strictly in
 // descending volume order (the search order of the Section 5 algorithm) and
 // lets benches compute cube counts in closed form without enumeration.
+//
+// Enumeration is push-style with a template visitor (no std::function, no
+// heap allocation: the enumerator's scratch is fixed-size). A visitor
+// returning bool can stop a level cleanly by returning false — that is how
+// the query planner takes exactly the number of cubes it needs from a level
+// without exception-based control flow.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "geometry/extremal.h"
 #include "geometry/universe.h"
 #include "sfc/decomposition.h"
+#include "util/bitops.h"
+#include "util/check.h"
 #include "util/wideint.h"
 
 namespace subcover {
@@ -28,23 +39,165 @@ bool level_occupied(const extremal_rect& r, int i);
 // result[i] = number of cubes of side 2^i in the minimal partition of R(l).
 std::vector<u512> extremal_level_counts(const universe& u, const extremal_rect& r);
 
+// Same, writing into a caller-owned buffer (resized to k + 1) so repeated
+// queries reuse its capacity instead of reallocating.
+void extremal_level_counts_into(const universe& u, const extremal_rect& r,
+                                std::vector<u512>& out);
+
 // cubes(R(l)): total size of the minimal partition, exact.
 u512 extremal_cube_count(const universe& u, const extremal_rect& r);
+
+namespace detail {
+
+// Implements Algorithms 1-3 (Appendix A) for one level i.
+template <class Visitor>
+class level_enumerator {
+ public:
+  level_enumerator(const universe& u, const extremal_rect& r, int i, Visitor& visit,
+                   std::uint64_t max_cubes)
+      : u_(u), r_(r), i_(i), visit_(visit), max_cubes_(max_cubes) {}
+
+  void run() {
+    // Algorithm 1: each rectangle of D_i has exactly one lowest-index
+    // dimension s whose chosen bit P_s equals i.
+    for (int s = 0; s < u_.dims() && !stopped_; ++s) {
+      if (bit_at(r_.length(s), i_)) {
+        pin_ = s;
+        enum_rectangles(0);
+      }
+    }
+  }
+
+ private:
+  // Upper bound on free bit positions across all dimensions: at most k + 1
+  // chosen-bit positions per side length, kMaxDims side lengths.
+  static constexpr std::size_t kMaxFreeBits =
+      static_cast<std::size_t>(kMaxDims) * (kMaxBitsPerDim + 1);
+
+  // Algorithm 3 (EnumRectangles): choose a set bit P_t of l_t per dimension.
+  // Dimensions before the pinned one must choose bits > i (uniqueness);
+  // dimensions after it may choose bits >= i; the pinned one takes exactly i.
+  void enum_rectangles(int t) {
+    if (stopped_) return;
+    if (t == u_.dims()) {
+      comp_keys();
+      return;
+    }
+    if (t == pin_) {
+      p_[static_cast<std::size_t>(t)] = i_;
+      enum_rectangles(t + 1);
+      return;
+    }
+    const std::uint64_t len = r_.length(t);
+    const int lowest = t < pin_ ? i_ + 1 : i_;
+    for (int j = bit_length(len) - 1; j >= lowest && !stopped_; --j) {
+      if (bit_at(len, j)) {
+        p_[static_cast<std::size_t>(t)] = j;
+        enum_rectangles(t + 1);
+      }
+    }
+  }
+
+  // Algorithm 2 (CompKeys) via Equation 1: inside the rectangle indexed by P,
+  // cube corner coordinates have, per dimension x (writing l = l_x, P = P_x):
+  //   bits y in (P, k-1]  : complement of l's bit y
+  //   bit  y == P         : 1
+  //   bits y in [i, P)    : free (enumerate both values)
+  //   bits y in [0, i)    : 0 (corner alignment of a side-2^i cube)
+  // When l_x == 2^k the chosen bit is P == k, which lies outside the k-bit
+  // coordinate; building in 64 bits and masking to k bits handles it.
+  void comp_keys() {
+    const int d = u_.dims();
+    const std::uint64_t coord_mask = u_.side() - 1;
+    std::array<std::uint64_t, kMaxDims> base{};
+    std::size_t nfree = 0;
+    for (int x = 0; x < d; ++x) {
+      const std::uint64_t len = r_.length(x);
+      const int px = p_[static_cast<std::size_t>(x)];
+      std::uint64_t c = ~len;  // bits above px will be kept from here
+      c = keep_bits_from(c, px + 1);
+      c |= std::uint64_t{1} << px;
+      base[static_cast<std::size_t>(x)] = c & coord_mask;
+      for (int y = i_; y < px; ++y) free_bits_[nfree++] = {x, y};
+    }
+    // A rectangle holds 2^nfree cubes; saturate the counter for nfree >= 64 —
+    // the per-call cube budget below stops enumeration long before overflow.
+    const std::uint64_t combos =
+        nfree >= 64 ? ~std::uint64_t{0} : std::uint64_t{1} << nfree;
+    for (std::uint64_t mask = 0; mask < combos; ++mask) {
+      std::array<std::uint64_t, kMaxDims> c = base;
+      for (std::size_t b = 0; b < nfree; ++b) {
+        if ((mask >> b) & 1U) {
+          const auto [dim, pos] = free_bits_[b];
+          c[static_cast<std::size_t>(dim)] |= std::uint64_t{1} << pos;
+        }
+      }
+      point corner(d);
+      for (int x = 0; x < d; ++x)
+        corner[x] = static_cast<std::uint32_t>(c[static_cast<std::size_t>(x)]);
+      if (++emitted_ > max_cubes_)
+        throw std::length_error("enumerate_level_cubes: cube budget exceeded");
+      if (!visit_cube(visit_, standard_cube(corner, i_))) {
+        stopped_ = true;
+        return;
+      }
+    }
+  }
+
+  const universe& u_;
+  const extremal_rect& r_;
+  const int i_;
+  Visitor& visit_;
+  const std::uint64_t max_cubes_;
+  int pin_ = 0;
+  bool stopped_ = false;
+  std::array<int, kMaxDims> p_{};
+  std::array<std::pair<int, int>, kMaxFreeBits> free_bits_{};
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace detail
 
 // Enumerates the standard cubes of D_i (side 2^i) of the minimal partition of
 // R(l), using the paper's Algorithms 1-3: rectangles of D_i are indexed by a
 // bit-position vector P (one chosen set bit of each side length), and cube
 // corners inside a rectangle follow Equation 1 of Section 5.
+// `visit` is any callable taking `const standard_cube&`; returning false
+// (for bool-returning visitors) stops the enumeration early.
 // Throws std::length_error if the level holds more than `max_cubes` cubes.
-void enumerate_level_cubes(const universe& u, const extremal_rect& r, int i,
-                           const cube_visitor& visit,
-                           std::uint64_t max_cubes = std::uint64_t{1} << 32);
+template <class Visitor>
+void enumerate_level_cubes(const universe& u, const extremal_rect& r, int i, Visitor&& visit,
+                           std::uint64_t max_cubes = std::uint64_t{1} << 32) {
+  SUBCOVER_CHECK(r.dims() == u.dims(), "enumerate_level_cubes: dims mismatch");
+  SUBCOVER_CHECK(i >= 0 && i <= u.bits(), "enumerate_level_cubes: level out of range");
+  if (!level_occupied(r, i)) return;
+  auto& v = visit;
+  detail::level_enumerator<std::remove_reference_t<Visitor>>(u, r, i, v, max_cubes).run();
+}
 
 // Enumerates all cubes of the minimal partition in descending cube size
 // (levels i = k down to 0), the probe order of the Section 5 query algorithm.
 // Throws std::length_error if the partition exceeds `max_cubes` cubes.
-void enumerate_cubes_descending(const universe& u, const extremal_rect& r,
-                                const cube_visitor& visit,
-                                std::uint64_t max_cubes = std::uint64_t{1} << 32);
+template <class Visitor>
+void enumerate_cubes_descending(const universe& u, const extremal_rect& r, Visitor&& visit,
+                                std::uint64_t max_cubes = std::uint64_t{1} << 32) {
+  std::uint64_t budget = max_cubes;
+  bool stopped = false;
+  for (int i = u.bits(); i >= 0 && !stopped; --i) {
+    std::uint64_t level_count = 0;
+    enumerate_level_cubes(
+        u, r, i,
+        [&](const standard_cube& c) {
+          ++level_count;
+          if (!detail::visit_cube(visit, c)) {
+            stopped = true;
+            return false;
+          }
+          return true;
+        },
+        budget);
+    budget -= level_count;
+  }
+}
 
 }  // namespace subcover

@@ -25,6 +25,20 @@ u512 gray_curve::cube_prefix(const standard_cube& c) const {
   return gray_decode(detail::interleave_bits(top.data(), d, prefix_bits));
 }
 
+std::uint64_t gray_curve::child_rank(const standard_cube& parent, const u512& parent_prefix,
+                                     std::uint32_t child_mask) const {
+  const int d = space().dims();
+  const std::uint64_t rank_mask = (d < 64 ? (std::uint64_t{1} << d) : 0) - 1;
+  // Interleaved selection bits of the child (the Z rank of the mask).
+  std::uint64_t z = 0;
+  for (int j = 0; j < d; ++j)
+    if ((child_mask >> j) & 1U) z |= std::uint64_t{1} << (d - 1 - j);
+  // 64-bit XOR prefix scan == gray decode of the d-bit word.
+  for (int shift = 1; shift < 64; shift <<= 1) z ^= z >> shift;
+  const bool parent_odd = (parent_prefix.low64() & 1U) != 0;
+  return (parent_odd ? ~z : z) & rank_mask;
+}
+
 point gray_curve::cell_from_key(const u512& key) const {
   check_key(key);
   const int d = space().dims();

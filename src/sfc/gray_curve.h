@@ -22,6 +22,13 @@ class gray_curve final : public curve {
   [[nodiscard]] curve_kind kind() const override { return curve_kind::gray_code; }
   [[nodiscard]] u512 cube_prefix(const standard_cube& c) const override;
   [[nodiscard]] point cell_from_key(const u512& key) const override;
+  // O(d): with I the interleaved word of a prefix, decode(I)_i is the XOR of
+  // I's bits >= i, so the low d decoded bits of a child are the d-bit gray
+  // decode of its interleaved selection bits, flipped when the parent's
+  // interleaved word has odd parity — and that parity is exactly the low bit
+  // of the parent's (decoded) prefix.
+  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const u512& parent_prefix,
+                                         std::uint32_t child_mask) const override;
 };
 
 }  // namespace subcover

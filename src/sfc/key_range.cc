@@ -13,26 +13,29 @@ std::string key_range::to_string() const {
   return "[" + lo.to_string() + ", " + hi.to_string() + "]";
 }
 
-std::vector<key_range> merge_ranges(std::vector<key_range> ranges) {
-  if (ranges.empty()) return ranges;
+void merge_ranges_inplace(std::vector<key_range>& ranges) {
+  if (ranges.empty()) return;
   std::sort(ranges.begin(), ranges.end(),
             [](const key_range& a, const key_range& b) { return a.lo < b.lo; });
-  std::vector<key_range> merged;
-  merged.reserve(ranges.size());
-  merged.push_back(ranges.front());
+  std::size_t out = 0;  // ranges[0..out] is the merged prefix
   for (std::size_t i = 1; i < ranges.size(); ++i) {
-    key_range& last = merged.back();
-    const key_range& cur = ranges[i];
+    key_range& last = ranges[out];
+    const key_range cur = ranges[i];
     // Adjacent (last.hi + 1 == cur.lo) or overlapping ranges coalesce.
     // Guard the +1 against wrap-around at the maximum key.
     const bool adjacent = last.hi != u512::max() && last.hi + u512::one() >= cur.lo;
     if (adjacent || cur.lo <= last.hi) {
       last.hi = std::max(last.hi, cur.hi, [](const u512& a, const u512& b) { return a < b; });
     } else {
-      merged.push_back(cur);
+      ranges[++out] = cur;
     }
   }
-  return merged;
+  ranges.resize(out + 1);
+}
+
+std::vector<key_range> merge_ranges(std::vector<key_range> ranges) {
+  merge_ranges_inplace(ranges);
+  return ranges;
 }
 
 u512 total_cells(const std::vector<key_range>& ranges) {

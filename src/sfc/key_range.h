@@ -33,6 +33,11 @@ struct key_range {
 // runs covering exactly the union of the inputs.
 std::vector<key_range> merge_ranges(std::vector<key_range> ranges);
 
+// Same, coalescing within the given buffer (sort + in-place compaction, no
+// allocation beyond the buffer's existing capacity). The hot query path
+// uses this on its reusable scratch.
+void merge_ranges_inplace(std::vector<key_range>& ranges);
+
 // Total cells covered by a set of disjoint ranges.
 u512 total_cells(const std::vector<key_range>& ranges);
 

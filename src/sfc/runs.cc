@@ -1,8 +1,34 @@
 #include "sfc/runs.h"
 
-#include "sfc/decomposition.h"
-
 namespace subcover {
+
+bool run_stream::next(key_range* out) {
+  standard_cube c;
+  key_range kr;
+  while (cubes_.next(&c, &kr)) {
+    if (!has_pending_) {
+      pending_ = kr;
+      has_pending_ = true;
+      continue;
+    }
+    // Cubes arrive in key order and tile the region, so kr.lo > pending_.hi;
+    // back-to-back intervals coalesce. (pending_.hi cannot be the maximum
+    // key here — a later cube's interval lies strictly above it.)
+    if (pending_.hi + u512::one() == kr.lo) {
+      pending_.hi = kr.hi;
+      continue;
+    }
+    *out = pending_;
+    pending_ = kr;
+    return true;
+  }
+  if (has_pending_) {
+    *out = pending_;
+    has_pending_ = false;
+    return true;
+  }
+  return false;
+}
 
 std::vector<key_range> region_cube_ranges(const curve& c, const rect& r) {
   std::vector<key_range> ranges;
@@ -13,11 +39,19 @@ std::vector<key_range> region_cube_ranges(const curve& c, const rect& r) {
 }
 
 std::vector<key_range> region_runs(const curve& c, const rect& r) {
-  return merge_ranges(region_cube_ranges(c, r));
+  std::vector<key_range> runs;
+  run_stream stream(c, r);
+  key_range run;
+  while (stream.next(&run)) runs.push_back(run);
+  return runs;
 }
 
 std::uint64_t count_runs(const curve& c, const rect& r) {
-  return static_cast<std::uint64_t>(region_runs(c, r).size());
+  run_stream stream(c, r);
+  std::uint64_t n = 0;
+  key_range run;
+  while (stream.next(&run)) ++n;
+  return n;
 }
 
 std::vector<key_range> region_runs(const curve& c, const extremal_rect& r) {

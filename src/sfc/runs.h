@@ -5,6 +5,13 @@
 // standard-cube partition to key intervals (Fact 2.1) and coalescing
 // adjacent intervals; because the cubes tile T exactly, the coalesced set is
 // the unique set of maximal runs. Lemma 3.1: runs(T) <= cubes(T).
+//
+// run_stream computes the runs *incrementally*: it pulls cubes from a
+// key-ordered cube_stream and merges back-to-back key intervals on the fly,
+// emitting each maximal run as soon as it is complete. Nothing is
+// materialized — memory is O(universe depth) regardless of how many runs the
+// region has, and a warmed (reused) stream performs no heap allocation.
+// region_runs()/count_runs() are thin wrappers over run_stream.
 #pragma once
 
 #include <cstdint>
@@ -13,11 +20,39 @@
 #include "geometry/extremal.h"
 #include "geometry/rect.h"
 #include "sfc/curve.h"
+#include "sfc/decomposition.h"
 #include "sfc/key_range.h"
 
 namespace subcover {
 
-// One key interval per cube of the minimal partition of `r` (unmerged).
+// Streams the maximal runs of a region in ascending key order without
+// materializing the cube decomposition. Reusable via reset() with the same
+// allocation-free contract as cube_stream; not thread-safe.
+class run_stream {
+ public:
+  explicit run_stream(const curve& c) : cubes_(c) {}
+  run_stream(const curve& c, const rect& r) : cubes_(c) { reset(r); }
+
+  // Rebinds to a new region. Throws std::invalid_argument if the region
+  // lies outside the universe.
+  void reset(const rect& r) {
+    cubes_.reset(r);
+    has_pending_ = false;
+  }
+
+  // Emits the next maximal run, in ascending key order; false when done.
+  bool next(key_range* out);
+
+  [[nodiscard]] const curve& sfc() const { return cubes_.sfc(); }
+
+ private:
+  cube_stream cubes_;
+  key_range pending_;        // run being grown; valid iff has_pending_
+  bool has_pending_ = false;
+};
+
+// One key interval per cube of the minimal partition of `r` (unmerged, in
+// decomposition order).
 std::vector<key_range> region_cube_ranges(const curve& c, const rect& r);
 
 // The maximal runs of `r` on the curve: merged, sorted by lo, disjoint.

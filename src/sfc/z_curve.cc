@@ -16,6 +16,16 @@ u512 z_curve::cube_prefix(const standard_cube& c) const {
   return detail::interleave_bits(top.data(), d, prefix_bits);
 }
 
+std::uint64_t z_curve::child_rank(const standard_cube& parent, const u512& parent_prefix,
+                                  std::uint32_t child_mask) const {
+  (void)parent_prefix;
+  const int d = space().dims();
+  std::uint64_t rank = 0;
+  for (int j = 0; j < d; ++j)
+    if ((child_mask >> j) & 1U) rank |= std::uint64_t{1} << (d - 1 - j);
+  return rank;
+}
+
 point z_curve::cell_from_key(const u512& key) const {
   check_key(key);
   const int d = space().dims();

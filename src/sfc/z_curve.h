@@ -17,6 +17,10 @@ class z_curve final : public curve {
   [[nodiscard]] curve_kind kind() const override { return curve_kind::z_order; }
   [[nodiscard]] u512 cube_prefix(const standard_cube& c) const override;
   [[nodiscard]] point cell_from_key(const u512& key) const override;
+  // O(d): the rank is the child-selection mask with dimension 0 moved to the
+  // most significant bit (the interleaving convention above).
+  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const u512& parent_prefix,
+                                         std::uint32_t child_mask) const override;
 };
 
 }  // namespace subcover

@@ -7,6 +7,17 @@
 
 namespace subcover {
 
+void sfc_array::reserve(std::size_t) {}
+
+void sfc_array::bulk_load(std::vector<entry> entries) {
+  reserve(size() + entries.size());
+  for (const auto& e : entries) insert(e.key, e.id);
+}
+
+std::optional<sfc_array::entry> sfc_array::first_in(const key_range& r, probe_hint*) const {
+  return first_in(r);
+}
+
 std::unique_ptr<sfc_array> make_sfc_array(sfc_array_kind kind) {
   switch (kind) {
     case sfc_array_kind::skiplist:

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "sfc/key_range.h"
 #include "util/wideint.h"
@@ -36,12 +37,32 @@ class sfc_array {
   sfc_array(const sfc_array&) = delete;
   sfc_array& operator=(const sfc_array&) = delete;
 
+  // Probe-locality cursor for first_in. Successive probes at nearby keys can
+  // start from the previous position instead of re-descending from the root;
+  // implementations that cannot exploit locality ignore it. A
+  // value-initialized hint means "no locality information". The cursor is
+  // only meaningful for the array it was produced by and is invalidated by
+  // any mutation (a stale cursor is never incorrect — only slower).
+  struct probe_hint {
+    std::size_t pos = 0;
+  };
+
   virtual void insert(const u512& key, std::uint64_t id) = 0;
   // Removes one (key, id) occurrence; returns false if absent.
   virtual bool erase(const u512& key, std::uint64_t id) = 0;
+  // Capacity pre-sizing for bulk population; a no-op by default.
+  virtual void reserve(std::size_t n);
+  // Bulk insertion, equivalent to insert() per element (order-insensitive).
+  // The default loops over insert(); the sorted vector amortizes to one sort
+  // plus one merge, which is what makes broker bootstrap cheap.
+  virtual void bulk_load(std::vector<entry> entries);
   // The smallest-key entry with key in [r.lo, r.hi], if any. This is the
   // run-probe primitive: two descents regardless of the run's extent.
   [[nodiscard]] virtual std::optional<entry> first_in(const key_range& r) const = 0;
+  // Same, with a probe-locality cursor (see probe_hint). The default ignores
+  // the hint and forwards to first_in(r).
+  [[nodiscard]] virtual std::optional<entry> first_in(const key_range& r,
+                                                      probe_hint* hint) const;
   // Number of entries with key in [r.lo, r.hi].
   [[nodiscard]] virtual std::uint64_t count_in(const key_range& r) const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;

@@ -24,9 +24,62 @@ bool sorted_vector_array::erase(const u512& key, std::uint64_t id) {
   return true;
 }
 
+void sorted_vector_array::reserve(std::size_t n) { entries_.reserve(n); }
+
+void sorted_vector_array::bulk_load(std::vector<entry> entries) {
+  std::sort(entries.begin(), entries.end(), entry_less);
+  if (entries_.empty()) {
+    entries_ = std::move(entries);
+    return;
+  }
+  const std::size_t old_size = entries_.size();
+  entries_.insert(entries_.end(), entries.begin(), entries.end());
+  std::inplace_merge(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(old_size), entries_.end(),
+                     entry_less);
+}
+
 std::optional<sfc_array::entry> sorted_vector_array::first_in(const key_range& r) const {
   const entry probe{r.lo, 0};
   const auto it = std::lower_bound(entries_.begin(), entries_.end(), probe, entry_less);
+  if (it == entries_.end() || it->key > r.hi) return std::nullopt;
+  return *it;
+}
+
+std::optional<sfc_array::entry> sorted_vector_array::first_in(const key_range& r,
+                                                              probe_hint* hint) const {
+  if (hint == nullptr) return first_in(r);
+  const entry probe{r.lo, 0};
+  // Gallop from the cursor: double the step until a window bracketing the
+  // lower bound of r.lo is found, then binary-search inside it. Nearby
+  // probes cost O(log distance); a stale or far cursor degrades gracefully
+  // to O(log n).
+  std::size_t lo = 0;
+  std::size_t hi = entries_.size();
+  std::size_t pos = hint->pos < entries_.size() ? hint->pos : entries_.size();
+  if (pos < entries_.size() && entry_less(entries_[pos], probe)) {
+    // Cursor is left of the answer: gallop right.
+    std::size_t step = 1;
+    lo = pos + 1;
+    while (lo + step < entries_.size() && entry_less(entries_[lo + step - 1], probe)) {
+      lo += step;
+      step <<= 1;
+    }
+    hi = std::min(lo + step, entries_.size());
+  } else {
+    // Cursor is at or right of the answer: gallop left.
+    std::size_t step = 1;
+    hi = pos;
+    while (step <= hi && !entry_less(entries_[hi - step], probe)) {
+      hi -= step;
+      step <<= 1;
+    }
+    lo = step <= hi ? hi - step : 0;
+  }
+  const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(lo);
+  const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(hi);
+  const auto it = std::lower_bound(first, last, probe, entry_less);
+  hint->pos = static_cast<std::size_t>(it - entries_.begin());
   if (it == entries_.end() || it->key > r.hi) return std::nullopt;
   return *it;
 }

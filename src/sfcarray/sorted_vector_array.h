@@ -2,6 +2,12 @@
 // binary-search probes. O(n) insert/erase, O(log n) first_in — the right
 // trade-off for mostly-static subscription tables and the reference oracle
 // for the skip list in tests.
+//
+// This backend exploits both bulk-population hooks: bulk_load sorts the
+// batch once and merges it with the existing entries (O((n + m) + m log m)
+// instead of m inserts of O(n) each), and the probe_hint overload of
+// first_in gallops from the previous probe position, so a sequence of
+// probes at nearby keys costs O(log distance) instead of O(log n) each.
 #pragma once
 
 #include <vector>
@@ -14,9 +20,15 @@ class sorted_vector_array final : public sfc_array {
  public:
   sorted_vector_array() = default;
 
+  using sfc_array::first_in;
+
   void insert(const u512& key, std::uint64_t id) override;
   bool erase(const u512& key, std::uint64_t id) override;
+  void reserve(std::size_t n) override;
+  void bulk_load(std::vector<entry> entries) override;
   [[nodiscard]] std::optional<entry> first_in(const key_range& r) const override;
+  [[nodiscard]] std::optional<entry> first_in(const key_range& r,
+                                              probe_hint* hint) const override;
   [[nodiscard]] std::uint64_t count_in(const key_range& r) const override;
   [[nodiscard]] std::size_t size() const override;
   void for_each(const std::function<void(const entry&)>& fn) const override;

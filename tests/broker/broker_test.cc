@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "covering/linear_covering_index.h"
+#include "covering/sfc_covering_index.h"
 #include "pubsub/parser.h"
 #include "workload/subscription_gen.h"
 
@@ -105,6 +106,74 @@ TEST_F(BrokerTest, UnsubscribeOfSuppressedSubscriptionSendsNothing) {
 TEST_F(BrokerTest, UnsubscribeUnknownThrows) {
   broker b = make_broker({1});
   EXPECT_THROW((void)b.handle_unsubscribe(kLocalLink, 99, m_), std::logic_error);
+}
+
+TEST_F(BrokerTest, BootstrapForwardedSuppressesCoveredArrivals) {
+  // A broker restored from persisted routing state must behave as if the
+  // forwarded subscriptions had arrived through handle_subscribe.
+  const std::map<int, std::vector<std::pair<sub_id, subscription>>> state{
+      {1, {{1, sub("attr0 <= 100")}}}};
+  broker_options o;
+  broker restored(0, s_, {1, 2}, linear_factory(), o, state);
+  EXPECT_EQ(restored.forwarded_to(1), 1U);
+  EXPECT_EQ(restored.forwarded_to(2), 0U);
+  // Covered by the bootstrapped subscription on link 1; link 2 is empty so
+  // the forward still goes there.
+  const auto action = restored.handle_subscribe(kLocalLink, 2, sub("attr0 <= 50"), m_);
+  EXPECT_EQ(action.forward_links, (std::vector<int>{2}));
+  EXPECT_EQ(m_.covering_hits, 1U);
+}
+
+TEST_F(BrokerTest, BootstrapMatchesSequentialForwarding) {
+  // Bootstrapping with the SFC index (bulk insert_batch path) and feeding
+  // the same subscriptions sequentially must leave identical forwarding
+  // behavior.
+  const covering_index_factory sfc_factory = [](const schema& s) {
+    sfc_covering_options o;
+    o.array = sfc_array_kind::sorted_vector;
+    return std::make_unique<sfc_covering_index>(s, o);
+  };
+  std::vector<std::pair<sub_id, subscription>> subs;
+  for (sub_id id = 1; id <= 20; ++id)
+    subs.emplace_back(id, sub("attr0 <= " + std::to_string(id * 10)));
+
+  broker_options o;
+  broker sequential(0, s_, {1}, sfc_factory, o);
+  std::vector<std::pair<sub_id, subscription>> forwarded;
+  for (const auto& [id, body] : subs) {
+    const auto action = sequential.handle_subscribe(kLocalLink, id, body, m_);
+    if (!action.forward_links.empty()) forwarded.emplace_back(id, body);
+  }
+  broker restored(0, s_, {1}, sfc_factory, o, {{1, forwarded}});
+  ASSERT_EQ(restored.forwarded_to(1), sequential.forwarded_to(1));
+  // Both brokers must now suppress/forward identically.
+  network_metrics ma;
+  network_metrics mb;
+  for (sub_id id = 100; id < 120; ++id) {
+    const auto body = sub("attr0 <= " + std::to_string((id - 100) * 11 + 3));
+    const auto a = sequential.handle_subscribe(kLocalLink, id, body, ma);
+    const auto b = restored.handle_subscribe(kLocalLink, id, body, mb);
+    EXPECT_EQ(a.forward_links, b.forward_links) << "id=" << id;
+  }
+}
+
+TEST_F(BrokerTest, BootstrapUnknownLinkThrows) {
+  broker b = make_broker({1});
+  EXPECT_THROW(b.bootstrap_forwarded(9, {{1, sub("attr0 <= 10")}}), std::invalid_argument);
+}
+
+TEST_F(BrokerTest, BootstrapDuplicateIdIsAllOrNothing) {
+  broker b = make_broker({1});
+  (void)b.handle_subscribe(kLocalLink, 1, sub("attr0 <= 10"), m_);
+  ASSERT_EQ(b.forwarded_to(1), 1U);
+  // Id 1 is already forwarded on link 1: the whole batch must be rejected
+  // without touching the covering index (id 2 must not be half-forwarded).
+  EXPECT_THROW(b.bootstrap_forwarded(1, {{2, sub("attr0 <= 200")}, {1, sub("attr0 <= 10")}}),
+               std::invalid_argument);
+  EXPECT_EQ(b.forwarded_to(1), 1U);
+  // A subscription covered by the rejected batch's id 2 must still forward.
+  const auto action = b.handle_subscribe(kLocalLink, 3, sub("attr0 <= 150"), m_);
+  EXPECT_EQ(action.forward_links, (std::vector<int>{1}));
 }
 
 TEST_F(BrokerTest, CoveringChecksCountedInMetrics) {

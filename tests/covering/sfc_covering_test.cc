@@ -44,6 +44,36 @@ TEST(SfcCoveringIndex, AllCurvesAgreeExhaustively) {
   }
 }
 
+TEST(SfcCoveringIndex, InsertBatchEquivalentToInserts) {
+  const schema s = workload::make_uniform_schema(2, 6);
+  workload::subscription_gen gen(s, {}, 44);
+  sfc_covering_options o;
+  o.array = sfc_array_kind::sorted_vector;
+  sfc_covering_index via_loop(s, o);
+  sfc_covering_index via_batch(s, o);
+  std::vector<std::pair<sub_id, subscription>> batch;
+  for (sub_id id = 0; id < 200; ++id) batch.emplace_back(id, gen.next());
+  for (const auto& [id, sub] : batch) via_loop.insert(id, sub);
+  via_batch.insert_batch(batch);
+  ASSERT_EQ(via_batch.size(), via_loop.size());
+  for (int q = 0; q < 120; ++q) {
+    const auto query = gen.next();
+    for (const double eps : {0.0, 0.1}) {
+      EXPECT_EQ(via_batch.find_covering(query, eps), via_loop.find_covering(query, eps));
+    }
+  }
+  // Duplicate ids are rejected, batch or not, and a failed batch inserts
+  // nothing (all-or-nothing: no half-inserted ids).
+  EXPECT_THROW(via_batch.insert_batch({{0, gen.next()}}), std::invalid_argument);
+  const auto dup = gen.next();
+  EXPECT_THROW(via_batch.insert_batch({{999, dup}, {999, dup}}), std::invalid_argument);
+  EXPECT_FALSE(via_batch.erase(999));
+  EXPECT_NO_THROW(via_batch.insert(999, dup));
+  // Batched entries can be erased individually.
+  EXPECT_TRUE(via_batch.erase(0));
+  EXPECT_FALSE(via_batch.erase(0));
+}
+
 TEST(SfcCoveringIndex, NamesReflectCurve) {
   const schema s = workload::make_uniform_schema(2, 8);
   sfc_covering_options o;

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "util/random.h"
 
 namespace subcover {
@@ -79,6 +82,86 @@ TEST_P(SfcArrayBehaviour, ForEachVisitsAllInOrder) {
     ++n;
   });
   EXPECT_EQ(n, a->size());
+}
+
+TEST_P(SfcArrayBehaviour, BulkLoadEquivalentToInserts) {
+  auto bulk = make();
+  auto loop = make();
+  rng gen(17);
+  std::vector<sfc_array::entry> entries;
+  for (std::uint64_t i = 0; i < 500; ++i)
+    entries.push_back({u512(gen.uniform(0, 400)), gen.uniform(0, 8)});
+  for (const auto& e : entries) loop->insert(e.key, e.id);
+  bulk->reserve(entries.size());
+  bulk->bulk_load(entries);
+  ASSERT_EQ(bulk->size(), loop->size());
+  std::vector<sfc_array::entry> a;
+  std::vector<sfc_array::entry> b;
+  bulk->for_each([&](const sfc_array::entry& e) { a.push_back(e); });
+  loop->for_each([&](const sfc_array::entry& e) { b.push_back(e); });
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(SfcArrayBehaviour, BulkLoadMergesIntoExistingEntries) {
+  auto a = make();
+  auto reference = make();
+  rng gen(23);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<sfc_array::entry> batch;
+    for (std::uint64_t i = 0; i < 100; ++i)
+      batch.push_back({u512(gen.uniform(0, 300)), gen.uniform(0, 5)});
+    a->bulk_load(batch);
+    for (const auto& e : batch) reference->insert(e.key, e.id);
+  }
+  ASSERT_EQ(a->size(), reference->size());
+  for (std::uint64_t lo = 0; lo < 300; lo += 7) {
+    const key_range r{u512(lo), u512(lo + 11)};
+    const auto x = a->first_in(r);
+    const auto y = reference->first_in(r);
+    ASSERT_EQ(x.has_value(), y.has_value());
+    if (x.has_value()) EXPECT_EQ(*x, *y);
+  }
+}
+
+TEST_P(SfcArrayBehaviour, HintedProbeAgreesWithPlainProbe) {
+  auto a = make();
+  rng gen(31);
+  for (std::uint64_t i = 0; i < 400; ++i) a->insert(u512(gen.uniform(0, 1000)), i);
+  sfc_array::probe_hint hint;
+  for (int q = 0; q < 500; ++q) {
+    // Mix nearby probes (exercising short gallops in both directions) with
+    // occasional far jumps (stale cursor).
+    const std::uint64_t lo = q % 10 == 0 ? gen.uniform(0, 1000)
+                                         : std::min<std::uint64_t>(gen.uniform(0, 40) + q, 1000);
+    const std::uint64_t hi = std::min<std::uint64_t>(lo + gen.uniform(0, 50), 1000);
+    const key_range r{u512(lo), u512(hi)};
+    const auto plain = a->first_in(r);
+    const auto hinted = a->first_in(r, &hint);
+    ASSERT_EQ(plain.has_value(), hinted.has_value()) << "lo=" << lo << " hi=" << hi;
+    if (plain.has_value()) EXPECT_EQ(*plain, *hinted);
+  }
+}
+
+TEST_P(SfcArrayBehaviour, HintSurvivesMutation) {
+  // A stale cursor must stay correct (only slower) after inserts and erases.
+  auto a = make();
+  rng gen(37);
+  sfc_array::probe_hint hint;
+  for (int op = 0; op < 1000; ++op) {
+    const std::uint64_t key = gen.uniform(0, 200);
+    if (gen.uniform(0, 3) == 0) {
+      (void)a->erase(u512(key), 0);
+    } else {
+      a->insert(u512(key), 0);
+    }
+    const std::uint64_t lo = gen.uniform(0, 200);
+    const std::uint64_t hi = gen.uniform(lo, 200);
+    const key_range r{u512(lo), u512(hi)};
+    const auto plain = a->first_in(r);
+    const auto hinted = a->first_in(r, &hint);
+    ASSERT_EQ(plain.has_value(), hinted.has_value());
+    if (plain.has_value()) EXPECT_EQ(*plain, *hinted);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, SfcArrayBehaviour,
