@@ -145,6 +145,115 @@ void BM_DominanceQueryWarmPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_DominanceQueryWarmPlan)->Arg(0)->Arg(1)->Arg(10);
 
+// --- per-key-width variants ------------------------------------------------
+//
+// The same workloads at d*k = 48, 96 and 256 bits, so the narrow-key fast
+// path (u64 / u128 instantiations) and the u512 wide path are tracked side
+// by side in BENCH_micro.json. The regions extend only in the first two
+// dimensions (unit thickness elsewhere — the shape wildcard constraints
+// produce after the EO82 transform), so the geometric work (cubes, runs,
+// probes) is constant across widths and the per-op delta isolates the cost
+// of key arithmetic.
+
+universe width_universe(std::int64_t key_bits) {
+  switch (key_bits) {
+    case 48:
+      return universe(3, 16);
+    case 96:
+      return universe(6, 16);
+    default:
+      return universe(16, 16);  // 256
+  }
+}
+
+// A random box in dims 0 and 1, a random unit slice elsewhere.
+rect width_rect(rng& gen, const universe& u) {
+  point lo(u.dims());
+  point hi(u.dims());
+  for (int j = 0; j < u.dims(); ++j) {
+    const auto a = gen.uniform(0, u.coord_max());
+    lo[j] = static_cast<std::uint32_t>(a);
+    hi[j] = static_cast<std::uint32_t>(a);
+  }
+  for (int j = 0; j < 2; ++j) {
+    const auto side = gen.uniform(1, 64);
+    const auto a = gen.uniform(0, u.side() - side);
+    lo[j] = static_cast<std::uint32_t>(a);
+    hi[j] = static_cast<std::uint32_t>(a + side - 1);
+  }
+  return {lo, hi};
+}
+
+template <class K>
+void run_stream_width_bench(benchmark::State& state, const universe& u) {
+  // The production path: the narrowest key type that fits the universe
+  // (mirrors dominance_index's construction-time width selection).
+  const basic_z_curve<K> c(u);
+  basic_run_stream<K> stream(c);
+  rng gen(7);
+  std::vector<rect> rects;
+  for (int i = 0; i < 64; ++i) rects.push_back(width_rect(gen, u));
+  std::size_t next = 0;
+  std::uint64_t total_runs = 0;
+  for (auto _ : state) {
+    stream.reset(rects[next]);
+    next = (next + 1) % rects.size();
+    basic_key_range<K> run;
+    while (stream.next(&run)) ++total_runs;
+    benchmark::DoNotOptimize(total_runs);
+  }
+  state.counters["runs"] =
+      benchmark::Counter(static_cast<double>(total_runs), benchmark::Counter::kAvgIterations);
+}
+
+void BM_RunStreamWidth(benchmark::State& state) {
+  const universe u = width_universe(state.range(0));
+  switch (select_key_width(u.key_bits())) {
+    case key_width::w64:
+      run_stream_width_bench<std::uint64_t>(state, u);
+      break;
+    case key_width::w128:
+      run_stream_width_bench<u128>(state, u);
+      break;
+    default:
+      run_stream_width_bench<u512>(state, u);
+      break;
+  }
+}
+BENCHMARK(BM_RunStreamWidth)->Arg(48)->Arg(96)->Arg(256);
+
+void BM_DominanceQueryWidth(benchmark::State& state) {
+  const universe u = width_universe(state.range(0));
+  dominance_options opts;
+  opts.array = sfc_array_kind::sorted_vector;
+  opts.settle_on_budget = true;
+  opts.max_cubes = std::uint64_t{1} << 12;
+  dominance_index idx(u, opts);
+  rng gen(11);
+  std::vector<std::pair<point, std::uint64_t>> pts;
+  for (std::uint64_t i = 0; i < 20'000; ++i) pts.emplace_back(random_point(gen, u), i);
+  idx.insert_batch(pts);
+  std::vector<point> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(random_point(gen, u));
+  std::size_t next = 0;
+  query_plan plan(idx);
+  query_stats st;
+  std::uint64_t probes = 0;
+  std::uint64_t cubes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.run(queries[next], 0.05, &st));
+    next = (next + 1) % queries.size();
+    probes += st.runs_probed;
+    cubes += st.cubes_enumerated;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["probes"] =
+      benchmark::Counter(static_cast<double>(probes), benchmark::Counter::kAvgIterations);
+  state.counters["cubes"] =
+      benchmark::Counter(static_cast<double>(cubes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_DominanceQueryWidth)->Arg(48)->Arg(96)->Arg(256);
+
 void BM_SkiplistInsert(benchmark::State& state) {
   skiplist_array sl;
   rng gen(3);

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on per-op regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+For every benchmark present in both files, the per-op real_time of CURRENT
+is compared against BASELINE; the script exits non-zero if any benchmark is
+more than THRESHOLD slower (default +10%). Benchmarks present in only one
+file are reported but never fail the run, so adding or retiring benchmarks
+does not break CI. Improvements are reported for the perf trajectory.
+
+This is the regression gate of the repo's perf tracking: CI runs
+micro_benchmark, then compares the fresh output against the committed
+BENCH_micro.json (the per-PR archived run; see ROADMAP.md).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed per-op slowdown fraction before failing (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    rows = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            rows.append((name, None, cur[name][0], None, "new"))
+            continue
+        if name not in cur:
+            rows.append((name, base[name][0], None, None, "retired"))
+            continue
+        b, c = base[name][0], cur[name][0]
+        ratio = c / b if b > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            regressions.append((name, b, c, ratio))
+        elif ratio < 1.0 - args.threshold:
+            status = "improved"
+        rows.append((name, b, c, ratio, status))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'benchmark':{width}s} {'baseline':>14s} {'current':>14s} {'ratio':>8s}  status")
+    for name, b, c, ratio, status in rows:
+        bs = f"{b:14.1f}" if b is not None else f"{'-':>14s}"
+        cs = f"{c:14.1f}" if c is not None else f"{'-':>14s}"
+        rs = f"{ratio:8.3f}" if ratio is not None else f"{'-':>8s}"
+        print(f"{name:{width}s} {bs} {cs} {rs}  {status}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for name, b, c, ratio in regressions:
+            print(f"  {name}: {b:.1f} -> {c:.1f} ns ({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

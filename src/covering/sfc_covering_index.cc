@@ -15,6 +15,7 @@ dominance_options to_dominance_options(const sfc_covering_options& o) {
   dominance_options d;
   d.curve = o.curve;
   d.array = o.array;
+  d.width = o.width;
   d.merge_runs = o.merge_runs;
   d.max_cubes = o.max_cubes;
   d.settle_on_budget = o.settle_on_budget;

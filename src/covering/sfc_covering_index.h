@@ -24,6 +24,10 @@ namespace subcover {
 struct sfc_covering_options {
   curve_kind curve = curve_kind::z_order;
   sfc_array_kind array = sfc_array_kind::skiplist;
+  // Key width of the dominance pipeline; `automatic` picks the narrowest
+  // type that fits the 2*beta-dimensional dominance universe (most schemas
+  // fit 128 bits — see util/key_traits.h).
+  key_width width = key_width::automatic;
   bool merge_runs = true;
   // Covering queries for subscriptions with wildcard or open-ended
   // constraints produce degenerate (unit-thickness, huge-aspect-ratio)

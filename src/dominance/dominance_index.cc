@@ -3,25 +3,141 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
 
 #include "dominance/query_plan.h"
 #include "util/bitops.h"
 
 namespace subcover {
 
+namespace {
+
+// Read-only u512 adapter over a narrow array: keys are widened on the way
+// out and truncated (with clamping for over-wide probe ranges) on the way
+// in, so external callers of dominance_index::array() see the reference
+// width whatever the engine runs on. Mutations forward too, keeping the
+// view coherent — though the owning index only hands out const references.
+template <class K>
+class widening_array_view final : public sfc_array {
+ public:
+  explicit widening_array_view(basic_sfc_array<K>& inner) : inner_(&inner) {}
+
+  void insert(const u512& key, std::uint64_t id) override {
+    inner_->insert(narrow_key(key), id);
+  }
+  bool erase(const u512& key, std::uint64_t id) override {
+    return inner_->erase(narrow_key(key), id);
+  }
+  void reserve(std::size_t n) override { inner_->reserve(n); }
+  void bulk_load(std::vector<entry> entries) override {
+    std::vector<typename basic_sfc_array<K>::entry> narrow;
+    narrow.reserve(entries.size());
+    for (const entry& e : entries) narrow.push_back({narrow_key(e.key), e.id});
+    inner_->bulk_load(std::move(narrow));
+  }
+  [[nodiscard]] std::optional<entry> first_in(const key_range& r) const override {
+    return first_in(r, nullptr);
+  }
+  [[nodiscard]] std::optional<entry> first_in(const key_range& r,
+                                              probe_hint* hint) const override {
+    basic_key_range<K> nr;
+    if (!narrow_range(r, &nr)) return std::nullopt;
+    typename basic_sfc_array<K>::probe_hint nh;
+    if (hint != nullptr) nh.pos = hint->pos;
+    const auto hit = inner_->first_in(nr, hint != nullptr ? &nh : nullptr);
+    if (hint != nullptr) hint->pos = nh.pos;
+    if (!hit.has_value()) return std::nullopt;
+    return entry{key_traits<K>::widen(hit->key), hit->id};
+  }
+  [[nodiscard]] std::uint64_t count_in(const key_range& r) const override {
+    basic_key_range<K> nr;
+    if (!narrow_range(r, &nr)) return 0;
+    return inner_->count_in(nr);
+  }
+  [[nodiscard]] std::size_t size() const override { return inner_->size(); }
+  void for_each(const std::function<void(const entry&)>& fn) const override {
+    inner_->for_each([&](const typename basic_sfc_array<K>::entry& e) {
+      fn(entry{key_traits<K>::widen(e.key), e.id});
+    });
+  }
+
+ private:
+  static K narrow_key(const u512& key) {
+    const K k = key_traits<K>::truncate(key);
+    if (key_traits<K>::widen(k) != key)
+      throw std::invalid_argument("sfc_array: key wider than the index's key type");
+    return k;
+  }
+  // Clamps [r.lo, r.hi] to the narrow key domain; false if empty there.
+  static bool narrow_range(const key_range& r, basic_key_range<K>* out) {
+    const u512 nmax = key_traits<K>::widen(key_traits<K>::max());
+    if (r.lo > nmax) return false;
+    out->lo = key_traits<K>::truncate(r.lo);
+    out->hi = r.hi > nmax ? key_traits<K>::max() : key_traits<K>::truncate(r.hi);
+    return true;
+  }
+
+  basic_sfc_array<K>* inner_;
+};
+
+}  // namespace
+
 dominance_index::dominance_index(const universe& u, dominance_options options)
     : universe_(u),
       options_(options),
-      curve_(make_curve(options.curve, u)),
-      array_(make_sfc_array(options.array)),
-      plan_(std::make_unique<query_plan>(*this)) {}
+      width_(options.width == key_width::automatic ? select_key_width(u.key_bits())
+                                                   : options.width) {
+  switch (width_) {
+    case key_width::w64:
+      engine_.emplace<engine<std::uint64_t>>(
+          engine<std::uint64_t>{make_basic_curve<std::uint64_t>(options.curve, u),
+                                make_basic_sfc_array<std::uint64_t>(options.array)});
+      break;
+    case key_width::w128:
+      engine_.emplace<engine<u128>>(engine<u128>{make_basic_curve<u128>(options.curve, u),
+                                                 make_basic_sfc_array<u128>(options.array)});
+      break;
+    case key_width::w512:
+    case key_width::automatic:
+      width_ = key_width::w512;
+      engine_.emplace<engine<u512>>(engine<u512>{make_basic_curve<u512>(options.curve, u),
+                                                 make_basic_sfc_array<u512>(options.array)});
+      break;
+  }
+  // Narrow engines get u512 facades so sfc()/array() keep their reference-
+  // width signatures.
+  std::visit(
+      [&](auto& e) {
+        using K = typename std::decay_t<decltype(*e.curve)>::key_type;
+        if constexpr (!std::is_same_v<K, u512>) {
+          facade_curve_ = make_curve(options_.curve, universe_);
+          facade_array_ = std::make_unique<widening_array_view<K>>(*e.array);
+        }
+      },
+      engine_);
+  plan_ = std::make_unique<query_plan>(*this);
+}
 
 dominance_index::~dominance_index() = default;
+
+const curve& dominance_index::sfc() const {
+  if (facade_curve_ != nullptr) return *facade_curve_;
+  return *std::get<engine<u512>>(engine_).curve;
+}
+
+const sfc_array& dominance_index::array() const {
+  if (facade_array_ != nullptr) return *facade_array_;
+  return *std::get<engine<u512>>(engine_).array;
+}
+
+std::size_t dominance_index::size() const {
+  return std::visit([](const auto& e) { return e.array->size(); }, engine_);
+}
 
 void dominance_index::insert(const point& p, std::uint64_t id) {
   if (!p.inside(universe_))
     throw std::invalid_argument("dominance_index::insert: point outside universe");
-  array_->insert(curve_->cell_key(p), id);
+  std::visit([&](auto& e) { e.array->insert(e.curve->cell_key(p), id); }, engine_);
 }
 
 void dominance_index::insert_batch(const std::vector<std::pair<point, std::uint64_t>>& items) {
@@ -30,16 +146,21 @@ void dominance_index::insert_batch(const std::vector<std::pair<point, std::uint6
     if (!p.inside(universe_))
       throw std::invalid_argument("dominance_index::insert_batch: point outside universe");
   }
-  std::vector<sfc_array::entry> entries;
-  entries.reserve(items.size());
-  for (const auto& [p, id] : items) entries.push_back({curve_->cell_key(p), id});
-  array_->bulk_load(std::move(entries));
+  std::visit(
+      [&](auto& e) {
+        using Array = std::decay_t<decltype(*e.array)>;
+        std::vector<typename Array::entry> entries;
+        entries.reserve(items.size());
+        for (const auto& [p, id] : items) entries.push_back({e.curve->cell_key(p), id});
+        e.array->bulk_load(std::move(entries));
+      },
+      engine_);
 }
 
 bool dominance_index::erase(const point& p, std::uint64_t id) {
   if (!p.inside(universe_))
     throw std::invalid_argument("dominance_index::erase: point outside universe");
-  return array_->erase(curve_->cell_key(p), id);
+  return std::visit([&](auto& e) { return e.array->erase(e.curve->cell_key(p), id); }, engine_);
 }
 
 int dominance_index::truncation_m(double epsilon) const {

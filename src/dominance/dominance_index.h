@@ -15,6 +15,17 @@
 // The approximate search has one-sided error: a returned id always lies in
 // the query region (true dominance); only misses are possible.
 //
+// Key-width selection: at construction the index picks the narrowest key
+// type that holds the universe's d*k key bits — std::uint64_t (d*k <= 64),
+// u128 (<= 128), or u512 — and instantiates the whole curve -> SFC array ->
+// query pipeline at that width (util/key_traits.h). The paper's evaluation
+// universes and most realistic schemas fit 128 bits, so probes, compares
+// and shifts run on one or two machine words instead of eight. The choice
+// is observable via width() and overridable with dominance_options::width
+// (used by equivalence tests and benches); every width computes identical
+// results. sfc() and array() expose reference-width (u512) views whatever
+// the internal width, so existing callers keep working.
+//
 // Query execution is split into a reusable query_plan (query_plan.h): the
 // plan owns all scratch the search needs, so a warm plan performs zero heap
 // allocations per query. query() routes through an index-internal plan —
@@ -27,6 +38,7 @@
 #include <memory>
 #include <optional>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "dominance/query_stats.h"
@@ -35,12 +47,18 @@
 #include "geometry/universe.h"
 #include "sfc/curve.h"
 #include "sfcarray/sfc_array.h"
+#include "util/key_traits.h"
 
 namespace subcover {
 
 struct dominance_options {
   curve_kind curve = curve_kind::z_order;
   sfc_array_kind array = sfc_array_kind::skiplist;
+  // Key width of the internal pipeline. `automatic` (the default) selects
+  // the narrowest type that fits the universe; forcing a wider type is
+  // valid (tests force u512 to cross-check the narrow paths), forcing a
+  // narrower one than the universe needs throws at construction.
+  key_width width = key_width::automatic;
   // Coalesce adjacent cube ranges into runs before probing (Lemma 3.1 makes
   // runs <= cubes; disabling probes raw cubes, matching the paper's
   // cube-count analysis exactly).
@@ -93,11 +111,17 @@ class dominance_index {
       const std::vector<point>& xs, double epsilon,
       std::vector<query_stats>* stats = nullptr) const;
 
-  [[nodiscard]] std::size_t size() const { return array_->size(); }
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const universe& space() const { return universe_; }
-  [[nodiscard]] const curve& sfc() const { return *curve_; }
-  // The underlying SFC array (read-only; query_plan probes it directly).
-  [[nodiscard]] const sfc_array& array() const { return *array_; }
+  // The key width the pipeline was instantiated at.
+  [[nodiscard]] key_width width() const { return width_; }
+  // Reference-width (u512) view of the curve. When the internal width is
+  // narrower this is a shadow instance of the same curve kind; its keys
+  // equal the internal ones after widening.
+  [[nodiscard]] const curve& sfc() const;
+  // Reference-width (u512) view of the SFC array (read-only probes widen /
+  // truncate at the boundary when the internal width is narrower).
+  [[nodiscard]] const sfc_array& array() const;
   [[nodiscard]] const dominance_options& options() const { return options_; }
 
   // The truncation parameter the query will use for this epsilon:
@@ -107,10 +131,23 @@ class dominance_index {
   [[nodiscard]] int truncation_m(double epsilon) const;
 
  private:
+  friend class query_plan;
+
+  // The width-typed half of the index: the curve and the SFC array, both
+  // instantiated at key type K.
+  template <class K>
+  struct engine {
+    std::unique_ptr<basic_curve<K>> curve;
+    std::unique_ptr<basic_sfc_array<K>> array;
+  };
+
   universe universe_;
   dominance_options options_;
-  std::unique_ptr<curve> curve_;
-  std::unique_ptr<sfc_array> array_;
+  key_width width_;
+  std::variant<engine<std::uint64_t>, engine<u128>, engine<u512>> engine_;
+  // u512 facade behind sfc()/array() when the engine is narrow.
+  std::unique_ptr<curve> facade_curve_;
+  std::unique_ptr<sfc_array> facade_array_;
   // Scratch plan behind query(); mutable because query() is logically const.
   // This is what makes query() non-reentrant (see header comment).
   mutable std::unique_ptr<query_plan> plan_;

@@ -10,8 +10,27 @@
 
 namespace subcover {
 
+query_plan::query_plan(const dominance_index& index) : index_(&index) {
+  // Bind the width-typed scratch to the index's engine.
+  std::visit(
+      [this](const auto& e) {
+        using K = typename std::decay_t<decltype(*e.curve)>::key_type;
+        typed_state<K> ts;
+        ts.curve = e.curve.get();
+        ts.array = e.array.get();
+        state_.emplace<typed_state<K>>(std::move(ts));
+      },
+      index.engine_);
+}
+
 std::optional<std::uint64_t> query_plan::run(const point& x, double epsilon,
                                              query_stats* stats) {
+  return std::visit([&](auto& ts) { return run_impl(ts, x, epsilon, stats); }, state_);
+}
+
+template <class K>
+std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const point& x,
+                                                  double epsilon, query_stats* stats) {
   const dominance_index& idx = *index_;
   const universe& u = idx.space();
   const dominance_options& opts = idx.options();
@@ -86,38 +105,41 @@ std::optional<std::uint64_t> query_plan::run(const point& x, double epsilon,
     // cubes of a level have equal volume, so any subset of the right size
     // reaches the same coverage). The bool return stops enumeration cleanly
     // — no exception control flow, no over-enumeration.
-    level_ranges_.clear();
+    ts.level_ranges.clear();
     std::uint64_t taken = 0;
     enumerate_level_cubes(
         u, target, i,
         [&](const standard_cube& c) {
-          level_ranges_.push_back(idx.sfc().cube_range(c));
+          ts.level_ranges.push_back(ts.curve->cube_range(c));
           return ++taken < needed;
         },
         needed);
-    st.cubes_enumerated += level_ranges_.size();
-    budget -= level_ranges_.size();
+    st.cubes_enumerated += ts.level_ranges.size();
+    budget -= ts.level_ranges.size();
     planned_cum += level_volume;
 
     if (opts.merge_runs) {
-      merge_ranges_inplace(level_ranges_);
+      merge_ranges_inplace(ts.level_ranges);
       // Within the level, probe larger merged runs first; ties keep
       // ascending key order (the post-merge order), which makes the probe
       // sequence deterministic and friendly to the array's locality cursor.
-      std::sort(level_ranges_.begin(), level_ranges_.end(),
-                [](const key_range& a, const key_range& b) {
-                  const u512 ca = a.cell_count();
-                  const u512 cb = b.cell_count();
+      using range_type = basic_key_range<K>;
+      std::sort(ts.level_ranges.begin(), ts.level_ranges.end(),
+                [](const range_type& a, const range_type& b) {
+                  // Compare extents via hi - lo: identical ordering to
+                  // cell_count() without the +1's wrap at the full range.
+                  const K ca = a.hi - a.lo;
+                  const K cb = b.hi - b.lo;
                   if (ca != cb) return cb < ca;
                   return a.lo < b.lo;
                 });
     }
     // Without merging, all runs of a level are equal-volume cubes already in
     // enumeration order — nothing to reorder.
-    st.runs_in_plan += level_ranges_.size();
-    for (const key_range& run : level_ranges_) {
+    st.runs_in_plan += ts.level_ranges.size();
+    for (const basic_key_range<K>& run : ts.level_ranges) {
       ++st.runs_probed;
-      const auto hit = idx.array().first_in(run, &hint_);
+      const auto hit = ts.array->first_in(run, &ts.hint);
       searched += run.cell_count_ld();
       if (hit.has_value()) {
         result = hit->id;

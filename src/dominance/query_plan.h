@@ -11,6 +11,13 @@
 // The search stops at the first hit, at 1 - epsilon coverage, or when the
 // plan is exhausted — identical semantics to the original monolithic query.
 //
+// Key width: the plan binds to the index's internal width at construction
+// (util/key_traits.h) and keeps its run frontier, probe cursor and range
+// arithmetic at that width — on a d*k <= 64 universe every endpoint the hot
+// loop sorts, merges and compares is one machine word. The Lemma 3.5 level
+// counts stay u512 (they count cells, up to 2^(d*k), and are touched only
+// once per level). Results are identical at every width.
+//
 // Scratch-buffer contract: a plan owns every buffer the search needs (the
 // per-level cube counts, the run frontier of the current level, and the
 // array probe cursor). Buffers are reused across run() calls, so after the
@@ -28,12 +35,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <variant>
 #include <vector>
 
 #include "dominance/query_stats.h"
 #include "geometry/point.h"
+#include "sfc/curve.h"
 #include "sfc/key_range.h"
 #include "sfcarray/sfc_array.h"
+#include "util/key_traits.h"
 #include "util/wideint.h"
 
 namespace subcover {
@@ -42,9 +52,9 @@ class dominance_index;
 
 class query_plan {
  public:
-  // Binds to an index; the plan must not outlive it. Cheap: buffers are
-  // grown lazily by the first run().
-  explicit query_plan(const dominance_index& index) : index_(&index) {}
+  // Binds to an index (and its key width); the plan must not outlive it.
+  // Cheap: buffers are grown lazily by the first run().
+  explicit query_plan(const dominance_index& index);
 
   // Executes one query; identical observable behavior (result and stats) to
   // dominance_index::query(x, epsilon, stats).
@@ -54,10 +64,28 @@ class query_plan {
   [[nodiscard]] const dominance_index& index() const { return *index_; }
 
  private:
+  // The width-typed scratch: the bound curve/array and the run frontier of
+  // the current level, all at key type K.
+  template <class K>
+  struct typed_state {
+    // No default member initializers: GCC rejects them in a nested class
+    // template when std::variant's defaulted constructor is checked while
+    // the enclosing class is still incomplete.
+    typed_state() : curve(nullptr), array(nullptr) {}
+
+    const basic_curve<K>* curve;
+    const basic_sfc_array<K>* array;
+    std::vector<basic_key_range<K>> level_ranges;  // run frontier
+    typename basic_sfc_array<K>::probe_hint hint;  // probe-locality cursor
+  };
+
+  template <class K>
+  std::optional<std::uint64_t> run_impl(typed_state<K>& ts, const point& x, double epsilon,
+                                        query_stats* stats);
+
   const dominance_index* index_;
-  std::vector<u512> level_counts_;      // Lemma 3.5 counts, reused per query
-  std::vector<key_range> level_ranges_; // run frontier of the current level
-  sfc_array::probe_hint hint_;          // probe-locality cursor
+  std::vector<u512> level_counts_;  // Lemma 3.5 counts, reused per query
+  std::variant<typed_state<std::uint64_t>, typed_state<u128>, typed_state<u512>> state_;
 };
 
 }  // namespace subcover

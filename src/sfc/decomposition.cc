@@ -30,7 +30,8 @@ std::uint64_t count_cubes(const universe& u, const rect& r) {
   return n;
 }
 
-void cube_stream::reset(const rect& r) {
+template <class K>
+void basic_cube_stream<K>::reset(const rect& r) {
   detail::check_decompose_region(curve_->space(), r);
   region_ = r;
   pending_root_ = false;
@@ -46,19 +47,21 @@ void cube_stream::reset(const rect& r) {
   if (stack_.empty()) stack_.resize(1);
   frame& f = stack_[0];
   f.corner = origin;
-  f.prefix = u512::zero();  // the root's prefix is the empty bit string
+  f.prefix = key_traits<K>::zero();  // the root's prefix is the empty bit string
+  curve_->init_state(f.state);
   f.side_bits = u.bits();
   expand(f);
   depth_ = 0;
 }
 
-bool cube_stream::next(standard_cube* out, key_range* range) {
+template <class K>
+bool basic_cube_stream<K>::next(standard_cube* out, range_type* range) {
   const int d = curve_->space().dims();
   if (pending_root_) {
     pending_root_ = false;
     const int k = curve_->space().bits();
     *out = standard_cube(point(d), k);
-    if (range != nullptr) *range = {u512::zero(), u512::mask(d * k)};
+    if (range != nullptr) *range = {key_traits<K>::zero(), key_traits<K>::mask(d * k)};
     return true;
   }
   while (depth_ >= 0) {
@@ -69,13 +72,13 @@ bool cube_stream::next(standard_cube* out, key_range* range) {
     }
     const child ch = f.children[f.next_child++];
     const standard_cube c = child_cube(f, ch.mask);
-    const u512 prefix = (f.prefix << d) | u512(ch.rank);
-    if (region_.contains(c.as_rect())) {
+    const K prefix = (f.prefix << d) | K(ch.rank);
+    if (ch.contained) {
       *out = c;
       if (range != nullptr) {
         const int shift = d * c.side_bits();
-        const u512 lo = prefix << shift;
-        *range = {lo, lo | u512::mask(shift)};
+        const K lo = prefix << shift;
+        *range = {lo, lo | key_traits<K>::mask(shift)};
       }
       return true;
     }
@@ -85,15 +88,56 @@ bool cube_stream::next(standard_cube* out, key_range* range) {
     if (static_cast<std::size_t>(depth_) >= stack_.size())
       stack_.resize(static_cast<std::size_t>(depth_) + 1);
     frame& g = stack_[static_cast<std::size_t>(depth_)];
+    frame& parent = stack_[static_cast<std::size_t>(depth_ - 1)];
     g.corner = c.corner();
     g.prefix = prefix;
+    curve_->descend_state(parent.state, ch.mask, g.state);
     g.side_bits = c.side_bits();
     expand(g);
   }
   return false;
 }
 
-standard_cube cube_stream::child_cube(const frame& f, std::uint32_t mask) const {
+template <class K>
+bool basic_cube_stream<K>::next_range(range_type* range) {
+  const int d = curve_->space().dims();
+  if (pending_root_) {
+    pending_root_ = false;
+    *range = {key_traits<K>::zero(), key_traits<K>::mask(d * curve_->space().bits())};
+    return true;
+  }
+  while (depth_ >= 0) {
+    frame& f = stack_[static_cast<std::size_t>(depth_)];
+    if (f.next_child == f.children.size()) {
+      --depth_;
+      continue;
+    }
+    const child ch = f.children[f.next_child++];
+    const K prefix = (f.prefix << d) | K(ch.rank);
+    if (ch.contained) {
+      // Emit straight from the prefix: no coordinates are touched.
+      const int shift = d * (f.side_bits - 1);
+      const K lo = prefix << shift;
+      *range = {lo, lo | key_traits<K>::mask(shift)};
+      return true;
+    }
+    const standard_cube c = child_cube(f, ch.mask);
+    ++depth_;
+    if (static_cast<std::size_t>(depth_) >= stack_.size())
+      stack_.resize(static_cast<std::size_t>(depth_) + 1);
+    frame& g = stack_[static_cast<std::size_t>(depth_)];
+    frame& parent = stack_[static_cast<std::size_t>(depth_ - 1)];
+    g.corner = c.corner();
+    g.prefix = prefix;
+    curve_->descend_state(parent.state, ch.mask, g.state);
+    g.side_bits = c.side_bits();
+    expand(g);
+  }
+  return false;
+}
+
+template <class K>
+standard_cube basic_cube_stream<K>::child_cube(const frame& f, std::uint32_t mask) const {
   const int child_bits = f.side_bits - 1;
   const auto half = static_cast<std::uint32_t>(std::uint64_t{1} << child_bits);
   point corner = f.corner;
@@ -102,7 +146,8 @@ standard_cube cube_stream::child_cube(const frame& f, std::uint32_t mask) const 
   return standard_cube(corner, child_bits);
 }
 
-void cube_stream::expand(frame& f) {
+template <class K>
+void basic_cube_stream<K>::expand(frame& f) {
   const universe& u = curve_->space();
   const int d = u.dims();
   const int child_bits = f.side_bits - 1;
@@ -110,36 +155,53 @@ void cube_stream::expand(frame& f) {
   f.children.clear();
   f.next_child = 0;
 
-  // Per dimension, which halves of the node intersect the region. The node
-  // itself intersects, so at least one half does in every dimension.
+  // Per dimension, which halves of the node intersect the region (the node
+  // itself intersects, so at least one half does in every dimension) and
+  // which halves are fully inside the region's slab. The latter classify
+  // each child as contained (emit) or merely intersecting (descend) with
+  // one bitmask test per child — no coordinate arrays on the emit path.
   std::uint32_t forced = 0;  // dimensions where only the upper half intersects
+  std::uint32_t lo_in = 0;   // dimensions whose lower half is inside the slab
+  std::uint32_t hi_in = 0;   // dimensions whose upper half is inside the slab
   std::array<int, kMaxDims> both{};
   int nboth = 0;
   for (int j = 0; j < d; ++j) {
     const std::uint32_t base = f.corner[j];
     const bool lo_ok = region_.lo()[j] <= base + half - 1 && region_.hi()[j] >= base;
     const bool hi_ok = region_.hi()[j] >= base + half && region_.lo()[j] <= base + 2 * half - 1;
+    if (region_.lo()[j] <= base && base + half - 1 <= region_.hi()[j])
+      lo_in |= std::uint32_t{1} << j;
+    if (region_.lo()[j] <= base + half && base + 2 * half - 1 <= region_.hi()[j])
+      hi_in |= std::uint32_t{1} << j;
     if (lo_ok && hi_ok) {
       both[static_cast<std::size_t>(nboth++)] = j;
     } else if (hi_ok) {
       forced |= std::uint32_t{1} << j;
     }
   }
+  const std::uint32_t dmask = (d < 32 ? (std::uint32_t{1} << d) : 0) - 1;
 
   // Key rank among siblings: all children share the parent's prefix, so the
   // low d bits of cube_prefix order them on the curve. child_rank derives
-  // them from the parent's prefix in O(d) on prefix-derivable curves.
+  // them in O(d) from the parent's prefix and descent state on every
+  // built-in curve (Hilbert reads the frame's orientation state).
   const standard_cube parent(f.corner, f.side_bits);
   const std::uint64_t combos = std::uint64_t{1} << nboth;
   for (std::uint64_t m = 0; m < combos; ++m) {
     std::uint32_t mask = forced;
     for (int b = 0; b < nboth; ++b)
       if ((m >> b) & 1U) mask |= std::uint32_t{1} << both[static_cast<std::size_t>(b)];
-    f.children.push_back({curve_->child_rank(parent, f.prefix, mask), mask});
+    const bool contained = ((lo_in & ~mask) | (hi_in & mask) | ~dmask) == ~std::uint32_t{0};
+    f.children.push_back(
+        {curve_->child_rank(parent, f.prefix, f.state, mask), mask, contained});
   }
   if (f.children.size() > 1)
     std::sort(f.children.begin(), f.children.end(),
               [](const child& a, const child& b) { return a.rank < b.rank; });
 }
+
+template class basic_cube_stream<std::uint64_t>;
+template class basic_cube_stream<u128>;
+template class basic_cube_stream<u512>;
 
 }  // namespace subcover

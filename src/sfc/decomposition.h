@@ -16,12 +16,17 @@
 //     dispatch and no heap allocation. A visitor returning bool can stop
 //     the enumeration early by returning false.
 //
-//   * cube_stream — pull style. An iterative, resumable enumerator that
-//     emits the cubes of the partition one at a time in *curve key order*
-//     (the order of their key intervals on a given SFC). The explicit stack
-//     replaces the recursion; a stream object is reusable via reset() and
-//     retains its per-depth buffers, so a warmed stream allocates nothing.
-//     Key order is what makes streaming run coalescing possible (runs.h).
+//   * basic_cube_stream<K> — pull style. An iterative, resumable enumerator
+//     that emits the cubes of the partition one at a time in *curve key
+//     order* (the order of their key intervals on a given SFC). The explicit
+//     stack replaces the recursion; a stream object is reusable via reset()
+//     and retains its per-depth buffers, so a warmed stream allocates
+//     nothing. Key order is what makes streaming run coalescing possible
+//     (runs.h). The stream is templated on the SFC key type (key_traits.h);
+//     prefix/range arithmetic runs at the bound curve's width, and each
+//     frame carries the curve's descent state so child key ranks are O(d)
+//     for every built-in curve, Hilbert included. `cube_stream` is the u512
+//     alias.
 //
 // Complexity: O(output * d * k) — no dependence on the region's volume.
 // cube_stream additionally pays O(c log c) per internal node to order the
@@ -136,10 +141,15 @@ std::uint64_t count_cubes(const universe& u, const rect& r);
 // stack and per-depth child buffers are retained across resets, so a warmed
 // stream performs no heap allocation. Not thread-safe; use one stream per
 // thread.
-class cube_stream {
+template <class K>
+class basic_cube_stream {
  public:
-  explicit cube_stream(const curve& c) : curve_(&c) {}
-  cube_stream(const curve& c, const rect& r) : curve_(&c) { reset(r); }
+  using key_type = K;
+  using curve_type = basic_curve<K>;
+  using range_type = basic_key_range<K>;
+
+  explicit basic_cube_stream(const curve_type& c) : curve_(&c) {}
+  basic_cube_stream(const curve_type& c, const rect& r) : curve_(&c) { reset(r); }
 
   // Rebinds to a new region of the same curve's universe. Throws
   // std::invalid_argument if the region lies outside the universe.
@@ -149,23 +159,33 @@ class cube_stream {
   // partition is exhausted. When `range` is non-null it receives the cube's
   // key interval (Fact 2.1) — derived from the prefixes the descent already
   // tracks, with no curve key computation (child_rank gives each child's
-  // prefix from its parent's).
-  bool next(standard_cube* out, key_range* range = nullptr);
+  // prefix from its parent's via the frame's descent state).
+  bool next(standard_cube* out, range_type* range = nullptr);
 
-  [[nodiscard]] const curve& sfc() const { return *curve_; }
+  // Key-interval-only variant: emits the next cube's key range without
+  // materializing the standard_cube. Emitted (contained) children are
+  // classified during expand() with O(1) bitmask work, so the hot
+  // count_runs/run_stream path touches no per-cube coordinate arrays at
+  // all — only prefix arithmetic at the key width.
+  bool next_range(range_type* range);
+
+  [[nodiscard]] const curve_type& sfc() const { return *curve_; }
 
  private:
   // A child of an internal node: which half it takes per dimension (bit j of
-  // `mask` set = upper half in dimension j) and its key rank among siblings
-  // (the low d bits of its cube_prefix).
+  // `mask` set = upper half in dimension j), whether it is fully contained
+  // in the region (emit vs descend), and its key rank among siblings (the
+  // low d bits of its cube_prefix).
   struct child {
     std::uint64_t rank;
     std::uint32_t mask;
+    bool contained;
   };
   // One internal node of the descent with its resume position.
   struct frame {
     point corner;            // the node's corner
-    u512 prefix;             // the node's cube_prefix
+    K prefix{};              // the node's cube_prefix
+    curve_state state;       // the node's curve descent state
     int side_bits = 0;       // the node's side bits
     std::size_t next_child = 0;
     std::vector<child> children;  // intersecting children, sorted by rank
@@ -176,11 +196,17 @@ class cube_stream {
   void expand(frame& f);
   [[nodiscard]] standard_cube child_cube(const frame& f, std::uint32_t mask) const;
 
-  const curve* curve_;
+  const curve_type* curve_;
   rect region_;
   std::vector<frame> stack_;  // grown once to depth k, then reused
   int depth_ = -1;            // index of the active frame; -1 = exhausted
   bool pending_root_ = false; // region == whole universe: emit the root cube
 };
+
+using cube_stream = basic_cube_stream<u512>;
+
+extern template class basic_cube_stream<std::uint64_t>;
+extern template class basic_cube_stream<u128>;
+extern template class basic_cube_stream<u512>;
 
 }  // namespace subcover

@@ -6,28 +6,24 @@
 
 namespace subcover {
 
-u512 gray_decode(u512 g) {
-  // XOR prefix scan via doubling: after the loop, bit i of g equals the XOR
-  // of all original bits >= i.
-  for (int shift = 1; shift < u512::kBits; shift <<= 1) g ^= g >> shift;
-  return g;
-}
-
-u512 gray_encode(const u512& b) { return b ^ (b >> 1); }
-
-u512 gray_curve::cube_prefix(const standard_cube& c) const {
-  check_cube(c);
-  const int d = space().dims();
-  const int prefix_bits = space().bits() - c.side_bits();
+template <class K>
+K basic_gray_curve<K>::cube_prefix(const standard_cube& c) const {
+  this->check_cube(c);
+  const int d = this->space().dims();
+  const int prefix_bits = this->space().bits() - c.side_bits();
   std::array<std::uint32_t, kMaxDims> top{};
   for (int i = 0; i < d; ++i)
     top[static_cast<std::size_t>(i)] = c.corner()[i] >> c.side_bits();
-  return gray_decode(detail::interleave_bits(top.data(), d, prefix_bits));
+  return gray_decode(detail::interleave_bits<K>(top.data(), d, prefix_bits));
 }
 
-std::uint64_t gray_curve::child_rank(const standard_cube& parent, const u512& parent_prefix,
-                                     std::uint32_t child_mask) const {
-  const int d = space().dims();
+template <class K>
+std::uint64_t basic_gray_curve<K>::child_rank(const standard_cube& parent,
+                                              const K& parent_prefix, const curve_state& state,
+                                              std::uint32_t child_mask) const {
+  (void)parent;
+  (void)state;
+  const int d = this->space().dims();
   const std::uint64_t rank_mask = (d < 64 ? (std::uint64_t{1} << d) : 0) - 1;
   // Interleaved selection bits of the child (the Z rank of the mask).
   std::uint64_t z = 0;
@@ -35,18 +31,23 @@ std::uint64_t gray_curve::child_rank(const standard_cube& parent, const u512& pa
     if ((child_mask >> j) & 1U) z |= std::uint64_t{1} << (d - 1 - j);
   // 64-bit XOR prefix scan == gray decode of the d-bit word.
   for (int shift = 1; shift < 64; shift <<= 1) z ^= z >> shift;
-  const bool parent_odd = (parent_prefix.low64() & 1U) != 0;
+  const bool parent_odd = (key_traits<K>::low64(parent_prefix) & 1U) != 0;
   return (parent_odd ? ~z : z) & rank_mask;
 }
 
-point gray_curve::cell_from_key(const u512& key) const {
-  check_key(key);
-  const int d = space().dims();
+template <class K>
+point basic_gray_curve<K>::cell_from_key(const K& key) const {
+  this->check_key(key);
+  const int d = this->space().dims();
   std::array<std::uint32_t, kMaxDims> coords{};
-  detail::deinterleave_bits(gray_encode(key), coords.data(), d, space().bits());
+  detail::deinterleave_bits(gray_encode(key), coords.data(), d, this->space().bits());
   point p(d);
   for (int i = 0; i < d; ++i) p[i] = coords[static_cast<std::size_t>(i)];
   return p;
 }
+
+template class basic_gray_curve<std::uint64_t>;
+template class basic_gray_curve<u128>;
+template class basic_gray_curve<u512>;
 
 }  // namespace subcover

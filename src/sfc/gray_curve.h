@@ -10,25 +10,43 @@
 
 namespace subcover {
 
-// Reflected-Gray-code rank: the b such that b ^ (b >> 1) == g.
-u512 gray_decode(u512 g);
-// Inverse: g = b ^ (b >> 1).
-u512 gray_encode(const u512& b);
+// Reflected-Gray-code rank: the b such that b ^ (b >> 1) == g. The XOR
+// prefix scan via doubling: after the loop, bit i equals the XOR of all
+// original bits >= i.
+template <class K>
+K gray_decode(K g) {
+  for (int shift = 1; shift < key_traits<K>::kBits; shift <<= 1) g ^= g >> shift;
+  return g;
+}
 
-class gray_curve final : public curve {
+// Inverse: g = b ^ (b >> 1).
+template <class K>
+K gray_encode(const K& b) {
+  return b ^ (b >> 1);
+}
+
+template <class K>
+class basic_gray_curve final : public basic_curve<K> {
  public:
-  explicit gray_curve(const universe& u) : curve(u) {}
+  explicit basic_gray_curve(const universe& u) : basic_curve<K>(u) {}
 
   [[nodiscard]] curve_kind kind() const override { return curve_kind::gray_code; }
-  [[nodiscard]] u512 cube_prefix(const standard_cube& c) const override;
-  [[nodiscard]] point cell_from_key(const u512& key) const override;
+  [[nodiscard]] K cube_prefix(const standard_cube& c) const override;
+  [[nodiscard]] point cell_from_key(const K& key) const override;
   // O(d): with I the interleaved word of a prefix, decode(I)_i is the XOR of
   // I's bits >= i, so the low d decoded bits of a child are the d-bit gray
   // decode of its interleaved selection bits, flipped when the parent's
   // interleaved word has odd parity — and that parity is exactly the low bit
   // of the parent's (decoded) prefix.
-  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const u512& parent_prefix,
+  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const K& parent_prefix,
+                                         const curve_state& state,
                                          std::uint32_t child_mask) const override;
 };
+
+using gray_curve = basic_gray_curve<u512>;
+
+extern template class basic_gray_curve<std::uint64_t>;
+extern template class basic_gray_curve<u128>;
+extern template class basic_gray_curve<u512>;
 
 }  // namespace subcover

@@ -1,6 +1,7 @@
 #include "sfc/hilbert_curve.h"
 
 #include <array>
+#include <utility>
 
 #include "sfc/interleave.h"
 
@@ -61,26 +62,113 @@ void transpose_to_axes(std::uint32_t* x, int b, int n) {
 
 }  // namespace
 
-u512 hilbert_curve::cube_prefix(const standard_cube& c) const {
-  check_cube(c);
-  const int d = space().dims();
-  const int prefix_bits = space().bits() - c.side_bits();
+template <class K>
+K basic_hilbert_curve<K>::cube_prefix(const standard_cube& c) const {
+  this->check_cube(c);
+  const int d = this->space().dims();
+  const int prefix_bits = this->space().bits() - c.side_bits();
   std::array<std::uint32_t, kMaxDims> top{};
   for (int i = 0; i < d; ++i)
     top[static_cast<std::size_t>(i)] = c.corner()[i] >> c.side_bits();
   axes_to_transpose(top.data(), prefix_bits, d);
-  return detail::interleave_bits(top.data(), d, prefix_bits);
+  return detail::interleave_bits<K>(top.data(), d, prefix_bits);
 }
 
-point hilbert_curve::cell_from_key(const u512& key) const {
-  check_key(key);
-  const int d = space().dims();
+template <class K>
+point basic_hilbert_curve<K>::cell_from_key(const K& key) const {
+  this->check_key(key);
+  const int d = this->space().dims();
   std::array<std::uint32_t, kMaxDims> coords{};
-  detail::deinterleave_bits(key, coords.data(), d, space().bits());
-  transpose_to_axes(coords.data(), space().bits(), d);
+  detail::deinterleave_bits(key, coords.data(), d, this->space().bits());
+  transpose_to_axes(coords.data(), this->space().bits(), d);
   point p(d);
   for (int i = 0; i < d; ++i) p[i] = coords[static_cast<std::size_t>(i)];
   return p;
 }
+
+namespace {
+
+// Skilling's cross-axis "Gray encode" (x[i] ^= x[i-1] for increasing i,
+// where x[i-1] was already updated) is a running prefix XOR: output bit i
+// is the XOR of the transposed bits 0..i. Doubling computes it in O(log d).
+inline std::uint32_t prefix_xor(std::uint32_t b) {
+  b ^= b << 1;
+  b ^= b << 2;
+  b ^= b << 4;
+  b ^= b << 8;
+  b ^= b << 16;
+  return b;
+}
+
+}  // namespace
+
+// At one level of axes_to_transpose, axis i's bit is read from the
+// geometric selection mask through the accumulated signed permutation:
+// x[i] = M[perm[i]] ^ flip[i]. The ops the level then appends to the
+// transform (for the *next* levels) depend only on these transposed bits.
+template <class K>
+std::uint32_t basic_hilbert_curve<K>::transposed_digits(const curve_state& state,
+                                                        std::uint32_t child_mask) const {
+  const int d = this->space().dims();
+  std::uint32_t b = 0;
+  for (int i = 0; i < d; ++i) {
+    const std::uint32_t bit =
+        ((child_mask >> state.perm[static_cast<std::size_t>(i)]) ^ (state.flip >> i)) & 1U;
+    b |= bit << i;
+  }
+  return b;
+}
+
+template <class K>
+std::uint64_t basic_hilbert_curve<K>::child_rank(const standard_cube& parent,
+                                                 const K& parent_prefix,
+                                                 const curve_state& state,
+                                                 std::uint32_t child_mask) const {
+  (void)parent;
+  (void)parent_prefix;
+  const int d = this->space().dims();
+  const std::uint32_t m = (d < 32 ? (std::uint32_t{1} << d) : 0) - 1;
+  const std::uint32_t b = transposed_digits(state, child_mask);
+  // Cross-axis Gray encode of this level's digits (running prefix XOR).
+  std::uint32_t z = prefix_xor(b) & m;
+  // Trailing parity correction: levels above this one flip the whole digit
+  // when their gray-encoded last axis bit was set.
+  if (state.parity) z = ~z & m;
+  // Interleave convention: axis 0 is the most significant bit of the rank.
+  std::uint64_t rank = 0;
+  for (int i = 0; i < d; ++i) rank |= static_cast<std::uint64_t>((z >> i) & 1U) << (d - 1 - i);
+  return rank;
+}
+
+template <class K>
+void basic_hilbert_curve<K>::descend_state(const curve_state& parent, std::uint32_t child_mask,
+                                           curve_state& child) const {
+  const int d = this->space().dims();
+  const std::uint32_t m = (d < 32 ? (std::uint32_t{1} << d) : 0) - 1;
+  const std::uint32_t b = transposed_digits(parent, child_mask);
+  child = parent;
+  // The gray-encoded last axis of this level feeds the trailing parity of
+  // every deeper level (Skilling's t accumulator, one bit per level); it is
+  // the XOR of all transposed digits of the level.
+  const std::uint32_t z = prefix_xor(b) & m;
+  child.parity = parent.parity ^ (((z >> (d - 1)) & 1U) != 0);
+  // Compose this level's ops onto the signed permutation, in axis order:
+  // digit set -> invert axis 0 below; digit clear -> swap axis 0 and axis i
+  // below (i == 0 is the identity, matching the algorithm).
+  for (int i = 0; i < d; ++i) {
+    if ((b >> i) & 1U) {
+      child.flip ^= 1U;
+    } else if (i != 0) {
+      std::swap(child.perm[0], child.perm[static_cast<std::size_t>(i)]);
+      const std::uint32_t f0 = child.flip & 1U;
+      const std::uint32_t fi = (child.flip >> i) & 1U;
+      if (f0 != fi) child.flip ^= 1U | (std::uint32_t{1} << i);
+    }
+  }
+}
+
+template class basic_hilbert_curve<std::uint64_t>;
+template class basic_hilbert_curve<u128>;
+template class basic_hilbert_curve<u512>;
 
 }  // namespace subcover

@@ -7,19 +7,50 @@
 // most-significant first, so the prefix property required by `curve` holds:
 // the first d*l key bits of any cell equal the level-l cube prefix (verified
 // exhaustively in tests).
+//
+// child_rank closed form: every per-level step of Skilling's transform
+// either inverts axis 0 below the current level or swaps the low bits of
+// axis 0 and axis i — both elements of the signed permutation group acting
+// on the remaining (lower) levels. The accumulated transform along a
+// descent path is therefore a signed axis permutation (curve_state.perm /
+// .flip), and the final cross-axis Gray encode plus the trailing parity
+// correction act level-locally given the accumulated parity of the
+// transposed digits (curve_state.parity). Threading that state through
+// cube_stream's frames makes a child's key rank an O(d) bit computation —
+// matching the Z/Gray fast path instead of recomputing a full cube_prefix
+// per child (exhaustively verified against cube_prefix in the tests).
 #pragma once
 
 #include "sfc/curve.h"
 
 namespace subcover {
 
-class hilbert_curve final : public curve {
+template <class K>
+class basic_hilbert_curve final : public basic_curve<K> {
  public:
-  explicit hilbert_curve(const universe& u) : curve(u) {}
+  explicit basic_hilbert_curve(const universe& u) : basic_curve<K>(u) {}
 
   [[nodiscard]] curve_kind kind() const override { return curve_kind::hilbert; }
-  [[nodiscard]] u512 cube_prefix(const standard_cube& c) const override;
-  [[nodiscard]] point cell_from_key(const u512& key) const override;
+  [[nodiscard]] K cube_prefix(const standard_cube& c) const override;
+  [[nodiscard]] point cell_from_key(const K& key) const override;
+  // O(d) via the descent state (see file comment).
+  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const K& parent_prefix,
+                                         const curve_state& state,
+                                         std::uint32_t child_mask) const override;
+  void descend_state(const curve_state& parent, std::uint32_t child_mask,
+                     curve_state& child) const override;
+
+ private:
+  // The transposed digits of the child selected by `child_mask` under the
+  // accumulated signed permutation: bit i is Skilling's x[i] at this level.
+  [[nodiscard]] std::uint32_t transposed_digits(const curve_state& state,
+                                                std::uint32_t child_mask) const;
 };
+
+using hilbert_curve = basic_hilbert_curve<u512>;
+
+extern template class basic_hilbert_curve<std::uint64_t>;
+extern template class basic_hilbert_curve<u128>;
+extern template class basic_hilbert_curve<u512>;
 
 }  // namespace subcover

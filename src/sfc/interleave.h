@@ -3,36 +3,43 @@
 // Convention (matches the paper's Section 5 example: cell (3,5) = (011,101)
 // has Z key (011011)_2 = 27): bit levels are emitted most-significant first,
 // and within each level dimension 0 contributes the more significant bit.
+//
+// Templated on the key type: with a builtin key (u64 / u128) the kernels are
+// plain shift-or loops over machine words; u512 keeps the word-addressed
+// set_bit path.
 #pragma once
 
 #include <cstdint>
 
+#include "util/key_traits.h"
 #include "util/wideint.h"
 
 namespace subcover::detail {
 
 // Interleaves the low `bits` bits of each of `dims` coordinates into a
 // (dims*bits)-bit key.
-inline u512 interleave_bits(const std::uint32_t* coords, int dims, int bits) {
-  u512 key;
+template <class K>
+inline K interleave_bits(const std::uint32_t* coords, int dims, int bits) {
+  K key = key_traits<K>::zero();
   int pos = dims * bits;  // next bit position to fill is pos-1
   for (int level = bits - 1; level >= 0; --level) {
     for (int dim = 0; dim < dims; ++dim) {
       --pos;
-      if ((coords[dim] >> level) & 1U) key.set_bit(pos);
+      if ((coords[dim] >> level) & 1U) key_traits<K>::set_bit(key, pos);
     }
   }
   return key;
 }
 
 // Inverse of interleave_bits.
-inline void deinterleave_bits(const u512& key, std::uint32_t* coords, int dims, int bits) {
+template <class K>
+inline void deinterleave_bits(const K& key, std::uint32_t* coords, int dims, int bits) {
   for (int dim = 0; dim < dims; ++dim) coords[dim] = 0;
   int pos = dims * bits;
   for (int level = bits - 1; level >= 0; --level) {
     for (int dim = 0; dim < dims; ++dim) {
       --pos;
-      if (key.bit(pos)) coords[dim] |= std::uint32_t{1} << level;
+      if (key_traits<K>::test_bit(key, pos)) coords[dim] |= std::uint32_t{1} << level;
     }
   }
 }

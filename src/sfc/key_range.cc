@@ -1,47 +1,24 @@
 #include "sfc/key_range.h"
 
-#include <algorithm>
-#include <stdexcept>
-
 namespace subcover {
 
-key_range::key_range(u512 lo_in, u512 hi_in) : lo(lo_in), hi(hi_in) {
-  if (lo > hi) throw std::invalid_argument("key_range: lo > hi");
-}
+// Pre-instantiate the three key widths the pipeline uses so every TU links
+// against one copy instead of re-instantiating the merge kernels.
+template struct basic_key_range<std::uint64_t>;
+template struct basic_key_range<u128>;
+template struct basic_key_range<u512>;
 
-std::string key_range::to_string() const {
-  return "[" + lo.to_string() + ", " + hi.to_string() + "]";
-}
+template void merge_ranges_inplace(std::vector<basic_key_range<std::uint64_t>>&);
+template void merge_ranges_inplace(std::vector<basic_key_range<u128>>&);
+template void merge_ranges_inplace(std::vector<basic_key_range<u512>>&);
 
-void merge_ranges_inplace(std::vector<key_range>& ranges) {
-  if (ranges.empty()) return;
-  std::sort(ranges.begin(), ranges.end(),
-            [](const key_range& a, const key_range& b) { return a.lo < b.lo; });
-  std::size_t out = 0;  // ranges[0..out] is the merged prefix
-  for (std::size_t i = 1; i < ranges.size(); ++i) {
-    key_range& last = ranges[out];
-    const key_range cur = ranges[i];
-    // Adjacent (last.hi + 1 == cur.lo) or overlapping ranges coalesce.
-    // Guard the +1 against wrap-around at the maximum key.
-    const bool adjacent = last.hi != u512::max() && last.hi + u512::one() >= cur.lo;
-    if (adjacent || cur.lo <= last.hi) {
-      last.hi = std::max(last.hi, cur.hi, [](const u512& a, const u512& b) { return a < b; });
-    } else {
-      ranges[++out] = cur;
-    }
-  }
-  ranges.resize(out + 1);
-}
+template std::vector<basic_key_range<std::uint64_t>> merge_ranges(
+    std::vector<basic_key_range<std::uint64_t>>);
+template std::vector<basic_key_range<u128>> merge_ranges(std::vector<basic_key_range<u128>>);
+template std::vector<basic_key_range<u512>> merge_ranges(std::vector<basic_key_range<u512>>);
 
-std::vector<key_range> merge_ranges(std::vector<key_range> ranges) {
-  merge_ranges_inplace(ranges);
-  return ranges;
-}
-
-u512 total_cells(const std::vector<key_range>& ranges) {
-  u512 total = 0;
-  for (const auto& r : ranges) total += r.cell_count();
-  return total;
-}
+template std::uint64_t total_cells(const std::vector<basic_key_range<std::uint64_t>>&);
+template u128 total_cells(const std::vector<basic_key_range<u128>>&);
+template u512 total_cells(const std::vector<basic_key_range<u512>>&);
 
 }  // namespace subcover

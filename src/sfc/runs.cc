@@ -2,10 +2,10 @@
 
 namespace subcover {
 
-bool run_stream::next(key_range* out) {
-  standard_cube c;
-  key_range kr;
-  while (cubes_.next(&c, &kr)) {
+template <class K>
+bool basic_run_stream<K>::next(range_type* out) {
+  range_type kr;
+  while (cubes_.next_range(&kr)) {
     if (!has_pending_) {
       pending_ = kr;
       has_pending_ = true;
@@ -14,7 +14,7 @@ bool run_stream::next(key_range* out) {
     // Cubes arrive in key order and tile the region, so kr.lo > pending_.hi;
     // back-to-back intervals coalesce. (pending_.hi cannot be the maximum
     // key here — a later cube's interval lies strictly above it.)
-    if (pending_.hi + u512::one() == kr.lo) {
+    if (pending_.hi + key_traits<K>::one() == kr.lo) {
       pending_.hi = kr.hi;
       continue;
     }
@@ -30,36 +30,58 @@ bool run_stream::next(key_range* out) {
   return false;
 }
 
-std::vector<key_range> region_cube_ranges(const curve& c, const rect& r) {
-  std::vector<key_range> ranges;
+template <class K>
+std::vector<basic_key_range<K>> region_cube_ranges(const basic_curve<K>& c, const rect& r) {
+  std::vector<basic_key_range<K>> ranges;
   decompose_rect(c.space(), r, [&](const standard_cube& cube) {
     ranges.push_back(c.cube_range(cube));
   });
   return ranges;
 }
 
-std::vector<key_range> region_runs(const curve& c, const rect& r) {
-  std::vector<key_range> runs;
-  run_stream stream(c, r);
-  key_range run;
+template <class K>
+std::vector<basic_key_range<K>> region_runs(const basic_curve<K>& c, const rect& r) {
+  std::vector<basic_key_range<K>> runs;
+  basic_run_stream<K> stream(c, r);
+  basic_key_range<K> run;
   while (stream.next(&run)) runs.push_back(run);
   return runs;
 }
 
-std::uint64_t count_runs(const curve& c, const rect& r) {
-  run_stream stream(c, r);
+template <class K>
+std::uint64_t count_runs(const basic_curve<K>& c, const rect& r) {
+  basic_run_stream<K> stream(c, r);
   std::uint64_t n = 0;
-  key_range run;
+  basic_key_range<K> run;
   while (stream.next(&run)) ++n;
   return n;
 }
 
-std::vector<key_range> region_runs(const curve& c, const extremal_rect& r) {
+template <class K>
+std::vector<basic_key_range<K>> region_runs(const basic_curve<K>& c, const extremal_rect& r) {
   return region_runs(c, r.to_rect(c.space()));
 }
 
-std::uint64_t count_runs(const curve& c, const extremal_rect& r) {
+template <class K>
+std::uint64_t count_runs(const basic_curve<K>& c, const extremal_rect& r) {
   return count_runs(c, r.to_rect(c.space()));
 }
+
+template class basic_run_stream<std::uint64_t>;
+template class basic_run_stream<u128>;
+template class basic_run_stream<u512>;
+
+#define SUBCOVER_RUNS_INST(K)                                                          \
+  template std::vector<basic_key_range<K>> region_cube_ranges(const basic_curve<K>&,   \
+                                                              const rect&);            \
+  template std::vector<basic_key_range<K>> region_runs(const basic_curve<K>&, const rect&); \
+  template std::uint64_t count_runs(const basic_curve<K>&, const rect&);               \
+  template std::vector<basic_key_range<K>> region_runs(const basic_curve<K>&,          \
+                                                       const extremal_rect&);          \
+  template std::uint64_t count_runs(const basic_curve<K>&, const extremal_rect&);
+SUBCOVER_RUNS_INST(std::uint64_t)
+SUBCOVER_RUNS_INST(u128)
+SUBCOVER_RUNS_INST(u512)
+#undef SUBCOVER_RUNS_INST
 
 }  // namespace subcover

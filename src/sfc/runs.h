@@ -6,12 +6,15 @@
 // adjacent intervals; because the cubes tile T exactly, the coalesced set is
 // the unique set of maximal runs. Lemma 3.1: runs(T) <= cubes(T).
 //
-// run_stream computes the runs *incrementally*: it pulls cubes from a
-// key-ordered cube_stream and merges back-to-back key intervals on the fly,
-// emitting each maximal run as soon as it is complete. Nothing is
-// materialized — memory is O(universe depth) regardless of how many runs the
-// region has, and a warmed (reused) stream performs no heap allocation.
-// region_runs()/count_runs() are thin wrappers over run_stream.
+// basic_run_stream<K> computes the runs *incrementally*: it pulls cubes from
+// a key-ordered basic_cube_stream<K> and merges back-to-back key intervals
+// on the fly, emitting each maximal run as soon as it is complete. Nothing
+// is materialized — memory is O(universe depth) regardless of how many runs
+// the region has, and a warmed (reused) stream performs no heap allocation.
+// The stream runs at the key width of the curve it is bound to
+// (key_traits.h), so on narrow universes every coalescing compare and
+// endpoint increment is one or two machine words. region_runs()/
+// count_runs() are thin wrappers over run_stream at any width.
 #pragma once
 
 #include <cstdint>
@@ -28,10 +31,15 @@ namespace subcover {
 // Streams the maximal runs of a region in ascending key order without
 // materializing the cube decomposition. Reusable via reset() with the same
 // allocation-free contract as cube_stream; not thread-safe.
-class run_stream {
+template <class K>
+class basic_run_stream {
  public:
-  explicit run_stream(const curve& c) : cubes_(c) {}
-  run_stream(const curve& c, const rect& r) : cubes_(c) { reset(r); }
+  using key_type = K;
+  using curve_type = basic_curve<K>;
+  using range_type = basic_key_range<K>;
+
+  explicit basic_run_stream(const curve_type& c) : cubes_(c) {}
+  basic_run_stream(const curve_type& c, const rect& r) : cubes_(c) { reset(r); }
 
   // Rebinds to a new region. Throws std::invalid_argument if the region
   // lies outside the universe.
@@ -41,28 +49,53 @@ class run_stream {
   }
 
   // Emits the next maximal run, in ascending key order; false when done.
-  bool next(key_range* out);
+  bool next(range_type* out);
 
-  [[nodiscard]] const curve& sfc() const { return cubes_.sfc(); }
+  [[nodiscard]] const curve_type& sfc() const { return cubes_.sfc(); }
 
  private:
-  cube_stream cubes_;
-  key_range pending_;        // run being grown; valid iff has_pending_
+  basic_cube_stream<K> cubes_;
+  range_type pending_;       // run being grown; valid iff has_pending_
   bool has_pending_ = false;
 };
 
+using run_stream = basic_run_stream<u512>;
+
+extern template class basic_run_stream<std::uint64_t>;
+extern template class basic_run_stream<u128>;
+extern template class basic_run_stream<u512>;
+
 // One key interval per cube of the minimal partition of `r` (unmerged, in
 // decomposition order).
-std::vector<key_range> region_cube_ranges(const curve& c, const rect& r);
+template <class K>
+std::vector<basic_key_range<K>> region_cube_ranges(const basic_curve<K>& c, const rect& r);
 
 // The maximal runs of `r` on the curve: merged, sorted by lo, disjoint.
-std::vector<key_range> region_runs(const curve& c, const rect& r);
+template <class K>
+std::vector<basic_key_range<K>> region_runs(const basic_curve<K>& c, const rect& r);
 
 // runs(r) — the paper's cost measure for an exhaustive search of r.
-std::uint64_t count_runs(const curve& c, const rect& r);
+template <class K>
+std::uint64_t count_runs(const basic_curve<K>& c, const rect& r);
 
 // Convenience overloads for extremal rectangles.
-std::vector<key_range> region_runs(const curve& c, const extremal_rect& r);
-std::uint64_t count_runs(const curve& c, const extremal_rect& r);
+template <class K>
+std::vector<basic_key_range<K>> region_runs(const basic_curve<K>& c, const extremal_rect& r);
+template <class K>
+std::uint64_t count_runs(const basic_curve<K>& c, const extremal_rect& r);
+
+#define SUBCOVER_RUNS_EXTERN(K)                                                          \
+  extern template std::vector<basic_key_range<K>> region_cube_ranges(const basic_curve<K>&, \
+                                                                     const rect&);       \
+  extern template std::vector<basic_key_range<K>> region_runs(const basic_curve<K>&,     \
+                                                              const rect&);              \
+  extern template std::uint64_t count_runs(const basic_curve<K>&, const rect&);          \
+  extern template std::vector<basic_key_range<K>> region_runs(const basic_curve<K>&,     \
+                                                              const extremal_rect&);     \
+  extern template std::uint64_t count_runs(const basic_curve<K>&, const extremal_rect&);
+SUBCOVER_RUNS_EXTERN(std::uint64_t)
+SUBCOVER_RUNS_EXTERN(u128)
+SUBCOVER_RUNS_EXTERN(u512)
+#undef SUBCOVER_RUNS_EXTERN
 
 }  // namespace subcover

@@ -6,34 +6,44 @@
 
 namespace subcover {
 
-u512 z_curve::cube_prefix(const standard_cube& c) const {
-  check_cube(c);
-  const int d = space().dims();
-  const int prefix_bits = space().bits() - c.side_bits();
+template <class K>
+K basic_z_curve<K>::cube_prefix(const standard_cube& c) const {
+  this->check_cube(c);
+  const int d = this->space().dims();
+  const int prefix_bits = this->space().bits() - c.side_bits();
   std::array<std::uint32_t, kMaxDims> top{};
   for (int i = 0; i < d; ++i)
     top[static_cast<std::size_t>(i)] = c.corner()[i] >> c.side_bits();
-  return detail::interleave_bits(top.data(), d, prefix_bits);
+  return detail::interleave_bits<K>(top.data(), d, prefix_bits);
 }
 
-std::uint64_t z_curve::child_rank(const standard_cube& parent, const u512& parent_prefix,
-                                  std::uint32_t child_mask) const {
+template <class K>
+std::uint64_t basic_z_curve<K>::child_rank(const standard_cube& parent, const K& parent_prefix,
+                                           const curve_state& state,
+                                           std::uint32_t child_mask) const {
+  (void)parent;
   (void)parent_prefix;
-  const int d = space().dims();
+  (void)state;
+  const int d = this->space().dims();
   std::uint64_t rank = 0;
   for (int j = 0; j < d; ++j)
     if ((child_mask >> j) & 1U) rank |= std::uint64_t{1} << (d - 1 - j);
   return rank;
 }
 
-point z_curve::cell_from_key(const u512& key) const {
-  check_key(key);
-  const int d = space().dims();
+template <class K>
+point basic_z_curve<K>::cell_from_key(const K& key) const {
+  this->check_key(key);
+  const int d = this->space().dims();
   std::array<std::uint32_t, kMaxDims> coords{};
-  detail::deinterleave_bits(key, coords.data(), d, space().bits());
+  detail::deinterleave_bits(key, coords.data(), d, this->space().bits());
   point p(d);
   for (int i = 0; i < d; ++i) p[i] = coords[static_cast<std::size_t>(i)];
   return p;
 }
+
+template class basic_z_curve<std::uint64_t>;
+template class basic_z_curve<u128>;
+template class basic_z_curve<u512>;
 
 }  // namespace subcover

@@ -10,17 +10,25 @@
 
 namespace subcover {
 
-class z_curve final : public curve {
+template <class K>
+class basic_z_curve final : public basic_curve<K> {
  public:
-  explicit z_curve(const universe& u) : curve(u) {}
+  explicit basic_z_curve(const universe& u) : basic_curve<K>(u) {}
 
   [[nodiscard]] curve_kind kind() const override { return curve_kind::z_order; }
-  [[nodiscard]] u512 cube_prefix(const standard_cube& c) const override;
-  [[nodiscard]] point cell_from_key(const u512& key) const override;
-  // O(d): the rank is the child-selection mask with dimension 0 moved to the
-  // most significant bit (the interleaving convention above).
-  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const u512& parent_prefix,
+  [[nodiscard]] K cube_prefix(const standard_cube& c) const override;
+  [[nodiscard]] point cell_from_key(const K& key) const override;
+  // O(d), stateless: the rank is the child-selection mask with dimension 0
+  // moved to the most significant bit (the interleaving convention above).
+  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const K& parent_prefix,
+                                         const curve_state& state,
                                          std::uint32_t child_mask) const override;
 };
+
+using z_curve = basic_z_curve<u512>;
+
+extern template class basic_z_curve<std::uint64_t>;
+extern template class basic_z_curve<u128>;
+extern template class basic_z_curve<u512>;
 
 }  // namespace subcover

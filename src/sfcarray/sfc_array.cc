@@ -7,25 +7,27 @@
 
 namespace subcover {
 
-void sfc_array::reserve(std::size_t) {}
+template class basic_sfc_array<std::uint64_t>;
+template class basic_sfc_array<u128>;
+template class basic_sfc_array<u512>;
 
-void sfc_array::bulk_load(std::vector<entry> entries) {
-  reserve(size() + entries.size());
-  for (const auto& e : entries) insert(e.key, e.id);
-}
-
-std::optional<sfc_array::entry> sfc_array::first_in(const key_range& r, probe_hint*) const {
-  return first_in(r);
-}
-
-std::unique_ptr<sfc_array> make_sfc_array(sfc_array_kind kind) {
+template <class K>
+std::unique_ptr<basic_sfc_array<K>> make_basic_sfc_array(sfc_array_kind kind) {
   switch (kind) {
     case sfc_array_kind::skiplist:
-      return std::make_unique<skiplist_array>();
+      return std::make_unique<basic_skiplist_array<K>>();
     case sfc_array_kind::sorted_vector:
-      return std::make_unique<sorted_vector_array>();
+      return std::make_unique<basic_sorted_vector_array<K>>();
   }
   throw std::invalid_argument("make_sfc_array: unknown kind");
+}
+
+template std::unique_ptr<basic_sfc_array<std::uint64_t>> make_basic_sfc_array(sfc_array_kind);
+template std::unique_ptr<basic_sfc_array<u128>> make_basic_sfc_array(sfc_array_kind);
+template std::unique_ptr<basic_sfc_array<u512>> make_basic_sfc_array(sfc_array_kind);
+
+std::unique_ptr<sfc_array> make_sfc_array(sfc_array_kind kind) {
+  return make_basic_sfc_array<u512>(kind);
 }
 
 }  // namespace subcover

@@ -9,6 +9,12 @@
 // cell); entries are ordered by (key, id) so erase is deterministic.
 // The only query the covering algorithms need is run probing: "is there any
 // entry with key in [lo, hi], and if so which" — first_in().
+//
+// The interface is templated on the key type (key_traits.h): a
+// basic_sfc_array<std::uint64_t> stores and compares one machine word per
+// key where the u512 reference width burns eight. `sfc_array` remains the
+// u512 alias; dominance_index selects the width to match its curve at
+// construction time.
 #pragma once
 
 #include <cstdint>
@@ -18,24 +24,29 @@
 #include <vector>
 
 #include "sfc/key_range.h"
+#include "util/key_traits.h"
 #include "util/wideint.h"
 
 namespace subcover {
 
 enum class sfc_array_kind { skiplist, sorted_vector };
 
-class sfc_array {
+template <class K>
+class basic_sfc_array {
  public:
+  using key_type = K;
+  using range_type = basic_key_range<K>;
+
   struct entry {
-    u512 key;
+    K key{};
     std::uint64_t id = 0;
     friend bool operator==(const entry&, const entry&) = default;
   };
 
-  virtual ~sfc_array() = default;
-  sfc_array() = default;
-  sfc_array(const sfc_array&) = delete;
-  sfc_array& operator=(const sfc_array&) = delete;
+  virtual ~basic_sfc_array() = default;
+  basic_sfc_array() = default;
+  basic_sfc_array(const basic_sfc_array&) = delete;
+  basic_sfc_array& operator=(const basic_sfc_array&) = delete;
 
   // Probe-locality cursor for first_in. Successive probes at nearby keys can
   // start from the previous position instead of re-descending from the root;
@@ -47,29 +58,51 @@ class sfc_array {
     std::size_t pos = 0;
   };
 
-  virtual void insert(const u512& key, std::uint64_t id) = 0;
+  virtual void insert(const K& key, std::uint64_t id) = 0;
   // Removes one (key, id) occurrence; returns false if absent.
-  virtual bool erase(const u512& key, std::uint64_t id) = 0;
+  virtual bool erase(const K& key, std::uint64_t id) = 0;
   // Capacity pre-sizing for bulk population; a no-op by default.
-  virtual void reserve(std::size_t n);
+  virtual void reserve(std::size_t n) { (void)n; }
   // Bulk insertion, equivalent to insert() per element (order-insensitive).
   // The default loops over insert(); the sorted vector amortizes to one sort
   // plus one merge, which is what makes broker bootstrap cheap.
-  virtual void bulk_load(std::vector<entry> entries);
+  virtual void bulk_load(std::vector<entry> entries) {
+    reserve(size() + entries.size());
+    for (const entry& e : entries) insert(e.key, e.id);
+  }
   // The smallest-key entry with key in [r.lo, r.hi], if any. This is the
   // run-probe primitive: two descents regardless of the run's extent.
-  [[nodiscard]] virtual std::optional<entry> first_in(const key_range& r) const = 0;
+  [[nodiscard]] virtual std::optional<entry> first_in(const range_type& r) const = 0;
   // Same, with a probe-locality cursor (see probe_hint). The default ignores
   // the hint and forwards to first_in(r).
-  [[nodiscard]] virtual std::optional<entry> first_in(const key_range& r,
-                                                      probe_hint* hint) const;
+  [[nodiscard]] virtual std::optional<entry> first_in(const range_type& r,
+                                                      probe_hint* hint) const {
+    (void)hint;
+    return first_in(r);
+  }
   // Number of entries with key in [r.lo, r.hi].
-  [[nodiscard]] virtual std::uint64_t count_in(const key_range& r) const = 0;
+  [[nodiscard]] virtual std::uint64_t count_in(const range_type& r) const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
   // In-order traversal.
   virtual void for_each(const std::function<void(const entry&)>& fn) const = 0;
 };
 
+using sfc_array = basic_sfc_array<u512>;
+
+extern template class basic_sfc_array<std::uint64_t>;
+extern template class basic_sfc_array<u128>;
+extern template class basic_sfc_array<u512>;
+
+// Factory covering the built-in backends at the reference (u512) width.
 std::unique_ptr<sfc_array> make_sfc_array(sfc_array_kind kind);
+
+// Same, at an explicit key width.
+template <class K>
+std::unique_ptr<basic_sfc_array<K>> make_basic_sfc_array(sfc_array_kind kind);
+
+extern template std::unique_ptr<basic_sfc_array<std::uint64_t>> make_basic_sfc_array(
+    sfc_array_kind);
+extern template std::unique_ptr<basic_sfc_array<u128>> make_basic_sfc_array(sfc_array_kind);
+extern template std::unique_ptr<basic_sfc_array<u512>> make_basic_sfc_array(sfc_array_kind);
 
 }  // namespace subcover

@@ -4,10 +4,12 @@
 
 namespace subcover {
 
-skiplist_array::skiplist_array(std::uint64_t seed)
+template <class K>
+basic_skiplist_array<K>::basic_skiplist_array(std::uint64_t seed)
     : head_(new node(entry{}, kMaxLevel)), rng_(seed) {}
 
-skiplist_array::~skiplist_array() {
+template <class K>
+basic_skiplist_array<K>::~basic_skiplist_array() {
   node* n = head_;
   while (n != nullptr) {
     node* next = n->next[0];
@@ -16,15 +18,17 @@ skiplist_array::~skiplist_array() {
   }
 }
 
-int skiplist_array::random_level() {
+template <class K>
+int basic_skiplist_array<K>::random_level() {
   int level = 1;
   // Promote with probability 1/4 per level (classic skip-list parameter).
   while (level < kMaxLevel && (rng_.next() & 3U) == 0) ++level;
   return level;
 }
 
-skiplist_array::node* skiplist_array::find_geq(const u512& key, std::uint64_t id,
-                                               std::array<node*, kMaxLevel>* update) const {
+template <class K>
+auto basic_skiplist_array<K>::find_geq(const K& key, std::uint64_t id,
+                                       std::array<node*, kMaxLevel>* update) const -> node* {
   const entry target{key, id};
   node* cur = head_;
   for (int lvl = level_ - 1; lvl >= 0; --lvl) {
@@ -37,7 +41,8 @@ skiplist_array::node* skiplist_array::find_geq(const u512& key, std::uint64_t id
   return cur->next[0];
 }
 
-void skiplist_array::insert(const u512& key, std::uint64_t id) {
+template <class K>
+void basic_skiplist_array<K>::insert(const K& key, std::uint64_t id) {
   std::array<node*, kMaxLevel> update{};
   for (int i = level_; i < kMaxLevel; ++i) update[static_cast<std::size_t>(i)] = head_;
   find_geq(key, id, &update);
@@ -52,7 +57,8 @@ void skiplist_array::insert(const u512& key, std::uint64_t id) {
   ++size_;
 }
 
-bool skiplist_array::erase(const u512& key, std::uint64_t id) {
+template <class K>
+bool basic_skiplist_array<K>::erase(const K& key, std::uint64_t id) {
   std::array<node*, kMaxLevel> update{};
   for (int i = 0; i < kMaxLevel; ++i) update[static_cast<std::size_t>(i)] = head_;
   node* hit = find_geq(key, id, &update);
@@ -68,13 +74,15 @@ bool skiplist_array::erase(const u512& key, std::uint64_t id) {
   return true;
 }
 
-std::optional<sfc_array::entry> skiplist_array::first_in(const key_range& r) const {
+template <class K>
+auto basic_skiplist_array<K>::first_in(const range_type& r) const -> std::optional<entry> {
   const node* n = find_geq(r.lo, 0, nullptr);
   if (n == nullptr || n->e.key > r.hi) return std::nullopt;
   return n->e;
 }
 
-std::uint64_t skiplist_array::count_in(const key_range& r) const {
+template <class K>
+std::uint64_t basic_skiplist_array<K>::count_in(const range_type& r) const {
   std::uint64_t count = 0;
   for (const node* n = find_geq(r.lo, 0, nullptr); n != nullptr && n->e.key <= r.hi;
        n = n->next[0])
@@ -82,13 +90,18 @@ std::uint64_t skiplist_array::count_in(const key_range& r) const {
   return count;
 }
 
-std::size_t skiplist_array::size() const { return size_; }
+template <class K>
+std::size_t basic_skiplist_array<K>::size() const {
+  return size_;
+}
 
-void skiplist_array::for_each(const std::function<void(const entry&)>& fn) const {
+template <class K>
+void basic_skiplist_array<K>::for_each(const std::function<void(const entry&)>& fn) const {
   for (const node* n = head_->next[0]; n != nullptr; n = n->next[0]) fn(n->e);
 }
 
-void skiplist_array::check_invariants() const {
+template <class K>
+void basic_skiplist_array<K>::check_invariants() const {
   // Level 0 holds every entry in (key, id) order.
   std::size_t counted = 0;
   for (const node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
@@ -112,5 +125,9 @@ void skiplist_array::check_invariants() const {
     }
   }
 }
+
+template class basic_skiplist_array<std::uint64_t>;
+template class basic_skiplist_array<u128>;
+template class basic_skiplist_array<u512>;
 
 }  // namespace subcover

@@ -16,15 +16,20 @@
 
 namespace subcover {
 
-class skiplist_array final : public sfc_array {
+template <class K>
+class basic_skiplist_array final : public basic_sfc_array<K> {
  public:
-  explicit skiplist_array(std::uint64_t seed = 0x5c1b1157u);
-  ~skiplist_array() override;
+  using base = basic_sfc_array<K>;
+  using entry = typename base::entry;
+  using range_type = typename base::range_type;
 
-  void insert(const u512& key, std::uint64_t id) override;
-  bool erase(const u512& key, std::uint64_t id) override;
-  [[nodiscard]] std::optional<entry> first_in(const key_range& r) const override;
-  [[nodiscard]] std::uint64_t count_in(const key_range& r) const override;
+  explicit basic_skiplist_array(std::uint64_t seed = 0x5c1b1157u);
+  ~basic_skiplist_array() override;
+
+  void insert(const K& key, std::uint64_t id) override;
+  bool erase(const K& key, std::uint64_t id) override;
+  [[nodiscard]] std::optional<entry> first_in(const range_type& r) const override;
+  [[nodiscard]] std::uint64_t count_in(const range_type& r) const override;
   [[nodiscard]] std::size_t size() const override;
   void for_each(const std::function<void(const entry&)>& fn) const override;
 
@@ -50,12 +55,18 @@ class skiplist_array final : public sfc_array {
   int random_level();
   // First node with entry >= (key, id) in entry order; fills `update` with
   // the rightmost node before the position on every level when non-null.
-  node* find_geq(const u512& key, std::uint64_t id, std::array<node*, kMaxLevel>* update) const;
+  node* find_geq(const K& key, std::uint64_t id, std::array<node*, kMaxLevel>* update) const;
 
   node* head_;  // sentinel with kMaxLevel links
   int level_ = 1;
   std::size_t size_ = 0;
   rng rng_;
 };
+
+using skiplist_array = basic_skiplist_array<u512>;
+
+extern template class basic_skiplist_array<std::uint64_t>;
+extern template class basic_skiplist_array<u128>;
+extern template class basic_skiplist_array<u512>;
 
 }  // namespace subcover

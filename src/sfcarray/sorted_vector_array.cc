@@ -5,29 +5,40 @@
 namespace subcover {
 
 namespace {
-bool entry_less(const sfc_array::entry& a, const sfc_array::entry& b) {
+template <class Entry>
+bool entry_less(const Entry& a, const Entry& b) {
   if (a.key != b.key) return a.key < b.key;
   return a.id < b.id;
 }
+template <class Entry>
+struct entry_cmp {
+  bool operator()(const Entry& a, const Entry& b) const { return entry_less(a, b); }
+};
 }  // namespace
 
-void sorted_vector_array::insert(const u512& key, std::uint64_t id) {
+template <class K>
+void basic_sorted_vector_array<K>::insert(const K& key, std::uint64_t id) {
   const entry e{key, id};
-  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), e, entry_less), e);
+  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), e, entry_cmp<entry>{}), e);
 }
 
-bool sorted_vector_array::erase(const u512& key, std::uint64_t id) {
+template <class K>
+bool basic_sorted_vector_array<K>::erase(const K& key, std::uint64_t id) {
   const entry e{key, id};
-  const auto it = std::lower_bound(entries_.begin(), entries_.end(), e, entry_less);
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), e, entry_cmp<entry>{});
   if (it == entries_.end() || it->key != key || it->id != id) return false;
   entries_.erase(it);
   return true;
 }
 
-void sorted_vector_array::reserve(std::size_t n) { entries_.reserve(n); }
+template <class K>
+void basic_sorted_vector_array<K>::reserve(std::size_t n) {
+  entries_.reserve(n);
+}
 
-void sorted_vector_array::bulk_load(std::vector<entry> entries) {
-  std::sort(entries.begin(), entries.end(), entry_less);
+template <class K>
+void basic_sorted_vector_array<K>::bulk_load(std::vector<entry> entries) {
+  std::sort(entries.begin(), entries.end(), entry_cmp<entry>{});
   if (entries_.empty()) {
     entries_ = std::move(entries);
     return;
@@ -36,18 +47,21 @@ void sorted_vector_array::bulk_load(std::vector<entry> entries) {
   entries_.insert(entries_.end(), entries.begin(), entries.end());
   std::inplace_merge(entries_.begin(),
                      entries_.begin() + static_cast<std::ptrdiff_t>(old_size), entries_.end(),
-                     entry_less);
+                     entry_cmp<entry>{});
 }
 
-std::optional<sfc_array::entry> sorted_vector_array::first_in(const key_range& r) const {
+template <class K>
+auto basic_sorted_vector_array<K>::first_in(const range_type& r) const -> std::optional<entry> {
   const entry probe{r.lo, 0};
-  const auto it = std::lower_bound(entries_.begin(), entries_.end(), probe, entry_less);
+  const auto it =
+      std::lower_bound(entries_.begin(), entries_.end(), probe, entry_cmp<entry>{});
   if (it == entries_.end() || it->key > r.hi) return std::nullopt;
   return *it;
 }
 
-std::optional<sfc_array::entry> sorted_vector_array::first_in(const key_range& r,
-                                                              probe_hint* hint) const {
+template <class K>
+auto basic_sorted_vector_array<K>::first_in(const range_type& r, probe_hint* hint) const
+    -> std::optional<entry> {
   if (hint == nullptr) return first_in(r);
   const entry probe{r.lo, 0};
   // Gallop from the cursor: double the step until a window bracketing the
@@ -78,15 +92,17 @@ std::optional<sfc_array::entry> sorted_vector_array::first_in(const key_range& r
   }
   const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(lo);
   const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(hi);
-  const auto it = std::lower_bound(first, last, probe, entry_less);
+  const auto it = std::lower_bound(first, last, probe, entry_cmp<entry>{});
   hint->pos = static_cast<std::size_t>(it - entries_.begin());
   if (it == entries_.end() || it->key > r.hi) return std::nullopt;
   return *it;
 }
 
-std::uint64_t sorted_vector_array::count_in(const key_range& r) const {
+template <class K>
+std::uint64_t basic_sorted_vector_array<K>::count_in(const range_type& r) const {
   const entry lo_probe{r.lo, 0};
-  const auto lo = std::lower_bound(entries_.begin(), entries_.end(), lo_probe, entry_less);
+  const auto lo =
+      std::lower_bound(entries_.begin(), entries_.end(), lo_probe, entry_cmp<entry>{});
   auto it = lo;
   std::uint64_t count = 0;
   while (it != entries_.end() && it->key <= r.hi) {
@@ -96,10 +112,18 @@ std::uint64_t sorted_vector_array::count_in(const key_range& r) const {
   return count;
 }
 
-std::size_t sorted_vector_array::size() const { return entries_.size(); }
+template <class K>
+std::size_t basic_sorted_vector_array<K>::size() const {
+  return entries_.size();
+}
 
-void sorted_vector_array::for_each(const std::function<void(const entry&)>& fn) const {
+template <class K>
+void basic_sorted_vector_array<K>::for_each(const std::function<void(const entry&)>& fn) const {
   for (const auto& e : entries_) fn(e);
 }
+
+template class basic_sorted_vector_array<std::uint64_t>;
+template class basic_sorted_vector_array<u128>;
+template class basic_sorted_vector_array<u512>;
 
 }  // namespace subcover

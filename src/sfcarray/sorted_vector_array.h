@@ -16,25 +16,37 @@
 
 namespace subcover {
 
-class sorted_vector_array final : public sfc_array {
+template <class K>
+class basic_sorted_vector_array final : public basic_sfc_array<K> {
  public:
-  sorted_vector_array() = default;
+  using base = basic_sfc_array<K>;
+  using entry = typename base::entry;
+  using range_type = typename base::range_type;
+  using probe_hint = typename base::probe_hint;
 
-  using sfc_array::first_in;
+  basic_sorted_vector_array() = default;
 
-  void insert(const u512& key, std::uint64_t id) override;
-  bool erase(const u512& key, std::uint64_t id) override;
+  using base::first_in;
+
+  void insert(const K& key, std::uint64_t id) override;
+  bool erase(const K& key, std::uint64_t id) override;
   void reserve(std::size_t n) override;
   void bulk_load(std::vector<entry> entries) override;
-  [[nodiscard]] std::optional<entry> first_in(const key_range& r) const override;
-  [[nodiscard]] std::optional<entry> first_in(const key_range& r,
+  [[nodiscard]] std::optional<entry> first_in(const range_type& r) const override;
+  [[nodiscard]] std::optional<entry> first_in(const range_type& r,
                                               probe_hint* hint) const override;
-  [[nodiscard]] std::uint64_t count_in(const key_range& r) const override;
+  [[nodiscard]] std::uint64_t count_in(const range_type& r) const override;
   [[nodiscard]] std::size_t size() const override;
   void for_each(const std::function<void(const entry&)>& fn) const override;
 
  private:
   std::vector<entry> entries_;  // sorted by (key, id)
 };
+
+using sorted_vector_array = basic_sorted_vector_array<u512>;
+
+extern template class basic_sorted_vector_array<std::uint64_t>;
+extern template class basic_sorted_vector_array<u128>;
+extern template class basic_sorted_vector_array<u512>;
 
 }  // namespace subcover

@@ -12,6 +12,18 @@
 //   auto hit = index.find_covering(
 //       parse_subscription(s, "stock = IBM, volume >= 800"), /*epsilon=*/0.05);
 //   // hit == 1: the broader subscription covers the narrower one.
+//
+// Key-type selection contract (util/key_traits.h): the SFC query pipeline
+// (curve -> cube/run streams -> SFC array -> query plan) is templated on
+// the key type K in {std::uint64_t, u128, u512}. Construction-time
+// dispatch picks the narrowest width that holds the universe's d*k key
+// bits — dominance_index / sfc_covering_index do this automatically
+// (override with options.width), so universes up to 64 key bits run on one
+// machine word and up to 128 on two, several-fold cheaper than the 8-word
+// u512 reference width. Every width computes bit-identical results (the
+// narrow keys equal the u512 keys after widening); u512 remains the
+// universal fallback and the type of the un-suffixed public aliases
+// (curve, key_range, sfc_array, cube_stream, run_stream).
 #pragma once
 
 #include "broker/broker.h"        // IWYU pragma: export
@@ -50,6 +62,7 @@
 #include "sfcarray/sorted_vector_array.h" // IWYU pragma: export
 #include "util/bitops.h"   // IWYU pragma: export
 #include "util/cli.h"      // IWYU pragma: export
+#include "util/key_traits.h"  // IWYU pragma: export
 #include "util/random.h"   // IWYU pragma: export
 #include "util/stats.h"    // IWYU pragma: export
 #include "util/table.h"    // IWYU pragma: export

@@ -1,0 +1,174 @@
+// key_traits — one bit-manipulation vocabulary for every SFC key width.
+//
+// The query pipeline (curve -> cube_stream/run_stream -> sfc_array ->
+// query_plan) is templated on the key type `Key`:
+//
+//   std::uint64_t   d*k <= 64    one machine word
+//   u128            d*k <= 128   two machine words (unsigned __int128)
+//   u512            d*k <= 512   eight words, the paper's full generality
+//
+// select_key_width() picks the narrowest width that fits a universe; the
+// value-level enum `key_width` names the choice so construction-time
+// dispatch (dominance_index, benches) can switch on it. key_traits<Key>
+// papers over the differences between the builtin integers and the u512
+// class type: masks, powers of two, bit scans, widening to u512 (exact) and
+// truncation back. Everything is constexpr-friendly and header-only so the
+// narrow instantiations compile to straight-line word ops.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "util/wideint.h"
+
+namespace subcover {
+
+// The key widths the pipeline instantiates. `automatic` (the default in
+// dominance_options) selects by universe at construction time.
+enum class key_width { automatic, w64, w128, w512 };
+
+// Narrowest width whose keys hold `key_bits` bits (d*k of the universe).
+inline key_width select_key_width(int key_bits) {
+  if (key_bits <= 64) return key_width::w64;
+  if (key_bits <= 128) return key_width::w128;
+  return key_width::w512;
+}
+
+inline const char* key_width_name(key_width w) {
+  switch (w) {
+    case key_width::automatic:
+      return "auto";
+    case key_width::w64:
+      return "u64";
+    case key_width::w128:
+      return "u128";
+    case key_width::w512:
+      return "u512";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+// Shared implementation for the builtin unsigned key types (uint64_t, u128).
+template <class K>
+struct builtin_key_traits {
+  using key_type = K;
+  static constexpr int kBits = static_cast<int>(sizeof(K) * 8);
+
+  static constexpr K zero() { return K{0}; }
+  static constexpr K one() { return K{1}; }
+  static constexpr K max() { return ~K{0}; }
+  // 2^n. Requires 0 <= n < kBits.
+  static constexpr K pow2(int n) { return K{1} << n; }
+  // Low n bits set. Requires 0 <= n <= kBits (n == kBits yields all ones,
+  // where the plain shift would be UB).
+  static constexpr K mask(int n) { return n >= kBits ? max() : (K{1} << n) - 1; }
+  static constexpr bool is_zero(const K& v) { return v == 0; }
+  static constexpr bool test_bit(const K& v, int i) { return ((v >> i) & 1U) != 0; }
+  static constexpr void set_bit(K& v, int i) { v |= K{1} << i; }
+  static constexpr std::uint64_t low64(const K& v) { return static_cast<std::uint64_t>(v); }
+
+  static constexpr int bit_width(const K& v) {
+    if constexpr (sizeof(K) <= 8) {
+      return std::bit_width(static_cast<std::uint64_t>(v));
+    } else {
+      const auto hi = static_cast<std::uint64_t>(v >> 64);
+      return hi != 0 ? 64 + std::bit_width(hi)
+                     : std::bit_width(static_cast<std::uint64_t>(v));
+    }
+  }
+  static constexpr int countr_zero(const K& v) {
+    if constexpr (sizeof(K) <= 8) {
+      return std::countr_zero(static_cast<std::uint64_t>(v));
+    } else {
+      const auto lo = static_cast<std::uint64_t>(v);
+      if (lo != 0) return std::countr_zero(lo);
+      const auto hi = static_cast<std::uint64_t>(v >> 64);
+      return hi != 0 ? 64 + std::countr_zero(hi) : kBits;
+    }
+  }
+  static constexpr int countl_zero(const K& v) { return kBits - bit_width(v); }
+  static constexpr K bit_floor(const K& v) {
+    return v == 0 ? K{0} : pow2(bit_width(v) - 1);
+  }
+
+  // Exact widening to the reference width; truncate() takes the low bits.
+  static u512 widen(const K& v) {
+    if constexpr (sizeof(K) <= 8) {
+      return u512(static_cast<std::uint64_t>(v));
+    } else {
+      return (u512(static_cast<std::uint64_t>(v >> 64)) << 64) |
+             u512(static_cast<std::uint64_t>(v));
+    }
+  }
+  static K truncate(const u512& v) {
+    if constexpr (sizeof(K) <= 8) {
+      return v.low64();
+    } else {
+      return (K{v.word(1)} << 64) | K{v.word(0)};
+    }
+  }
+
+  static long double to_long_double(const K& v) {
+    if constexpr (sizeof(K) <= 8) {
+      return static_cast<long double>(v);
+    } else {
+      return static_cast<long double>(static_cast<std::uint64_t>(v >> 64)) *
+                 18446744073709551616.0L /* 2^64 */ +
+             static_cast<long double>(static_cast<std::uint64_t>(v));
+    }
+  }
+  static std::string to_string(const K& v) {
+    if constexpr (sizeof(K) <= 8) {
+      return std::to_string(static_cast<std::uint64_t>(v));
+    } else {
+      if (v == 0) return "0";
+      std::string digits;
+      K x = v;
+      while (x != 0) {
+        digits.push_back(static_cast<char>('0' + static_cast<int>(x % 10)));
+        x /= 10;
+      }
+      return {digits.rbegin(), digits.rend()};
+    }
+  }
+};
+
+}  // namespace detail
+
+template <class K>
+struct key_traits;
+
+template <>
+struct key_traits<std::uint64_t> : detail::builtin_key_traits<std::uint64_t> {};
+
+template <>
+struct key_traits<u128> : detail::builtin_key_traits<u128> {};
+
+template <>
+struct key_traits<u512> {
+  using key_type = u512;
+  static constexpr int kBits = u512::kBits;
+
+  static constexpr u512 zero() { return u512::zero(); }
+  static constexpr u512 one() { return u512::one(); }
+  static u512 max() { return u512::max(); }
+  static u512 pow2(int n) { return u512::pow2(n); }
+  static u512 mask(int n) { return u512::mask(n); }
+  static bool is_zero(const u512& v) { return v.is_zero(); }
+  static bool test_bit(const u512& v, int i) { return v.bit(i); }
+  static void set_bit(u512& v, int i) { v.set_bit(i); }
+  static std::uint64_t low64(const u512& v) { return v.low64(); }
+  static int bit_width(const u512& v) { return v.bit_width(); }
+  static int countr_zero(const u512& v) { return v.countr_zero(); }
+  static int countl_zero(const u512& v) { return v.countl_zero(); }
+  static u512 bit_floor(const u512& v) { return v.bit_floor(); }
+  static u512 widen(const u512& v) { return v; }
+  static u512 truncate(const u512& v) { return v; }
+  static long double to_long_double(const u512& v) { return v.to_long_double(); }
+  static std::string to_string(const u512& v) { return v.to_string(); }
+};
+
+}  // namespace subcover

@@ -48,6 +48,19 @@ int u512::bit_width() const {
   return 0;
 }
 
+int u512::countr_zero() const {
+  for (int i = 0; i < kWords; ++i) {
+    const auto w = w_[static_cast<std::size_t>(i)];
+    if (w != 0) return i * 64 + std::countr_zero(w);
+  }
+  return kBits;
+}
+
+u512 u512::bit_floor() const {
+  const int width = bit_width();
+  return width == 0 ? zero() : pow2(width - 1);
+}
+
 int u512::popcount() const {
   int c = 0;
   for (const auto w : w_) c += std::popcount(w);

@@ -19,6 +19,11 @@
 
 namespace subcover {
 
+// 128-bit unsigned integer (GCC/Clang extension), the middle rung of the
+// key-width ladder (key_traits.h): universes with 64 < d*k <= 128 run the
+// query pipeline on u128 keys instead of 8-word u512s.
+__extension__ typedef unsigned __int128 u128;
+
 class u512 {
  public:
   static constexpr int kWords = 8;  // 64-bit words, little-endian
@@ -41,6 +46,14 @@ class u512 {
   [[nodiscard]] bool is_zero() const;
   // Index of the highest set bit plus one; 0 for zero. (Paper's b(x).)
   [[nodiscard]] int bit_width() const;
+  // Number of consecutive zero bits starting at the least significant bit;
+  // kBits for zero (mirrors std::countr_zero).
+  [[nodiscard]] int countr_zero() const;
+  // Number of consecutive zero bits starting at the most significant bit;
+  // kBits for zero (mirrors std::countl_zero).
+  [[nodiscard]] int countl_zero() const { return kBits - bit_width(); }
+  // Largest power of two <= the value; 0 for zero (mirrors std::bit_floor).
+  [[nodiscard]] u512 bit_floor() const;
   [[nodiscard]] int popcount() const;
   [[nodiscard]] bool bit(int i) const;
   void set_bit(int i, bool value = true);

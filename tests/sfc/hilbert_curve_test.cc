@@ -100,5 +100,52 @@ TEST(HilbertCurve, RoundTripHighDims) {
   }
 }
 
+// The closed-form child_rank / descend_state pair must reproduce the ground
+// truth (the low d bits of the child's cube_prefix) at every node of the
+// partition tree. Walk the whole tree of every small universe, threading
+// the orientation state exactly the way cube_stream does.
+TEST(HilbertCurve, ChildRankClosedFormMatchesCubePrefix) {
+  for (int d = 1; d <= 5; ++d) {
+    for (int k = 1; k <= (d >= 4 ? 2 : 3); ++k) {
+      const universe u(d, k);
+      const hilbert_curve h(u);
+      const std::uint64_t rank_mask = (std::uint64_t{1} << d) - 1;
+      struct node {
+        standard_cube cube;
+        curve_state state;
+        u512 prefix;
+      };
+      std::vector<node> stack;
+      curve_state root_state;
+      h.init_state(root_state);
+      stack.push_back({standard_cube(point(d), k), root_state, u512::zero()});
+      while (!stack.empty()) {
+        const node n = stack.back();
+        stack.pop_back();
+        if (n.cube.side_bits() == 0) continue;
+        const int child_bits = n.cube.side_bits() - 1;
+        const auto half = std::uint32_t{1} << child_bits;
+        for (std::uint32_t mask = 0; mask < (std::uint32_t{1} << d); ++mask) {
+          point corner = n.cube.corner();
+          for (int j = 0; j < d; ++j)
+            if ((mask >> j) & 1U) corner[j] += half;
+          const standard_cube child(corner, child_bits);
+          const u512 child_prefix = h.cube_prefix(child);
+          const std::uint64_t truth = child_prefix.low64() & rank_mask;
+          ASSERT_EQ(h.child_rank(n.cube, n.prefix, n.state, mask), truth)
+              << "d=" << d << " k=" << k << " side=" << n.cube.side_bits()
+              << " mask=" << mask;
+          // And the child's prefix is derivable from the parent's, which is
+          // what cube_stream relies on.
+          ASSERT_EQ((n.prefix << d) | u512(truth), child_prefix);
+          curve_state child_state;
+          h.descend_state(n.state, mask, child_state);
+          stack.push_back({child, child_state, child_prefix});
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace subcover

@@ -187,6 +187,32 @@ TEST(U512, HashDistinguishes) {
   EXPECT_GT(set.size(), 990U);  // essentially all distinct
 }
 
+TEST(U512, CountrZero) {
+  EXPECT_EQ(u512::zero().countr_zero(), 512);
+  EXPECT_EQ(u512::one().countr_zero(), 0);
+  EXPECT_EQ(u512(8).countr_zero(), 3);
+  for (int i = 0; i < 512; i += 17) EXPECT_EQ(u512::pow2(i).countr_zero(), i) << i;
+  // Low zeros are counted even when higher bits are set.
+  EXPECT_EQ((u512::pow2(300) | u512::pow2(65)).countr_zero(), 65);
+  EXPECT_EQ(u512::max().countr_zero(), 0);
+}
+
+TEST(U512, CountlZero) {
+  EXPECT_EQ(u512::zero().countl_zero(), 512);
+  EXPECT_EQ(u512::one().countl_zero(), 511);
+  for (int i = 0; i < 512; i += 31) EXPECT_EQ(u512::pow2(i).countl_zero(), 511 - i) << i;
+  EXPECT_EQ(u512::max().countl_zero(), 0);
+}
+
+TEST(U512, BitFloor) {
+  EXPECT_TRUE(u512::zero().bit_floor().is_zero());
+  EXPECT_EQ(u512::one().bit_floor(), u512::one());
+  EXPECT_EQ(u512(5).bit_floor(), u512(4));
+  EXPECT_EQ(u512::max().bit_floor(), u512::pow2(511));
+  EXPECT_EQ((u512::pow2(200) + u512(12345)).bit_floor(), u512::pow2(200));
+  for (int i = 0; i < 512; i += 13) EXPECT_EQ(u512::pow2(i).bit_floor(), u512::pow2(i)) << i;
+}
+
 TEST(U512, OrderingIsTotalOnRandomValues) {
   rng gen(123);
   for (int trial = 0; trial < 100; ++trial) {
