@@ -15,6 +15,7 @@
 #include "covering/sfc_covering_index.h"
 #include "dominance/query_plan.h"
 #include "sfc/decomposition.h"
+#include "sfc/extremal_decomposition.h"
 #include "sfc/gray_curve.h"
 #include "sfc/hilbert_curve.h"
 #include "sfc/runs.h"
@@ -59,6 +60,33 @@ void BM_GrayCurveKey(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(c.cell_key(p));
 }
 BENCHMARK(BM_GrayCurveKey)->Arg(4)->Arg(8)->Arg(16);
+
+// Narrow-key (u64) curve key generation, the production width for
+// d*k <= 64 universes — the kernel the BMI2 pdep/pext interleave targets.
+// Arg: dims at 16 bits per dim (2 -> 32-bit keys, 4 -> 64-bit keys).
+template <class Curve>
+void curve_key_narrow_bench(benchmark::State& state) {
+  const universe u(static_cast<int>(state.range(0)), 16);
+  const Curve c(u);
+  rng gen(1);
+  const point p = random_point(gen, u);
+  for (auto _ : state) benchmark::DoNotOptimize(c.cell_key(p));
+}
+
+void BM_ZCurveKeyNarrow(benchmark::State& state) {
+  curve_key_narrow_bench<basic_z_curve<std::uint64_t>>(state);
+}
+BENCHMARK(BM_ZCurveKeyNarrow)->Arg(2)->Arg(4);
+
+void BM_HilbertCurveKeyNarrow(benchmark::State& state) {
+  curve_key_narrow_bench<basic_hilbert_curve<std::uint64_t>>(state);
+}
+BENCHMARK(BM_HilbertCurveKeyNarrow)->Arg(2)->Arg(4);
+
+void BM_GrayCurveKeyNarrow(benchmark::State& state) {
+  curve_key_narrow_bench<basic_gray_curve<std::uint64_t>>(state);
+}
+BENCHMARK(BM_GrayCurveKeyNarrow)->Arg(2)->Arg(4);
 
 void BM_Decompose257Square(benchmark::State& state) {
   const universe u(2, 9);
@@ -114,6 +142,35 @@ void BM_RunStreamReused(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(total_runs), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_RunStreamReused);
+
+// The query planner's enumeration path in isolation: stream every level of
+// an extremal query region as Equation-1 key ranges (largest cubes first),
+// exactly what query_plan consumes. Arg: curve kind (0 = Z, 1 = Hilbert,
+// 2 = Gray), at the production (u64) key width.
+void BM_PlanLevelRanges(benchmark::State& state) {
+  const universe u(2, 9);
+  const curve_kind kind = static_cast<curve_kind>(state.range(0));
+  const auto curve = make_basic_curve<std::uint64_t>(kind, u);
+  rng gen(19);
+  std::vector<extremal_rect> regions;
+  for (int i = 0; i < 64; ++i) regions.push_back(extremal_rect::query_region(u, random_point(gen, u)));
+  std::size_t next = 0;
+  std::uint64_t total_ranges = 0;
+  for (auto _ : state) {
+    const extremal_rect& r = regions[next];
+    next = (next + 1) % regions.size();
+    for (int i = u.bits(); i >= 0; --i) {
+      enumerate_level_ranges(*curve, r, i, [&](const basic_key_range<std::uint64_t>& run) {
+        benchmark::DoNotOptimize(run.lo);
+        ++total_ranges;
+      });
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["ranges"] =
+      benchmark::Counter(static_cast<double>(total_ranges), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PlanLevelRanges)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_DominanceQueryWarmPlan(benchmark::State& state) {
   // Warm-plan query throughput, the acceptance metric of the plan->probe

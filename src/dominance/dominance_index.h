@@ -6,11 +6,13 @@
 // (1 - epsilon) * vol and report a point if one is found there.
 //
 // Algorithm (Section 5): points are kept in SFC order in an SFC array. A
-// query greedily decomposes its (possibly truncated, Lemma 3.2) extremal
-// region into minimal standard cubes, coalesces adjacent key ranges into
-// runs, and probes runs in descending volume order, tracking the searched
-// fraction of the full region. It stops at the first hit, or once the
-// searched fraction reaches 1 - epsilon, or when the plan is exhausted.
+// query streams the minimal standard-cube partition of its (possibly
+// truncated, Lemma 3.2) extremal region directly as Equation-1 key
+// intervals (the corner-free enumerator of extremal_decomposition.h — no
+// cube coordinates are ever materialized), coalesces adjacent intervals
+// into runs, and probes runs in descending volume order, tracking the
+// searched fraction of the full region. It stops at the first hit, or once
+// the searched fraction reaches 1 - epsilon, or when the plan is exhausted.
 //
 // The approximate search has one-sided error: a returned id always lies in
 // the query region (true dominance); only misses are possible.

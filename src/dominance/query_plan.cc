@@ -72,6 +72,17 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
   long double planned_cum = 0;  // volume of levels enumerated so far
   std::optional<std::uint64_t> result;
   bool done = false;
+  // One range sink for the whole query: the emitter's per-level prefix /
+  // state caches are reusable across levels (each fresh walk forces a full
+  // recomputation via its watermark), so its construction cost is paid once
+  // per query rather than once per occupied level.
+  std::uint64_t needed = 0;
+  std::uint64_t taken = 0;
+  auto sink = [&](const basic_key_range<K>& run) {
+    ts.level_ranges.push_back(run);
+    return ++taken < needed;
+  };
+  detail::range_emitter<K, decltype(sink)> ranges(*ts.curve, 0, sink);
   for (int i = u.bits(); i >= 0 && !done; --i) {
     const u512& count = level_counts_[static_cast<std::size_t>(i)];
     if (count.is_zero()) continue;
@@ -81,7 +92,6 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
     // falls inside this level (only possible for epsilon > 0; exhaustive
     // queries always take whole levels so no floating-point boundary math
     // can drop cubes).
-    std::uint64_t needed;
     if (epsilon > 0 && planned_cum + level_volume >= coverage_target) {
       needed = static_cast<std::uint64_t>(
                    std::ceil((coverage_target - planned_cum) / cube_volume)) +
@@ -101,19 +111,18 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
     }
     if (needed == 0) break;
 
-    // Stream exactly `needed` cubes of the level into the run frontier (all
-    // cubes of a level have equal volume, so any subset of the right size
-    // reaches the same coverage). The bool return stops enumeration cleanly
-    // — no exception control flow, no over-enumeration.
+    // Stream exactly `needed` key ranges of the level into the run frontier
+    // (all cubes of a level have equal volume, so any subset of the right
+    // size reaches the same coverage). The corner-free enumerator emits each
+    // cube directly as its Equation-1 key interval at the plan's width — no
+    // standard_cube, no coordinate arrays, no wide cube_prefix math. The
+    // sink's bool return stops enumeration cleanly — no exception control
+    // flow, no over-enumeration. count > 0 already implies the level is
+    // occupied, so the walk runs unconditionally.
     ts.level_ranges.clear();
-    std::uint64_t taken = 0;
-    enumerate_level_cubes(
-        u, target, i,
-        [&](const standard_cube& c) {
-          ts.level_ranges.push_back(ts.curve->cube_range(c));
-          return ++taken < needed;
-        },
-        needed);
+    taken = 0;
+    ranges.set_level(i);
+    detail::level_walk<decltype(ranges)>(u, target, i, ranges, needed).run();
     st.cubes_enumerated += ts.level_ranges.size();
     budget -= ts.level_ranges.size();
     planned_cum += level_volume;

@@ -1,22 +1,28 @@
 // query_plan — the reusable, allocation-free engine behind
 // dominance_index::query (paper Section 5).
 //
-// Architecture (plan -> probe): a query is executed level by level, largest
-// standard cubes first. For each occupied level of the (possibly truncated,
-// Lemma 3.2) extremal query region, the plan enumerates exactly the cubes
-// the coverage target can still need (the closed-form level counts of
-// Lemma 3.5 bound the frontier in advance), coalesces their key intervals
-// into runs, orders the runs by volume, and probes them against the SFC
-// array, tracking the searched-volume fraction and the max_cubes budget.
-// The search stops at the first hit, at 1 - epsilon coverage, or when the
-// plan is exhausted — identical semantics to the original monolithic query.
+// Architecture (plan -> probe, corner-free): a query is executed level by
+// level, largest standard cubes first. For each occupied level of the
+// (possibly truncated, Lemma 3.2) extremal query region, the plan streams
+// exactly the cubes the coverage target can still need (the closed-form
+// level counts of Lemma 3.5 bound the frontier in advance) straight out of
+// the Equation-1 range enumerator (extremal_decomposition.h) as key
+// intervals at the plan's width — the level enumeration constructs no
+// standard_cube and touches no corner coordinate arrays; the curve's
+// child_rank/descend_state API turns bit-plane toggles into prefix updates
+// directly. The plan then coalesces the intervals into runs, orders the
+// runs by volume, and probes them against the SFC array, tracking the
+// searched-volume fraction and the max_cubes budget. The search stops at
+// the first hit, at 1 - epsilon coverage, or when the plan is exhausted —
+// identical semantics (results and stats) to the original monolithic query.
 //
 // Key width: the plan binds to the index's internal width at construction
-// (util/key_traits.h) and keeps its run frontier, probe cursor and range
-// arithmetic at that width — on a d*k <= 64 universe every endpoint the hot
-// loop sorts, merges and compares is one machine word. The Lemma 3.5 level
-// counts stay u512 (they count cells, up to 2^(d*k), and are touched only
-// once per level). Results are identical at every width.
+// (util/key_traits.h) and keeps its level enumeration, run frontier, probe
+// cursor and range arithmetic at that width end to end — on a d*k <= 64
+// universe every endpoint the hot loop derives, sorts, merges and compares
+// is one machine word. The Lemma 3.5 level counts stay u512 (they count
+// cells, up to 2^(d*k), and are touched only once per level). Results are
+// identical at every width.
 //
 // Scratch-buffer contract: a plan owns every buffer the search needs (the
 // per-level cube counts, the run frontier of the current level, and the

@@ -40,22 +40,6 @@ K basic_curve<K>::cell_key(const point& p) const {
 }
 
 template <class K>
-std::uint64_t basic_curve<K>::child_rank(const standard_cube& parent, const K& parent_prefix,
-                                         const curve_state& state,
-                                         std::uint32_t child_mask) const {
-  (void)parent_prefix;
-  (void)state;
-  const int child_bits = parent.side_bits() - 1;
-  const auto half = static_cast<std::uint32_t>(std::uint64_t{1} << child_bits);
-  point corner = parent.corner();
-  for (int j = 0; j < corner.dims(); ++j)
-    if ((child_mask >> j) & 1U) corner[j] += half;
-  const int d = space().dims();
-  const std::uint64_t rank_mask = (d < 64 ? (std::uint64_t{1} << d) : 0) - 1;
-  return traits::low64(cube_prefix(standard_cube(corner, child_bits))) & rank_mask;
-}
-
-template <class K>
 void basic_curve<K>::descend_state(const curve_state& parent, std::uint32_t child_mask,
                                    curve_state& child) const {
   (void)child_mask;

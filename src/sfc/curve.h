@@ -81,27 +81,29 @@ class basic_curve {
   // mismatched dimensions.
   [[nodiscard]] virtual K cube_prefix(const standard_cube& c) const = 0;
 
-  // --- descent-state API (drives cube_stream) -------------------------------
+  // --- descent-state API (drives cube_stream and the level-range
+  // enumerator of extremal_decomposition.h) --------------------------------
   //
-  // The stream walks the partition tree top-down keeping, per frame, the
+  // Both walks descend the partition tree top-down keeping, per frame, the
   // node's key prefix and its curve_state. For each child (identified by
   // `child_mask`: bit j set = upper half in dimension j) the curve reports
   // the child's key rank among its 2^d siblings — the low d bits of
   // cube_prefix(child), so child prefix == parent_prefix * 2^d + rank — and,
-  // when the walk descends, the child's state.
+  // when the walk descends, the child's state. The rank is a pure function
+  // of (parent_prefix, state, child_mask): no coordinates are involved,
+  // which is what lets the query planner stay corner-free.
 
   // State of the root cube (the whole universe). Default: identity.
   virtual void init_state(curve_state& s) const;
 
-  // The key rank of the child of `parent` selected by `child_mask`.
-  // `parent_prefix` must equal cube_prefix(parent) and `state` must be the
-  // parent's descent state; `parent` must have side_bits >= 1. The default
-  // builds the child cube and takes cube_prefix; Z, Gray and Hilbert all
-  // override with O(d) bit logic.
-  [[nodiscard]] virtual std::uint64_t child_rank(const standard_cube& parent,
-                                                 const K& parent_prefix,
+  // The key rank of the child selected by `child_mask`. `parent_prefix`
+  // must equal cube_prefix(parent) and `state` must be the parent's descent
+  // state (Z and Gray ignore it: Z ranks from the mask alone, Gray from the
+  // prefix's parity). All built-in curves implement this with O(d) bit
+  // logic.
+  [[nodiscard]] virtual std::uint64_t child_rank(const K& parent_prefix,
                                                  const curve_state& state,
-                                                 std::uint32_t child_mask) const;
+                                                 std::uint32_t child_mask) const = 0;
 
   // Descent state of the child selected by `child_mask`. Default: copy the
   // parent's state (correct for curves that ignore it).

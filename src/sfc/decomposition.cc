@@ -185,15 +185,13 @@ void basic_cube_stream<K>::expand(frame& f) {
   // low d bits of cube_prefix order them on the curve. child_rank derives
   // them in O(d) from the parent's prefix and descent state on every
   // built-in curve (Hilbert reads the frame's orientation state).
-  const standard_cube parent(f.corner, f.side_bits);
   const std::uint64_t combos = std::uint64_t{1} << nboth;
   for (std::uint64_t m = 0; m < combos; ++m) {
     std::uint32_t mask = forced;
     for (int b = 0; b < nboth; ++b)
       if ((m >> b) & 1U) mask |= std::uint32_t{1} << both[static_cast<std::size_t>(b)];
     const bool contained = ((lo_in & ~mask) | (hi_in & mask) | ~dmask) == ~std::uint32_t{0};
-    f.children.push_back(
-        {curve_->child_rank(parent, f.prefix, f.state, mask), mask, contained});
+    f.children.push_back({curve_->child_rank(f.prefix, f.state, mask), mask, contained});
   }
   if (f.children.size() > 1)
     std::sort(f.children.begin(), f.children.end(),

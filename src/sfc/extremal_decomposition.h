@@ -9,6 +9,29 @@
 // descending volume order (the search order of the Section 5 algorithm) and
 // lets benches compute cube counts in closed form without enumeration.
 //
+// Corner-free architecture: the enumerator keeps the Equation-1 corner as a
+// set of *bit planes* — one d-bit child-selection mask per tree level — and
+// walks Algorithms 1-3 by toggling individual plane bits (a chosen-bit move
+// or a free-bit flip is one XOR). Two emitters consume the planes:
+//
+//   * enumerate_level_ranges(curve, r, i, visit) — the query hot path. A
+//     per-level (prefix, curve_state) stack is maintained through the
+//     curve's child_rank/descend_state API, and only the levels below the
+//     highest toggled bit are recomputed between cubes (a dirty watermark),
+//     so successive cubes cost O(d) amortized at the curve's key width.
+//     Each cube is emitted directly as its Fact 2.1 key interval
+//     basic_key_range<K>: no standard_cube, no corner coordinate arrays, no
+//     wide-integer cube_prefix recomputation. This is what keeps
+//     query_plan's per-query instruction count proportional to runs probed.
+//
+//   * enumerate_level_cubes(u, r, i, visit) — the curve-independent
+//     standard_cube view over the same walk (tests, benches, closed-form
+//     cross-checks). Both emitters visit cubes in the identical Algorithm
+//     1-3 order: pinned dimension ascending, chosen-bit vectors P in
+//     lexicographic order (dimension-major, bits descending), then free-bit
+//     combinations in counting order (dimension-major, positions ascending,
+//     least significant fastest).
+//
 // Enumeration is push-style with a template visitor (no std::function, no
 // heap allocation: the enumerator's scratch is fixed-size). A visitor
 // returning bool can stop a level cleanly by returning false — that is how
@@ -16,17 +39,22 @@
 // without exception-based control flow.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "geometry/extremal.h"
 #include "geometry/universe.h"
+#include "sfc/curve.h"
 #include "sfc/decomposition.h"
+#include "sfc/key_range.h"
 #include "util/bitops.h"
 #include "util/check.h"
+#include "util/key_traits.h"
 #include "util/wideint.h"
 
 namespace subcover {
@@ -49,13 +77,25 @@ u512 extremal_cube_count(const universe& u, const extremal_rect& r);
 
 namespace detail {
 
-// Implements Algorithms 1-3 (Appendix A) for one level i.
-template <class Visitor>
-class level_enumerator {
+// Implements Algorithms 1-3 (Appendix A) for one level i over the bit-plane
+// representation of Equation 1. The Emitter is any callable taking a
+// `const level_walk&` and returning bool ("continue?"); it reads the walk's
+// planes (child masks per tree level), per-dimension corner bits, and the
+// dirty watermark — the highest tree level whose plane changed since the
+// previous emission.
+template <class Emitter>
+class level_walk {
  public:
-  level_enumerator(const universe& u, const extremal_rect& r, int i, Visitor& visit,
-                   std::uint64_t max_cubes)
-      : u_(u), r_(r), i_(i), visit_(visit), max_cubes_(max_cubes) {}
+  level_walk(const universe& u, const extremal_rect& r, int i, Emitter& emit,
+             std::uint64_t max_cubes)
+      : u_(u),
+        r_(r),
+        i_(i),
+        emit_(emit),
+        max_cubes_(max_cubes),
+        window_((u.bits() < 64 ? (std::uint64_t{1} << u.bits()) : 0) -
+                (std::uint64_t{1} << i)),
+        dirty_(u.bits() - 1) {}
 
   void run() {
     // Algorithm 1: each rectangle of D_i has exactly one lowest-index
@@ -68,11 +108,58 @@ class level_enumerator {
     }
   }
 
+  // --- state read by emitters ----------------------------------------------
+  // planes()[y] for y in [i, k): bit x = corner bit y of dimension x — the
+  // child-selection mask of the descent step producing side-2^y nodes.
+  [[nodiscard]] const std::uint32_t* planes() const { return planes_.data(); }
+  // Corner coordinate of dimension x (bits below i are zero by alignment).
+  [[nodiscard]] std::uint64_t corner_bits(int x) const {
+    return corner_[static_cast<std::size_t>(x)];
+  }
+  // Highest tree level whose plane changed since the last emission (k - 1 on
+  // the first emission: everything must be computed).
+  [[nodiscard]] int dirty() const { return dirty_; }
+  [[nodiscard]] int level() const { return i_; }
+
  private:
   // Upper bound on free bit positions across all dimensions: at most k + 1
   // chosen-bit positions per side length, kMaxDims side lengths.
   static constexpr std::size_t kMaxFreeBits =
       static_cast<std::size_t>(kMaxDims) * (kMaxBitsPerDim + 1);
+
+  void toggle(int x, int y) {
+    planes_[static_cast<std::size_t>(y)] ^= std::uint32_t{1} << x;
+    corner_[static_cast<std::size_t>(x)] ^= std::uint64_t{1} << y;
+    if (y > dirty_) dirty_ = y;
+  }
+
+  // Rewrites dimension x's corner bits to `target` (bits within the [i, k)
+  // window), toggling exactly the planes that differ.
+  void set_dim(int x, std::uint64_t target) {
+    std::uint64_t diff = corner_[static_cast<std::size_t>(x)] ^ target;
+    if (diff == 0) return;
+    const int top = bit_length(diff) - 1;
+    if (top > dirty_) dirty_ = top;
+    corner_[static_cast<std::size_t>(x)] = target;
+    const std::uint32_t bit = std::uint32_t{1} << x;
+    do {
+      planes_[static_cast<std::size_t>(trailing_zeros(diff))] ^= bit;
+      diff &= diff - 1;
+    } while (diff != 0);
+  }
+
+  // Equation 1 base corner of dimension x with chosen bit P_x == j: bits
+  // above j are the complement of the side length, bit j is 1, free bits
+  // [i, j) start at 0. When l_x == 2^k the chosen bit j == k lies outside
+  // the k-bit coordinate; the window mask drops it.
+  [[nodiscard]] std::uint64_t base_for(std::uint64_t len, int j) const {
+    return (keep_bits_from(~len, j + 1) | (std::uint64_t{1} << j)) & window_;
+  }
+
+  void choose(int t, int j) {
+    p_[static_cast<std::size_t>(t)] = j;
+    set_dim(t, base_for(r_.length(t), j));
+  }
 
   // Algorithm 3 (EnumRectangles): choose a set bit P_t of l_t per dimension.
   // Dimensions before the pinned one must choose bits > i (uniqueness);
@@ -84,7 +171,7 @@ class level_enumerator {
       return;
     }
     if (t == pin_) {
-      p_[static_cast<std::size_t>(t)] = i_;
+      choose(t, i_);
       enum_rectangles(t + 1);
       return;
     }
@@ -92,68 +179,160 @@ class level_enumerator {
     const int lowest = t < pin_ ? i_ + 1 : i_;
     for (int j = bit_length(len) - 1; j >= lowest && !stopped_; --j) {
       if (bit_at(len, j)) {
-        p_[static_cast<std::size_t>(t)] = j;
+        choose(t, j);
         enum_rectangles(t + 1);
       }
     }
   }
 
-  // Algorithm 2 (CompKeys) via Equation 1: inside the rectangle indexed by P,
-  // cube corner coordinates have, per dimension x (writing l = l_x, P = P_x):
-  //   bits y in (P, k-1]  : complement of l's bit y
-  //   bit  y == P         : 1
-  //   bits y in [i, P)    : free (enumerate both values)
-  //   bits y in [0, i)    : 0 (corner alignment of a side-2^i cube)
-  // When l_x == 2^k the chosen bit is P == k, which lies outside the k-bit
-  // coordinate; building in 64 bits and masking to k bits handles it.
+  // Algorithm 2 (CompKeys) via Equation 1: enumerate the free-bit
+  // combinations of the rectangle indexed by P in counting order, toggling
+  // only the planes of the bits that changed between consecutive masks.
   void comp_keys() {
-    const int d = u_.dims();
-    const std::uint64_t coord_mask = u_.side() - 1;
-    std::array<std::uint64_t, kMaxDims> base{};
     std::size_t nfree = 0;
-    for (int x = 0; x < d; ++x) {
-      const std::uint64_t len = r_.length(x);
+    for (int x = 0; x < u_.dims(); ++x) {
       const int px = p_[static_cast<std::size_t>(x)];
-      std::uint64_t c = ~len;  // bits above px will be kept from here
-      c = keep_bits_from(c, px + 1);
-      c |= std::uint64_t{1} << px;
-      base[static_cast<std::size_t>(x)] = c & coord_mask;
       for (int y = i_; y < px; ++y) free_bits_[nfree++] = {x, y};
     }
     // A rectangle holds 2^nfree cubes; saturate the counter for nfree >= 64 —
-    // the per-call cube budget below stops enumeration long before overflow.
+    // the per-call cube budget stops enumeration long before overflow.
     const std::uint64_t combos =
         nfree >= 64 ? ~std::uint64_t{0} : std::uint64_t{1} << nfree;
-    for (std::uint64_t mask = 0; mask < combos; ++mask) {
-      std::array<std::uint64_t, kMaxDims> c = base;
-      for (std::size_t b = 0; b < nfree; ++b) {
-        if ((mask >> b) & 1U) {
-          const auto [dim, pos] = free_bits_[b];
-          c[static_cast<std::size_t>(dim)] |= std::uint64_t{1} << pos;
-        }
-      }
-      point corner(d);
-      for (int x = 0; x < d; ++x)
-        corner[x] = static_cast<std::uint32_t>(c[static_cast<std::size_t>(x)]);
+    for (std::uint64_t mask = 0;;) {
       if (++emitted_ > max_cubes_)
         throw std::length_error("enumerate_level_cubes: cube budget exceeded");
-      if (!visit_cube(visit_, standard_cube(corner, i_))) {
+      const bool go = emit_(*this);
+      dirty_ = i_ - 1;  // nothing changed since this emission (yet)
+      if (!go) {
         stopped_ = true;
         return;
       }
+      if (++mask == combos) break;
+      // Counting step mask-1 -> mask flips a trailing block of free bits.
+      std::uint64_t changed = mask ^ (mask - 1);
+      do {
+        const auto [x, y] = free_bits_[static_cast<std::size_t>(trailing_zeros(changed))];
+        toggle(x, y);
+        changed &= changed - 1;
+      } while (changed != 0);
     }
+    // The loop ends with every free bit set; clear them so the next
+    // rectangle's chosen-bit moves diff against the Equation-1 base.
+    for (std::size_t b = 0; b < nfree; ++b) toggle(free_bits_[b].first, free_bits_[b].second);
   }
 
   const universe& u_;
   const extremal_rect& r_;
   const int i_;
-  Visitor& visit_;
+  Emitter& emit_;
   const std::uint64_t max_cubes_;
+  const std::uint64_t window_;  // coordinate bits in [i, k)
   int pin_ = 0;
+  int dirty_;
   bool stopped_ = false;
-  std::array<int, kMaxDims> p_{};
-  std::array<std::pair<int, int>, kMaxFreeBits> free_bits_{};
   std::uint64_t emitted_ = 0;
+  std::array<std::uint32_t, kMaxBitsPerDim> planes_{};
+  std::array<std::uint64_t, kMaxDims> corner_{};
+  std::array<int, kMaxDims> p_{};
+  // Free bits of the current rectangle, dimension-major, positions
+  // ascending. Deliberately not value-initialized: only the first `nfree`
+  // slots of a comp_keys pass are ever read, and zeroing ~8 KiB per level
+  // would dominate small levels.
+  std::array<std::pair<int, int>, kMaxFreeBits> free_bits_;
+};
+
+// Turns the bit planes into Equation-1 key intervals at the curve's width.
+// Keeps one (prefix, state) pair per tree level and recomputes only levels
+// at or below the walk's dirty watermark, so a free-bit flip near the
+// bottom of the tree costs O(d) — no corner arrays, no cube_prefix.
+//
+// An emitter is reusable across walks (set_level rebinds it): every fresh
+// level_walk starts with its watermark at k-1, which forces a full prefix
+// recomputation on the first emission, so stale per-level caches are never
+// read. query_plan exploits this to construct one emitter per query rather
+// than one per level (the state stack's initialization is not free).
+template <class K, class Visitor>
+class range_emitter {
+ public:
+  range_emitter(const basic_curve<K>& c, int i, Visitor& visit)
+      : curve_(&c),
+        visit_(visit),
+        i_(i),
+        k_(c.space().bits()),
+        d_(c.space().dims()),
+        // Z derives child ranks from the selection mask alone and Gray from
+        // the parent prefix's parity, so only those two skip the per-level
+        // state stack. curve_kind is a closed enum every basic_curve must
+        // report, so an unlisted (future) curve defaults to the safe side:
+        // state is threaded (correct for any curve, merely slower).
+        track_state_(c.kind() != curve_kind::z_order && c.kind() != curve_kind::gray_code) {
+    c.init_state(root_state_);
+    if (track_state_ && k_ > 0) state_[static_cast<std::size_t>(k_ - 1)] = root_state_;
+  }
+
+  // Retargets the emitter at another level of the same region family.
+  void set_level(int i) { i_ = i; }
+
+  template <class Walk>
+  bool operator()(const Walk& w) {
+    const std::uint32_t* planes = w.planes();
+    for (int y = std::min(w.dirty(), k_ - 1); y >= i_; --y) {
+      const std::size_t yi = static_cast<std::size_t>(y);
+      const curve_state& st = track_state_ ? state_[yi] : root_state_;
+      const K above = y == k_ - 1 ? key_traits<K>::zero() : prefix_[yi + 1];
+      const std::uint64_t rank = curve_->child_rank(above, st, planes[yi]);
+      prefix_[yi] = (above << d_) | K(rank);
+      if (track_state_ && y > i_) curve_->descend_state(st, planes[yi], state_[yi - 1]);
+    }
+    basic_key_range<K> out;
+    if (i_ >= k_) {  // the whole-universe cube: empty prefix
+      out.lo = key_traits<K>::zero();
+      out.hi = key_traits<K>::mask(d_ * k_);
+    } else {
+      const int shift = d_ * i_;
+      out.lo = prefix_[static_cast<std::size_t>(i_)] << shift;
+      out.hi = out.lo | key_traits<K>::mask(shift);
+    }
+    if constexpr (std::is_convertible_v<decltype(visit_(out)), bool>) {
+      return static_cast<bool>(visit_(out));
+    } else {
+      visit_(out);
+      return true;
+    }
+  }
+
+ private:
+  const basic_curve<K>* curve_;
+  Visitor& visit_;
+  int i_;
+  const int k_;
+  const int d_;
+  const bool track_state_;
+  curve_state root_state_;
+  // state_[y]: descent state entering tree level y (valid above the dirty
+  // watermark); prefix_[y]: cube prefix including level y's digits.
+  std::array<curve_state, kMaxBitsPerDim> state_;
+  std::array<K, kMaxBitsPerDim> prefix_;
+};
+
+// The curve-independent standard_cube view over the walk, for callers that
+// want coordinates (tests, benches, cross-checks against the closed forms).
+template <class Visitor>
+class cube_emitter {
+ public:
+  cube_emitter(int dims, int i, Visitor& visit) : d_(dims), i_(i), visit_(visit) {}
+
+  template <class Walk>
+  bool operator()(const Walk& w) {
+    point corner(d_);
+    for (int x = 0; x < d_; ++x) corner[x] = static_cast<std::uint32_t>(w.corner_bits(x));
+    return visit_cube(visit_, standard_cube(corner, i_));
+  }
+
+ private:
+  const int d_;
+  const int i_;
+  Visitor& visit_;
 };
 
 }  // namespace detail
@@ -172,7 +351,26 @@ void enumerate_level_cubes(const universe& u, const extremal_rect& r, int i, Vis
   SUBCOVER_CHECK(i >= 0 && i <= u.bits(), "enumerate_level_cubes: level out of range");
   if (!level_occupied(r, i)) return;
   auto& v = visit;
-  detail::level_enumerator<std::remove_reference_t<Visitor>>(u, r, i, v, max_cubes).run();
+  detail::cube_emitter<std::remove_reference_t<Visitor>> emit(u.dims(), i, v);
+  detail::level_walk<decltype(emit)>(u, r, i, emit, max_cubes).run();
+}
+
+// Corner-free enumeration of the same cubes, in the same order, as their
+// Fact 2.1 key intervals on `curve` — the query planner's hot path. `visit`
+// is any callable taking `const basic_key_range<K>&`; returning false (for
+// bool-returning visitors) stops the enumeration early.
+// Throws std::length_error if the level holds more than `max_cubes` cubes.
+template <class K, class Visitor>
+void enumerate_level_ranges(const basic_curve<K>& curve, const extremal_rect& r, int i,
+                            Visitor&& visit,
+                            std::uint64_t max_cubes = std::uint64_t{1} << 32) {
+  SUBCOVER_CHECK(r.dims() == curve.space().dims(), "enumerate_level_ranges: dims mismatch");
+  SUBCOVER_CHECK(i >= 0 && i <= curve.space().bits(),
+                 "enumerate_level_ranges: level out of range");
+  if (!level_occupied(r, i)) return;
+  auto& v = visit;
+  detail::range_emitter<K, std::remove_reference_t<Visitor>> emit(curve, i, v);
+  detail::level_walk<decltype(emit)>(curve.space(), r, i, emit, max_cubes).run();
 }
 
 // Enumerates all cubes of the minimal partition in descending cube size

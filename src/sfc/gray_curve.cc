@@ -18,10 +18,8 @@ K basic_gray_curve<K>::cube_prefix(const standard_cube& c) const {
 }
 
 template <class K>
-std::uint64_t basic_gray_curve<K>::child_rank(const standard_cube& parent,
-                                              const K& parent_prefix, const curve_state& state,
+std::uint64_t basic_gray_curve<K>::child_rank(const K& parent_prefix, const curve_state& state,
                                               std::uint32_t child_mask) const {
-  (void)parent;
   (void)state;
   const int d = this->space().dims();
   const std::uint64_t rank_mask = (d < 64 ? (std::uint64_t{1} << d) : 0) - 1;

@@ -38,8 +38,7 @@ class basic_gray_curve final : public basic_curve<K> {
   // decode of its interleaved selection bits, flipped when the parent's
   // interleaved word has odd parity — and that parity is exactly the low bit
   // of the parent's (decoded) prefix.
-  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const K& parent_prefix,
-                                         const curve_state& state,
+  [[nodiscard]] std::uint64_t child_rank(const K& parent_prefix, const curve_state& state,
                                          std::uint32_t child_mask) const override;
 };
 

@@ -120,11 +120,9 @@ std::uint32_t basic_hilbert_curve<K>::transposed_digits(const curve_state& state
 }
 
 template <class K>
-std::uint64_t basic_hilbert_curve<K>::child_rank(const standard_cube& parent,
-                                                 const K& parent_prefix,
+std::uint64_t basic_hilbert_curve<K>::child_rank(const K& parent_prefix,
                                                  const curve_state& state,
                                                  std::uint32_t child_mask) const {
-  (void)parent;
   (void)parent_prefix;
   const int d = this->space().dims();
   const std::uint32_t m = (d < 32 ? (std::uint32_t{1} << d) : 0) - 1;

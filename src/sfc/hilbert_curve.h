@@ -34,8 +34,7 @@ class basic_hilbert_curve final : public basic_curve<K> {
   [[nodiscard]] K cube_prefix(const standard_cube& c) const override;
   [[nodiscard]] point cell_from_key(const K& key) const override;
   // O(d) via the descent state (see file comment).
-  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const K& parent_prefix,
-                                         const curve_state& state,
+  [[nodiscard]] std::uint64_t child_rank(const K& parent_prefix, const curve_state& state,
                                          std::uint32_t child_mask) const override;
   void descend_state(const curve_state& parent, std::uint32_t child_mask,
                      curve_state& child) const override;

@@ -18,10 +18,8 @@ K basic_z_curve<K>::cube_prefix(const standard_cube& c) const {
 }
 
 template <class K>
-std::uint64_t basic_z_curve<K>::child_rank(const standard_cube& parent, const K& parent_prefix,
-                                           const curve_state& state,
+std::uint64_t basic_z_curve<K>::child_rank(const K& parent_prefix, const curve_state& state,
                                            std::uint32_t child_mask) const {
-  (void)parent;
   (void)parent_prefix;
   (void)state;
   const int d = this->space().dims();

@@ -20,8 +20,7 @@ class basic_z_curve final : public basic_curve<K> {
   [[nodiscard]] point cell_from_key(const K& key) const override;
   // O(d), stateless: the rank is the child-selection mask with dimension 0
   // moved to the most significant bit (the interleaving convention above).
-  [[nodiscard]] std::uint64_t child_rank(const standard_cube& parent, const K& parent_prefix,
-                                         const curve_state& state,
+  [[nodiscard]] std::uint64_t child_rank(const K& parent_prefix, const curve_state& state,
                                          std::uint32_t child_mask) const override;
 };
 

@@ -1,19 +1,34 @@
 #include "sfcarray/skiplist_array.h"
 
+#include <new>
 #include <stdexcept>
 
 namespace subcover {
 
 template <class K>
+auto basic_skiplist_array<K>::make_node(const entry& e, int level) -> node* {
+  void* mem = ::operator new(sizeof(node) + static_cast<std::size_t>(level) * sizeof(node*));
+  node* n = new (mem) node{e, level};
+  for (int i = 0; i < level; ++i) n->link(i) = nullptr;
+  return n;
+}
+
+template <class K>
+void basic_skiplist_array<K>::free_node(node* n) {
+  n->~node();
+  ::operator delete(n);
+}
+
+template <class K>
 basic_skiplist_array<K>::basic_skiplist_array(std::uint64_t seed)
-    : head_(new node(entry{}, kMaxLevel)), rng_(seed) {}
+    : head_(make_node(entry{}, kMaxLevel)), rng_(seed) {}
 
 template <class K>
 basic_skiplist_array<K>::~basic_skiplist_array() {
   node* n = head_;
   while (n != nullptr) {
-    node* next = n->next[0];
-    delete n;
+    node* next = n->link(0);
+    free_node(n);
     n = next;
   }
 }
@@ -32,13 +47,12 @@ auto basic_skiplist_array<K>::find_geq(const K& key, std::uint64_t id,
   const entry target{key, id};
   node* cur = head_;
   for (int lvl = level_ - 1; lvl >= 0; --lvl) {
-    while (cur->next[static_cast<std::size_t>(lvl)] != nullptr &&
-           entry_less(cur->next[static_cast<std::size_t>(lvl)]->e, target)) {
-      cur = cur->next[static_cast<std::size_t>(lvl)];
+    while (cur->link(lvl) != nullptr && entry_less(cur->link(lvl)->e, target)) {
+      cur = cur->link(lvl);
     }
     if (update != nullptr) (*update)[static_cast<std::size_t>(lvl)] = cur;
   }
-  return cur->next[0];
+  return cur->link(0);
 }
 
 template <class K>
@@ -48,11 +62,11 @@ void basic_skiplist_array<K>::insert(const K& key, std::uint64_t id) {
   find_geq(key, id, &update);
   const int lvl = random_level();
   if (lvl > level_) level_ = lvl;
-  node* n = new node(entry{key, id}, lvl);
+  node* n = make_node(entry{key, id}, lvl);
   for (int i = 0; i < lvl; ++i) {
     node* prev = update[static_cast<std::size_t>(i)];
-    n->next[static_cast<std::size_t>(i)] = prev->next[static_cast<std::size_t>(i)];
-    prev->next[static_cast<std::size_t>(i)] = n;
+    n->link(i) = prev->link(i);
+    prev->link(i) = n;
   }
   ++size_;
 }
@@ -63,13 +77,12 @@ bool basic_skiplist_array<K>::erase(const K& key, std::uint64_t id) {
   for (int i = 0; i < kMaxLevel; ++i) update[static_cast<std::size_t>(i)] = head_;
   node* hit = find_geq(key, id, &update);
   if (hit == nullptr || hit->e.key != key || hit->e.id != id) return false;
-  for (int i = 0; i < static_cast<int>(hit->next.size()); ++i) {
+  for (int i = 0; i < hit->level; ++i) {
     node* prev = update[static_cast<std::size_t>(i)];
-    if (prev->next[static_cast<std::size_t>(i)] == hit)
-      prev->next[static_cast<std::size_t>(i)] = hit->next[static_cast<std::size_t>(i)];
+    if (prev->link(i) == hit) prev->link(i) = hit->link(i);
   }
-  delete hit;
-  while (level_ > 1 && head_->next[static_cast<std::size_t>(level_ - 1)] == nullptr) --level_;
+  free_node(hit);
+  while (level_ > 1 && head_->link(level_ - 1) == nullptr) --level_;
   --size_;
   return true;
 }
@@ -85,7 +98,7 @@ template <class K>
 std::uint64_t basic_skiplist_array<K>::count_in(const range_type& r) const {
   std::uint64_t count = 0;
   for (const node* n = find_geq(r.lo, 0, nullptr); n != nullptr && n->e.key <= r.hi;
-       n = n->next[0])
+       n = n->link(0))
     ++count;
   return count;
 }
@@ -97,26 +110,26 @@ std::size_t basic_skiplist_array<K>::size() const {
 
 template <class K>
 void basic_skiplist_array<K>::for_each(const std::function<void(const entry&)>& fn) const {
-  for (const node* n = head_->next[0]; n != nullptr; n = n->next[0]) fn(n->e);
+  for (const node* n = head_->link(0); n != nullptr; n = n->link(0)) fn(n->e);
 }
 
 template <class K>
 void basic_skiplist_array<K>::check_invariants() const {
   // Level 0 holds every entry in (key, id) order.
   std::size_t counted = 0;
-  for (const node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+  for (const node* n = head_->link(0); n != nullptr; n = n->link(0)) {
     ++counted;
-    if (n->next[0] != nullptr && !entry_less(n->e, n->next[0]->e) && n->e != n->next[0]->e)
+    if (n->level < 1 || n->level > kMaxLevel)
+      throw std::logic_error("skiplist: node level out of range");
+    if (n->link(0) != nullptr && !entry_less(n->e, n->link(0)->e) && n->e != n->link(0)->e)
       throw std::logic_error("skiplist: level-0 ordering violated");
   }
   if (counted != size_) throw std::logic_error("skiplist: size mismatch");
   // Every higher level is a sorted sublist of level 0.
   for (int lvl = 1; lvl < level_; ++lvl) {
     const node* prev = nullptr;
-    for (const node* n = head_->next[static_cast<std::size_t>(lvl)]; n != nullptr;
-         n = n->next[static_cast<std::size_t>(lvl)]) {
-      if (static_cast<int>(n->next.size()) <= lvl)
-        throw std::logic_error("skiplist: node present above its level");
+    for (const node* n = head_->link(lvl); n != nullptr; n = n->link(lvl)) {
+      if (n->level <= lvl) throw std::logic_error("skiplist: node present above its level");
       // Exact-duplicate (key, id) entries are permitted, so only a strict
       // inversion is a violation.
       if (prev != nullptr && entry_less(n->e, prev->e))

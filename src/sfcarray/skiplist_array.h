@@ -5,11 +5,17 @@
 // probability 1/4 per promotion from a deterministic internal RNG, so runs
 // are reproducible. The node store is owned exclusively by the list; raw
 // `node*` links never escape the class.
+//
+// Node layout: the per-level forward links live in a flexible array placed
+// directly after the node header in a single allocation, instead of a
+// per-node std::vector. A probe descent therefore touches one cache line
+// per node at the common low levels (entry and links are contiguous) and
+// every node costs exactly one allocation — the dominant constant-factor
+// win for narrow keys, where the entry itself is one or two words.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
 #include "sfcarray/sfc_array.h"
 #include "util/random.h"
@@ -40,11 +46,27 @@ class basic_skiplist_array final : public basic_sfc_array<K> {
  private:
   static constexpr int kMaxLevel = 32;
 
+  // Header of a node; the `level` forward links follow immediately in the
+  // same allocation (see make_node / links()).
   struct node {
     entry e;
-    std::vector<node*> next;  // size == node level
-    node(entry en, int level) : e(en), next(static_cast<std::size_t>(level), nullptr) {}
+    int level;  // number of links stored after the header
+
+    node*& link(int i) { return links()[i]; }
+    node* link(int i) const { return links()[i]; }
+
+   private:
+    node** links() { return reinterpret_cast<node**>(this + 1); }
+    node* const* links() const { return reinterpret_cast<node* const*>(this + 1); }
   };
+  // The links array starts at `this + 1`, so the header size must keep it
+  // pointer-aligned.
+  static_assert(sizeof(node) % alignof(node*) == 0);
+  static_assert(alignof(node) >= alignof(node*));
+
+  // Single-allocation node factory: header + `level` null links.
+  static node* make_node(const entry& e, int level);
+  static void free_node(node* n);
 
   // Strict (key, id) ordering used for positioning.
   static bool entry_less(const entry& a, const entry& b) {

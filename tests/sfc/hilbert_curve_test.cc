@@ -132,7 +132,7 @@ TEST(HilbertCurve, ChildRankClosedFormMatchesCubePrefix) {
           const standard_cube child(corner, child_bits);
           const u512 child_prefix = h.cube_prefix(child);
           const std::uint64_t truth = child_prefix.low64() & rank_mask;
-          ASSERT_EQ(h.child_rank(n.cube, n.prefix, n.state, mask), truth)
+          ASSERT_EQ(h.child_rank(n.prefix, n.state, mask), truth)
               << "d=" << d << " k=" << k << " side=" << n.cube.side_bits()
               << " mask=" << mask;
           // And the child's prefix is derivable from the parent's, which is

@@ -153,8 +153,16 @@ TEST(KeyWidthEquivalence, DominanceQueriesAgreeAcrossWidths) {
         ASSERT_EQ(r128, r512) << "eps=" << eps << " trial=" << trial;
         ASSERT_EQ(st64.cubes_enumerated, st512.cubes_enumerated);
         ASSERT_EQ(st128.cubes_enumerated, st512.cubes_enumerated);
+        ASSERT_EQ(st64.runs_in_plan, st512.runs_in_plan);
+        ASSERT_EQ(st128.runs_in_plan, st512.runs_in_plan);
         ASSERT_EQ(st64.runs_probed, st512.runs_probed);
         ASSERT_EQ(st128.runs_probed, st512.runs_probed);
+        ASSERT_EQ(st64.volume_fraction_planned, st512.volume_fraction_planned);
+        ASSERT_EQ(st128.volume_fraction_planned, st512.volume_fraction_planned);
+        ASSERT_EQ(st64.volume_fraction_searched, st512.volume_fraction_searched);
+        ASSERT_EQ(st128.volume_fraction_searched, st512.volume_fraction_searched);
+        ASSERT_EQ(st64.truncation_m, st512.truncation_m);
+        ASSERT_EQ(st64.budget_exhausted, st512.budget_exhausted);
         ASSERT_EQ(st64.found, st512.found);
       }
     }

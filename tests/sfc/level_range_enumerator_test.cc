@@ -1,0 +1,293 @@
+// Property tests for the corner-free level-range enumerator (the query
+// planner's hot path): enumerate_level_ranges must emit exactly the key
+// intervals of the standard_cube path — same intervals, same order — for
+// all three curves at all three key widths, and both paths must match an
+// independent reference implementation of Equation 1 (the pre-rewrite
+// corner-materializing enumerator, kept here verbatim as ground truth) as
+// well as the Lemma 3.5 closed-form level counts.
+#include "sfc/extremal_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sfc/curve.h"
+#include "util/bitops.h"
+#include "util/key_traits.h"
+#include "util/random.h"
+#include "util/wideint.h"
+
+namespace subcover {
+namespace {
+
+std::array<std::uint64_t, kMaxDims> lengths(std::initializer_list<std::uint64_t> ls) {
+  std::array<std::uint64_t, kMaxDims> a{};
+  std::size_t i = 0;
+  for (const auto l : ls) a[i++] = l;
+  return a;
+}
+
+extremal_rect random_extremal(rng& gen, const universe& u) {
+  std::array<std::uint64_t, kMaxDims> len{};
+  for (int i = 0; i < u.dims(); ++i)
+    len[static_cast<std::size_t>(i)] = gen.uniform(1, u.side());
+  return {u, len};
+}
+
+// Ground truth: the corner-materializing Algorithms 1-3 implementation that
+// the bit-plane walk replaced. Enumeration order is part of the contract
+// (pin ascending, P lexicographic with bits descending, free-bit masks in
+// counting order), so the reference reproduces it exactly.
+class reference_enumerator {
+ public:
+  reference_enumerator(const universe& u, const extremal_rect& r, int i,
+                       std::vector<standard_cube>& out)
+      : u_(u), r_(r), i_(i), out_(out) {}
+
+  void run() {
+    if (!level_occupied(r_, i_)) return;
+    for (int s = 0; s < u_.dims(); ++s) {
+      if (bit_at(r_.length(s), i_)) {
+        pin_ = s;
+        enum_rectangles(0);
+      }
+    }
+  }
+
+ private:
+  void enum_rectangles(int t) {
+    if (t == u_.dims()) {
+      comp_keys();
+      return;
+    }
+    if (t == pin_) {
+      p_[static_cast<std::size_t>(t)] = i_;
+      enum_rectangles(t + 1);
+      return;
+    }
+    const std::uint64_t len = r_.length(t);
+    const int lowest = t < pin_ ? i_ + 1 : i_;
+    for (int j = bit_length(len) - 1; j >= lowest; --j) {
+      if (bit_at(len, j)) {
+        p_[static_cast<std::size_t>(t)] = j;
+        enum_rectangles(t + 1);
+      }
+    }
+  }
+
+  void comp_keys() {
+    const int d = u_.dims();
+    const std::uint64_t coord_mask = u_.side() - 1;
+    std::array<std::uint64_t, kMaxDims> base{};
+    std::vector<std::pair<int, int>> free_bits;
+    for (int x = 0; x < d; ++x) {
+      const std::uint64_t len = r_.length(x);
+      const int px = p_[static_cast<std::size_t>(x)];
+      std::uint64_t c = keep_bits_from(~len, px + 1);
+      c |= std::uint64_t{1} << px;
+      base[static_cast<std::size_t>(x)] = c & coord_mask;
+      for (int y = i_; y < px; ++y) free_bits.emplace_back(x, y);
+    }
+    const std::uint64_t combos = std::uint64_t{1} << free_bits.size();
+    for (std::uint64_t mask = 0; mask < combos; ++mask) {
+      std::array<std::uint64_t, kMaxDims> c = base;
+      for (std::size_t b = 0; b < free_bits.size(); ++b) {
+        if ((mask >> b) & 1U) {
+          const auto [dim, pos] = free_bits[b];
+          c[static_cast<std::size_t>(dim)] |= std::uint64_t{1} << pos;
+        }
+      }
+      point corner(d);
+      for (int x = 0; x < d; ++x)
+        corner[x] = static_cast<std::uint32_t>(c[static_cast<std::size_t>(x)]);
+      out_.emplace_back(corner, i_);
+    }
+  }
+
+  const universe& u_;
+  const extremal_rect& r_;
+  const int i_;
+  std::vector<standard_cube>& out_;
+  int pin_ = 0;
+  std::array<int, kMaxDims> p_{};
+};
+
+std::vector<standard_cube> reference_level_cubes(const universe& u, const extremal_rect& r,
+                                                 int i) {
+  std::vector<standard_cube> out;
+  reference_enumerator(u, r, i, out).run();
+  return out;
+}
+
+// The cube path matches the reference in content *and* order.
+TEST(LevelRangeEnumerator, CubePathMatchesReferenceOrder) {
+  for (const auto& [d, k] : std::vector<std::pair<int, int>>{{1, 6}, {2, 5}, {3, 4}, {4, 3}}) {
+    const universe u(d, k);
+    rng gen(static_cast<std::uint64_t>(d * 1000 + k));
+    for (int trial = 0; trial < 15; ++trial) {
+      const auto r = random_extremal(gen, u);
+      for (int i = 0; i <= u.bits(); ++i) {
+        const auto expected = reference_level_cubes(u, r, i);
+        std::vector<standard_cube> got;
+        enumerate_level_cubes(u, r, i, [&](const standard_cube& c) { got.push_back(c); });
+        ASSERT_EQ(got.size(), expected.size()) << r.to_string() << " level " << i;
+        for (std::size_t n = 0; n < got.size(); ++n)
+          ASSERT_EQ(got[n], expected[n])
+              << r.to_string() << " level " << i << " position " << n;
+      }
+    }
+  }
+}
+
+template <class K>
+void expect_ranges_match_cubes(curve_kind kind, const universe& u, std::uint64_t seed) {
+  SCOPED_TRACE(testing::Message() << curve_kind_name(kind) << " d=" << u.dims()
+                                  << " k=" << u.bits() << " bits=" << key_traits<K>::kBits);
+  const auto curve = make_basic_curve<K>(kind, u);
+  rng gen(seed);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto r = random_extremal(gen, u);
+    const auto counts = extremal_level_counts(u, r);
+    for (int i = 0; i <= u.bits(); ++i) {
+      std::vector<basic_key_range<K>> via_cubes;
+      enumerate_level_cubes(u, r, i, [&](const standard_cube& c) {
+        via_cubes.push_back(curve->cube_range(c));
+      });
+      std::vector<basic_key_range<K>> via_ranges;
+      enumerate_level_ranges(*curve, r, i,
+                             [&](const basic_key_range<K>& kr) { via_ranges.push_back(kr); });
+      // Same per-level count as the Lemma 3.5 closed form.
+      ASSERT_EQ(u512(via_ranges.size()), counts[static_cast<std::size_t>(i)])
+          << r.to_string() << " level " << i;
+      // Same intervals in the same order as the standard_cube path.
+      ASSERT_EQ(via_ranges.size(), via_cubes.size()) << r.to_string() << " level " << i;
+      for (std::size_t n = 0; n < via_ranges.size(); ++n)
+        ASSERT_EQ(via_ranges[n], via_cubes[n])
+            << r.to_string() << " level " << i << " position " << n << ": "
+            << via_ranges[n].to_string() << " vs " << via_cubes[n].to_string();
+    }
+  }
+}
+
+TEST(LevelRangeEnumerator, RangesMatchCubePathAllCurvesAllWidths) {
+  const curve_kind kinds[] = {curve_kind::z_order, curve_kind::hilbert, curve_kind::gray_code};
+  for (const curve_kind kind : kinds) {
+    for (const auto& [d, k] : std::vector<std::pair<int, int>>{{1, 6}, {2, 5}, {3, 4}, {4, 3}}) {
+      const universe u(d, k);
+      expect_ranges_match_cubes<std::uint64_t>(kind, u, 91);
+      expect_ranges_match_cubes<u128>(kind, u, 92);
+      expect_ranges_match_cubes<u512>(kind, u, 93);
+    }
+  }
+}
+
+// Wide universe (d*k > 64): the u128 range path on big coordinates.
+TEST(LevelRangeEnumerator, RangesMatchCubePathWideUniverse) {
+  const universe u(5, 20);  // 100-bit keys
+  const curve_kind kinds[] = {curve_kind::z_order, curve_kind::hilbert, curve_kind::gray_code};
+  for (const curve_kind kind : kinds) {
+    const auto curve = make_basic_curve<u128>(kind, u);
+    rng gen(44);
+    std::array<std::uint64_t, kMaxDims> len{};
+    for (int j = 0; j < u.dims(); ++j) len[static_cast<std::size_t>(j)] = gen.uniform(1, 2000);
+    const extremal_rect r(u, len);
+    for (int i = 0; i <= 11; ++i) {
+      std::vector<basic_key_range<u128>> via_cubes;
+      std::vector<basic_key_range<u128>> via_ranges;
+      // Bound the work: these levels stay small for bounded side lengths.
+      enumerate_level_cubes(
+          u, r, i,
+          [&](const standard_cube& c) {
+            via_cubes.push_back(curve->cube_range(c));
+            return via_cubes.size() < 2000;
+          },
+          1U << 20);
+      enumerate_level_ranges(
+          *curve, r, i,
+          [&](const basic_key_range<u128>& kr) {
+            via_ranges.push_back(kr);
+            return via_ranges.size() < 2000;
+          },
+          1U << 20);
+      ASSERT_EQ(via_ranges.size(), via_cubes.size()) << curve_kind_name(kind) << " i=" << i;
+      for (std::size_t n = 0; n < via_ranges.size(); ++n)
+        ASSERT_EQ(via_ranges[n], via_cubes[n]) << curve_kind_name(kind) << " i=" << i;
+    }
+  }
+}
+
+// Early stop (the query planner's "take exactly `needed`" contract): a
+// bool visitor stopping after n cubes sees exactly the first n of the full
+// enumeration.
+TEST(LevelRangeEnumerator, EarlyStopYieldsPrefix) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({257, 300}));
+  const auto curve = make_basic_curve<std::uint64_t>(curve_kind::hilbert, u);
+  std::vector<basic_key_range<std::uint64_t>> all;
+  enumerate_level_ranges(*curve, r, 0,
+                         [&](const basic_key_range<std::uint64_t>& kr) { all.push_back(kr); });
+  ASSERT_GT(all.size(), 10U);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, all.size() - 1}) {
+    std::vector<basic_key_range<std::uint64_t>> prefix;
+    enumerate_level_ranges(*curve, r, 0, [&](const basic_key_range<std::uint64_t>& kr) {
+      prefix.push_back(kr);
+      return prefix.size() < n;
+    });
+    ASSERT_EQ(prefix.size(), n);
+    for (std::size_t m = 0; m < n; ++m) ASSERT_EQ(prefix[m], all[m]) << "n=" << n;
+  }
+}
+
+TEST(LevelRangeEnumerator, BudgetExceededThrows) {
+  const universe u(2, 9);
+  const extremal_rect r(u, lengths({257, 257}));  // 513 unit cells at level 0
+  const auto curve = make_basic_curve<std::uint64_t>(curve_kind::z_order, u);
+  EXPECT_THROW(enumerate_level_ranges(
+                   *curve, r, 0, [](const basic_key_range<std::uint64_t>&) {},
+                   /*max_cubes=*/100),
+               std::length_error);
+}
+
+// l = 2^k exercises the P_x == k chosen bit outside the coordinate window,
+// including the whole-universe cube at level k (empty prefix, full range).
+TEST(LevelRangeEnumerator, FullUniverseSideLength) {
+  const universe u(2, 4);
+  const auto curve = make_basic_curve<std::uint64_t>(curve_kind::gray_code, u);
+  const extremal_rect full(u, lengths({16, 16}));
+  std::vector<basic_key_range<std::uint64_t>> got;
+  enumerate_level_ranges(*curve, full, 4,
+                         [&](const basic_key_range<std::uint64_t>& kr) { got.push_back(kr); });
+  ASSERT_EQ(got.size(), 1U);
+  EXPECT_EQ(got[0].lo, 0U);
+  EXPECT_EQ(got[0].hi, key_traits<std::uint64_t>::mask(u.key_bits()));
+  // Mixed: one full side, one partial — every level against the cube path.
+  const extremal_rect mixed(u, lengths({16, 5}));
+  for (int i = 0; i <= 4; ++i) {
+    std::vector<basic_key_range<std::uint64_t>> via_cubes;
+    enumerate_level_cubes(u, mixed, i, [&](const standard_cube& c) {
+      via_cubes.push_back(curve->cube_range(c));
+    });
+    std::vector<basic_key_range<std::uint64_t>> via_ranges;
+    enumerate_level_ranges(*curve, mixed, i, [&](const basic_key_range<std::uint64_t>& kr) {
+      via_ranges.push_back(kr);
+    });
+    ASSERT_EQ(via_ranges, via_cubes) << "level " << i;
+  }
+}
+
+// An empty level visits nothing through the range path too.
+TEST(LevelRangeEnumerator, EmptyLevelVisitsNothing) {
+  const universe u(2, 4);
+  const extremal_rect r(u, lengths({0b1010, 0b0100}));
+  const auto curve = make_basic_curve<std::uint64_t>(curve_kind::z_order, u);
+  enumerate_level_ranges(*curve, r, 0, [](const basic_key_range<std::uint64_t>&) {
+    FAIL() << "level 0 must be empty";
+  });
+}
+
+}  // namespace
+}  // namespace subcover
