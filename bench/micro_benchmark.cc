@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -185,12 +186,16 @@ void BM_DominanceQueryWarmPlan(benchmark::State& state) {
   std::uint64_t probes = 0;
   std::uint64_t cubes = 0;
   std::uint64_t runs = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t resumed = 0;
   for (auto _ : state) {
     const point x = random_point(gen, u);
     benchmark::DoNotOptimize(plan.run(x, eps, &st));
     probes += st.runs_probed;
     cubes += st.cubes_enumerated;
     runs += st.runs_in_plan;
+    restarts += st.probes_restarted;
+    resumed += st.probes_resumed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
   state.counters["probes"] =
@@ -199,6 +204,10 @@ void BM_DominanceQueryWarmPlan(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(cubes), benchmark::Counter::kAvgIterations);
   state.counters["runs"] =
       benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kAvgIterations);
+  state.counters["restarts"] =
+      benchmark::Counter(static_cast<double>(restarts), benchmark::Counter::kAvgIterations);
+  state.counters["resumed"] =
+      benchmark::Counter(static_cast<double>(resumed), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_DominanceQueryWarmPlan)->Arg(0)->Arg(1)->Arg(10);
 
@@ -297,19 +306,82 @@ void BM_DominanceQueryWidth(benchmark::State& state) {
   query_stats st;
   std::uint64_t probes = 0;
   std::uint64_t cubes = 0;
+  std::uint64_t restarts = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(plan.run(queries[next], 0.05, &st));
     next = (next + 1) % queries.size();
     probes += st.runs_probed;
     cubes += st.cubes_enumerated;
+    restarts += st.probes_restarted;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
   state.counters["probes"] =
       benchmark::Counter(static_cast<double>(probes), benchmark::Counter::kAvgIterations);
   state.counters["cubes"] =
       benchmark::Counter(static_cast<double>(cubes), benchmark::Counter::kAvgIterations);
+  state.counters["restarts"] =
+      benchmark::Counter(static_cast<double>(restarts), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_DominanceQueryWidth)->Arg(48)->Arg(96)->Arg(256);
+
+// The batched probe primitive in isolation: one probe_frontier sweep over a
+// 64-range sorted frontier vs 64 independent first_in probes, on both
+// backends (arg0: 0 = skiplist, 1 = sorted_vector; arg1: 0 = single-range
+// reference, 1 = batched sweep). 100k u64 entries; the frontier spans a
+// random window of the key space, so most ranges resume a short distance
+// from the previous one — the regime the query plan produces.
+void BM_ProbeFrontier(benchmark::State& state) {
+  const auto kind =
+      state.range(0) == 0 ? sfc_array_kind::skiplist : sfc_array_kind::sorted_vector;
+  const bool batched = state.range(1) != 0;
+  const auto array = make_basic_sfc_array<std::uint64_t>(kind);
+  rng gen(41);
+  for (std::uint64_t i = 0; i < 100'000; ++i) array->insert(gen.next(), i);
+
+  struct counting_sink final : basic_sfc_array<std::uint64_t>::frontier_sink {
+    using entry = basic_sfc_array<std::uint64_t>::entry;
+    std::uint64_t hits = 0;
+    bool on_probe(std::size_t, const entry* hit) override {
+      hits += hit != nullptr ? 1 : 0;
+      return true;
+    }
+  };
+
+  constexpr std::size_t kRanges = 64;
+  std::vector<basic_key_range<std::uint64_t>> frontier;
+  frontier.reserve(kRanges);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    frontier.clear();
+    // A sorted frontier inside a random ~2^57-key window: 64 disjoint
+    // ranges whose gaps mirror a merged query-plan level.
+    std::uint64_t lo = gen.next() >> 7;
+    for (std::size_t i = 0; i < kRanges; ++i) {
+      const std::uint64_t extent = gen.next() >> 14;
+      const std::uint64_t gap = gen.next() >> 14;
+      frontier.push_back({lo, lo + extent});
+      lo += extent + gap + 1;
+    }
+    state.ResumeTiming();
+    if (batched) {
+      counting_sink sink;
+      array->probe_frontier(std::span<const basic_key_range<std::uint64_t>>(frontier), sink);
+      hits += sink.hits;
+    } else {
+      for (const auto& r : frontier) hits += array->first_in(r).has_value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kRanges));
+  state.counters["hits"] =
+      benchmark::Counter(static_cast<double>(hits), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ProbeFrontier)
+    ->ArgPair(0, 0)
+    ->ArgPair(0, 1)
+    ->ArgPair(1, 0)
+    ->ArgPair(1, 1);
 
 void BM_SkiplistInsert(benchmark::State& state) {
   skiplist_array sl;
@@ -359,11 +431,15 @@ void BM_CoveringCheckApprox(benchmark::State& state) {
   std::uint64_t probes = 0;
   std::uint64_t cubes = 0;
   std::uint64_t runs = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t resumed = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(idx.find_covering(gen.next(), eps, &st));
     probes += st.dominance.runs_probed;
     cubes += st.dominance.cubes_enumerated;
     runs += st.dominance.runs_in_plan;
+    restarts += st.dominance.probes_restarted;
+    resumed += st.dominance.probes_resumed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
   state.counters["probes"] =
@@ -372,6 +448,10 @@ void BM_CoveringCheckApprox(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(cubes), benchmark::Counter::kAvgIterations);
   state.counters["runs"] =
       benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kAvgIterations);
+  state.counters["restarts"] =
+      benchmark::Counter(static_cast<double>(restarts), benchmark::Counter::kAvgIterations);
+  state.counters["resumed"] =
+      benchmark::Counter(static_cast<double>(resumed), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_CoveringCheckApprox)->Arg(5)->Arg(20)->Arg(50);
 

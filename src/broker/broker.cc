@@ -49,6 +49,9 @@ bool broker::covered_on_link(int link, const subscription& s, network_metrics& m
   const auto hit = it->second->find_covering(s, options_.epsilon, &check_scratch_);
   ++metrics.covering_checks;
   metrics.covering_check_ns += check_scratch_.elapsed_ns;
+  metrics.covering_runs_probed += check_scratch_.dominance.runs_probed;
+  metrics.covering_probes_restarted += check_scratch_.dominance.probes_restarted;
+  metrics.covering_probes_resumed += check_scratch_.dominance.probes_resumed;
   if (hit.has_value()) ++metrics.covering_hits;
   return hit.has_value();
 }

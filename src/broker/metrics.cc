@@ -9,7 +9,10 @@ std::string network_metrics::to_string() const {
   os << "metrics{sub_msgs=" << subscription_messages << ", unsub_msgs=" << unsubscription_messages
      << ", reforwards=" << reforwards << ", event_msgs=" << event_messages
      << ", deliveries=" << deliveries << ", cov_checks=" << covering_checks
-     << ", cov_hits=" << covering_hits << ", cov_ns=" << covering_check_ns << "}";
+     << ", cov_hits=" << covering_hits << ", cov_ns=" << covering_check_ns
+     << ", cov_runs_probed=" << covering_runs_probed
+     << ", cov_restarted=" << covering_probes_restarted
+     << ", cov_resumed=" << covering_probes_resumed << "}";
   return os.str();
 }
 

@@ -22,6 +22,13 @@ struct network_metrics {
   std::uint64_t covering_checks = 0;
   std::uint64_t covering_hits = 0;
   std::uint64_t covering_check_ns = 0;
+  // Aggregated SFC-array probe work behind those checks (query_stats):
+  // logical runs probed (the paper's cost measure), and how they were
+  // physically executed — fresh descents vs probes resumed inside a batched
+  // frontier sweep. Zero for non-SFC covering indexes.
+  std::uint64_t covering_runs_probed = 0;
+  std::uint64_t covering_probes_restarted = 0;
+  std::uint64_t covering_probes_resumed = 0;
 
   void reset_traffic() {
     event_messages = 0;

@@ -17,6 +17,7 @@ dominance_options to_dominance_options(const sfc_covering_options& o) {
   d.array = o.array;
   d.width = o.width;
   d.merge_runs = o.merge_runs;
+  d.batched_probe = o.batched_probe;
   d.max_cubes = o.max_cubes;
   d.settle_on_budget = o.settle_on_budget;
   return d;

@@ -29,6 +29,10 @@ struct sfc_covering_options {
   // fit 128 bits — see util/key_traits.h).
   key_width width = key_width::automatic;
   bool merge_runs = true;
+  // Batched frontier probing (see dominance_options::batched_probe): answer
+  // each level's run frontier with one resumed probe_frontier sweep instead
+  // of per-run descents. Identical detection results either way.
+  bool batched_probe = true;
   // Covering queries for subscriptions with wildcard or open-ended
   // constraints produce degenerate (unit-thickness, huge-aspect-ratio)
   // dominance regions — the paper's "M x 1" worst case — whose full

@@ -49,6 +49,47 @@ class widening_array_view final : public sfc_array {
     if (!hit.has_value()) return std::nullopt;
     return entry{key_traits<K>::widen(hit->key), hit->id};
   }
+  void probe_frontier(std::span<const key_range> frontier,
+                      frontier_sink& sink) const override {
+    // Narrow the frontier and forward to the inner batched sweep, widening
+    // each answer on the way out. Frontier lows are non-decreasing, so the
+    // ranges that fall entirely above the narrow key domain form a suffix:
+    // the prefix maps 1:1 onto an inner sweep (clamping hi preserves the
+    // answers, exactly as first_in does), the suffix is reported as misses
+    // in order. Unlike the backends this adapter allocates (the narrowed
+    // prefix); it is a convenience view, not the query hot path — the plan
+    // binds to the inner array directly.
+    std::vector<basic_key_range<K>> narrowed;
+    narrowed.reserve(frontier.size());
+    for (const key_range& r : frontier) {
+      basic_key_range<K> nr;
+      if (!narrow_range(r, &nr)) break;
+      narrowed.push_back(nr);
+    }
+    struct widening_sink final : basic_sfc_array<K>::frontier_sink {
+      sfc_array::frontier_sink* out;
+      bool stopped = false;
+      bool on_probe(std::size_t index,
+                    const typename basic_sfc_array<K>::entry* hit) override {
+        bool keep_going;
+        if (hit != nullptr) {
+          const sfc_array::entry widened{key_traits<K>::widen(hit->key), hit->id};
+          keep_going = out->on_probe(index, &widened);
+        } else {
+          keep_going = out->on_probe(index, nullptr);
+        }
+        if (!keep_going) stopped = true;
+        return keep_going;
+      }
+    };
+    widening_sink ws;
+    ws.out = &sink;
+    inner_->probe_frontier(std::span<const basic_key_range<K>>(narrowed), ws);
+    if (ws.stopped) return;
+    for (std::size_t i = narrowed.size(); i < frontier.size(); ++i) {
+      if (!sink.on_probe(i, nullptr)) return;
+    }
+  }
   [[nodiscard]] std::uint64_t count_in(const key_range& r) const override {
     basic_key_range<K> nr;
     if (!narrow_range(r, &nr)) return 0;

@@ -65,6 +65,15 @@ struct dominance_options {
   // runs <= cubes; disabling probes raw cubes, matching the paper's
   // cube-count analysis exactly).
   bool merge_runs = true;
+  // Probe each level's run frontier with one batched probe_frontier sweep
+  // over the SFC array (resumed searches, sfcarray/sfc_array.h) instead of
+  // one independent first_in per run. Results and every pre-existing
+  // query_stats field are byte-identical either way; only the physical
+  // probe-work counters (frontier_batches / probes_restarted /
+  // probes_resumed) differ. Effective only with merge_runs (the sweep needs
+  // the key-sorted merged frontier); disable to force the single-range
+  // reference path, the equivalence oracle in tests.
+  bool batched_probe = true;
   // Safety valve: queries whose decomposition exceeds this many cubes either
   // throw std::length_error (settle_on_budget == false) or stop enumerating
   // and probe the partial plan collected so far (settle_on_budget == true).

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
+#include <span>
 #include <stdexcept>
 
 #include "dominance/dominance_index.h"
@@ -9,6 +12,53 @@
 #include "util/timer.h"
 
 namespace subcover {
+
+namespace {
+
+// Stack-allocated receiver for one batched level sweep: records each probed
+// range's answer under its volume-descending rank and stops the sweep as
+// soon as no remaining range can outrank the best hit found so far.
+template <class K>
+struct sweep_sink final : basic_sfc_array<K>::frontier_sink {
+  using entry = typename basic_sfc_array<K>::entry;
+
+  const std::uint32_t* rank;        // sweep position -> volume rank
+  const std::uint32_t* suffix_min;  // min rank among sweep positions i..end
+  std::size_t n;                    // sweep length
+  std::uint8_t* found;              // rank-indexed answers
+  std::uint64_t* ids;
+  std::uint32_t best_rank;          // smallest rank that hit; n as "none"
+  std::uint64_t visited = 0;
+
+  bool on_probe(std::size_t i, const entry* hit) override {
+    ++visited;
+    const std::uint32_t rk = rank[i];
+    if (hit != nullptr) {
+      found[rk] = 1;
+      ids[rk] = hit->id;
+      if (rk < best_rank) best_rank = rk;
+    }
+    // Continue while some unprobed range still ranks above (larger volume
+    // than) the best hit; once none does, the volume-order replay can never
+    // reach an unprobed range.
+    return i + 1 < n && suffix_min[i + 1] < best_rank;
+  }
+};
+
+// The probe order within a level: larger runs first, ties by ascending key.
+// This single definition is what "byte-identical" means for the batched and
+// single-range paths — both sorts (rank indices there, ranges here) and the
+// head scan must agree on it. Extents are compared via hi - lo: identical
+// ordering to cell_count() without the +1's wrap at the full range.
+template <class K>
+bool probes_before(const basic_key_range<K>& a, const basic_key_range<K>& b) {
+  const K ca = a.hi - a.lo;
+  const K cb = b.hi - b.lo;
+  if (ca != cb) return cb < ca;
+  return a.lo < b.lo;
+}
+
+}  // namespace
 
 query_plan::query_plan(const dominance_index& index) : index_(&index) {
   // Bind the width-typed scratch to the index's engine.
@@ -127,38 +177,162 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
     budget -= ts.level_ranges.size();
     planned_cum += level_volume;
 
-    if (opts.merge_runs) {
-      merge_ranges_inplace(ts.level_ranges);
-      // Within the level, probe larger merged runs first; ties keep
-      // ascending key order (the post-merge order), which makes the probe
-      // sequence deterministic and friendly to the array's locality cursor.
-      using range_type = basic_key_range<K>;
-      std::sort(ts.level_ranges.begin(), ts.level_ranges.end(),
-                [](const range_type& a, const range_type& b) {
-                  // Compare extents via hi - lo: identical ordering to
-                  // cell_count() without the +1's wrap at the full range.
-                  const K ca = a.hi - a.lo;
-                  const K cb = b.hi - b.lo;
-                  if (ca != cb) return cb < ca;
-                  return a.lo < b.lo;
-                });
-    }
-    // Without merging, all runs of a level are equal-volume cubes already in
-    // enumeration order — nothing to reorder.
-    st.runs_in_plan += ts.level_ranges.size();
-    for (const basic_key_range<K>& run : ts.level_ranges) {
+    if (opts.merge_runs) merge_ranges_inplace(ts.level_ranges);
+    // Without merging, all runs of a level are equal-volume cubes left in
+    // enumeration order — nothing to coalesce or reorder.
+    const std::size_t run_count = ts.level_ranges.size();
+    st.runs_in_plan += run_count;
+
+    if (opts.merge_runs && opts.batched_probe && run_count > 0 &&
+        run_count <= std::numeric_limits<std::uint32_t>::max()) {
+      // --- head probe + batched frontier sweep (see query_plan.h) ----------
+      // The single-range path probes rank 0 — the first run in probe order
+      // (probes_before) — before anything else, and on hit-dense workloads
+      // that one probe usually decides the level. Reproduce it exactly:
+      // find rank 0 with one O(run_count) scan (cheaper than the reference
+      // path's full sort) and probe it alone; only a miss engages the
+      // ordering + sweep machinery for the remaining ranks.
+      std::size_t head = 0;
+      for (std::size_t pos = 1; pos < run_count; ++pos) {
+        if (probes_before(ts.level_ranges[pos], ts.level_ranges[head])) head = pos;
+      }
       ++st.runs_probed;
-      const auto hit = ts.array->first_in(run, &ts.hint);
-      searched += run.cell_count_ld();
-      if (hit.has_value()) {
-        result = hit->id;
+      ++st.probes_restarted;
+      const auto head_hit = ts.array->first_in(ts.level_ranges[head], &ts.hint);
+      searched += ts.level_ranges[head].cell_count_ld();
+      if (head_hit.has_value()) {
+        result = head_hit->id;
         st.found = true;
         done = true;
-        break;
-      }
-      if (epsilon > 0 && searched >= coverage_target) {
+      } else if (epsilon > 0 && searched >= coverage_target) {
         done = true;
-        break;
+      } else if (run_count > 1) {
+        // The merged frontier stays key-ascending (what probe_frontier
+        // wants); the probe order of the single-range path (probes_before)
+        // becomes a *replay order* over rank indices. probes_before's lo
+        // tie-break is well-defined here: merged ranges have distinct lows.
+        replay_order_.resize(run_count);
+        std::iota(replay_order_.begin(), replay_order_.end(), 0U);
+        std::sort(replay_order_.begin(), replay_order_.end(),
+                  [&ranges_buf = ts.level_ranges](std::uint32_t a, std::uint32_t b) {
+                    return probes_before(ranges_buf[a], ranges_buf[b]);
+                  });
+        // With epsilon > 0 the coverage stop point depends only on run
+        // volumes: rerun the accumulation (same long-double order the probe
+        // loop would use, continuing after the head's contribution) to find
+        // how many ranks the replay can possibly visit, and never probe
+        // past them.
+        std::size_t probe_count = run_count;
+        if (epsilon > 0) {
+          long double cum = searched;
+          for (std::size_t j = 1; j < run_count; ++j) {
+            cum += ts.level_ranges[replay_order_[j]].cell_count_ld();
+            if (cum >= coverage_target) {
+              probe_count = j + 1;
+              break;
+            }
+          }
+        }
+        // Sweep list: the rank < probe_count subset in key-ascending order,
+        // each element carrying its rank. With no coverage cut (the common
+        // case, and always for epsilon == 0) that is the whole frontier —
+        // the sweep reads level_ranges and pos_rank_ in place (re-answering
+        // the head's rank 0 is harmless and cheaper than compacting it
+        // away); only a genuine cut compacts into the probe_ranges scratch,
+        // dropping rank 0 with the rest.
+        pos_rank_.resize(run_count);
+        for (std::size_t j = 0; j < run_count; ++j)
+          pos_rank_[replay_order_[j]] = static_cast<std::uint32_t>(j);
+        const basic_key_range<K>* sweep_ranges = ts.level_ranges.data();
+        const std::uint32_t* sweep_rank = pos_rank_.data();
+        std::size_t pn = run_count;
+        if (probe_count < run_count) {
+          ts.probe_ranges.clear();
+          probe_rank_.clear();
+          for (std::size_t pos = 0; pos < run_count; ++pos) {
+            if (pos_rank_[pos] != 0 && pos_rank_[pos] < probe_count) {
+              ts.probe_ranges.push_back(ts.level_ranges[pos]);
+              probe_rank_.push_back(pos_rank_[pos]);
+            }
+          }
+          sweep_ranges = ts.probe_ranges.data();
+          sweep_rank = probe_rank_.data();
+          pn = ts.probe_ranges.size();
+        }
+        // Suffix-min-rank table: the sink's oracle for stopping the sweep
+        // once no unprobed range can outrank the best hit. Rank 0 is
+        // already answered (the head miss), so it must not hold the sweep
+        // open; mask it to the weakest rank.
+        suffix_min_rank_.resize(pn);
+        std::uint32_t min_rank = std::numeric_limits<std::uint32_t>::max();
+        for (std::size_t p = pn; p-- > 0;) {
+          const std::uint32_t rk = sweep_rank[p];
+          if (rk != 0) min_rank = std::min(min_rank, rk);
+          suffix_min_rank_[p] = min_rank;
+        }
+        hit_found_.assign(probe_count, 0);
+        hit_id_.resize(probe_count);
+
+        sweep_sink<K> sink;
+        sink.rank = sweep_rank;
+        sink.suffix_min = suffix_min_rank_.data();
+        sink.n = pn;
+        sink.found = hit_found_.data();
+        sink.ids = hit_id_.data();
+        sink.best_rank = static_cast<std::uint32_t>(probe_count);
+        ts.array->probe_frontier(std::span<const basic_key_range<K>>(sweep_ranges, pn), sink);
+        ++st.frontier_batches;
+        if (sink.visited > 0) {
+          ++st.probes_restarted;
+          st.probes_resumed += sink.visited - 1;
+        }
+
+        // Volume-order replay of the recorded answers, continuing after the
+        // head: reproduces the single-range path's result, stop point and
+        // stats byte for byte — every rank below the first hit was swept
+        // (the early stop only fires once no unprobed range outranks the
+        // best hit) and recorded as a miss.
+        for (std::size_t j = 1; j < probe_count; ++j) {
+          ++st.runs_probed;
+          searched += ts.level_ranges[replay_order_[j]].cell_count_ld();
+          if (hit_found_[j] != 0) {
+            result = hit_id_[j];
+            st.found = true;
+            done = true;
+            break;
+          }
+          if (epsilon > 0 && searched >= coverage_target) {
+            done = true;
+            break;
+          }
+        }
+      }
+    } else {
+      // --- single-range reference path -------------------------------------
+      // One independent first_in per run (with the probe-locality cursor);
+      // the ground truth the batched sweep is pinned against in tests.
+      if (opts.merge_runs) {
+        // Within the level, probe in probes_before order (larger merged
+        // runs first, ties by ascending key), which makes the probe
+        // sequence deterministic and friendly to the array's locality
+        // cursor.
+        std::sort(ts.level_ranges.begin(), ts.level_ranges.end(), probes_before<K>);
+      }
+      for (const basic_key_range<K>& run : ts.level_ranges) {
+        ++st.runs_probed;
+        ++st.probes_restarted;
+        const auto hit = ts.array->first_in(run, &ts.hint);
+        searched += run.cell_count_ld();
+        if (hit.has_value()) {
+          result = hit->id;
+          st.found = true;
+          done = true;
+          break;
+        }
+        if (epsilon > 0 && searched >= coverage_target) {
+          done = true;
+          break;
+        }
       }
     }
   }

@@ -16,6 +16,31 @@
 // the first hit, at 1 - epsilon coverage, or when the plan is exhausted —
 // identical semantics (results and stats) to the original monolithic query.
 //
+// Batched frontier probing (the default, dominance_options::batched_probe):
+// instead of one independent first_in per run — each a fresh O(log n)
+// descent of the SFC array — the plan hands the whole merged, key-ascending
+// level frontier to basic_sfc_array::probe_frontier, which answers it in
+// one resumed sweep (galloping cursor on the sorted vector, per-level
+// fingers on the skip list). Volume-descending semantics are preserved
+// exactly by separating the *sweep order* (key-ascending, what the array
+// wants) from the *replay order* (volume-descending, what the search
+// semantics demand): the plan records each range's probe answer during the
+// sweep, then replays the answers in volume order, reproducing the
+// single-range path's result, stop point and every pre-existing
+// query_stats field byte for byte. Rank 0 — the run the single-range path
+// probes first, which on hit-dense workloads usually decides the level —
+// is found with one O(m) scan and probed alone before any ordering work;
+// only a miss engages the sort + sweep machinery for the remaining ranks.
+// Two prunings keep the sweep from touching runs the replay can never
+// reach: (a) with epsilon > 0 the coverage stop point depends only on run
+// volumes, so the sweep is cut to the exact volume-order prefix the replay
+// can visit before probing anything; (b) once a sweep finds a hit, it
+// stops as soon as every remaining range ranks below (smaller volume than)
+// the best hit so far — a min-rank-of-suffix table makes that check O(1)
+// per probe. The physical probe work is reported in the frontier_batches /
+// probes_restarted / probes_resumed stats; runs_probed stays the paper's
+// logical cost measure.
+//
 // Key width: the plan binds to the index's internal width at construction
 // (util/key_traits.h) and keeps its level enumeration, run frontier, probe
 // cursor and range arithmetic at that width end to end — on a d*k <= 64
@@ -25,12 +50,15 @@
 // identical at every width.
 //
 // Scratch-buffer contract: a plan owns every buffer the search needs (the
-// per-level cube counts, the run frontier of the current level, and the
-// array probe cursor). Buffers are reused across run() calls, so after the
-// first query of a given shape the hot path performs zero heap allocations:
-// no std::function dispatch (template visitors), no materialization of the
-// full decomposition (per-level streaming with early stop), no
-// exception-based control flow, and in-place run coalescing.
+// per-level cube counts, the run frontier of the current level, the batched
+// sweep's order/rank/answer buffers, and the array probe cursor). Buffers
+// are reused across run() calls, so after the first query of a given shape
+// the hot path performs zero heap allocations: no std::function dispatch
+// (template visitors), no materialization of the full decomposition
+// (per-level streaming with early stop), no exception-based control flow,
+// in-place run coalescing, and a stack-allocated frontier sink. This is
+// enforced by tests/dominance/query_plan_test.cc (WarmPlanPerformsZero-
+// HeapAllocations), which counts operator new calls on a warm plan.
 //
 // Thread-safety contract: a query_plan is mutable scratch and is NOT
 // thread-safe; use one plan per thread. dominance_index::query() routes
@@ -81,8 +109,9 @@ class query_plan {
 
     const basic_curve<K>* curve;
     const basic_sfc_array<K>* array;
-    std::vector<basic_key_range<K>> level_ranges;  // run frontier
-    typename basic_sfc_array<K>::probe_hint hint;  // probe-locality cursor
+    std::vector<basic_key_range<K>> level_ranges;  // run frontier (key-ascending)
+    std::vector<basic_key_range<K>> probe_ranges;  // batched sweep list (coverage prefix)
+    typename basic_sfc_array<K>::probe_hint hint;  // probe-locality cursor (legacy path)
   };
 
   template <class K>
@@ -91,6 +120,18 @@ class query_plan {
 
   const dominance_index* index_;
   std::vector<u512> level_counts_;  // Lemma 3.5 counts, reused per query
+  // Batched-probe scratch (key-type independent, reused across queries):
+  // replay_order_ maps volume-descending rank -> position in level_ranges;
+  // pos_rank_ is its inverse; probe_rank_ holds the rank of each sweep-list
+  // element; suffix_min_rank_[i] = min rank among sweep elements i..end
+  // (the sweep's early-stop oracle); hit_found_/hit_id_ record each rank's
+  // probe answer for the volume-order replay.
+  std::vector<std::uint32_t> replay_order_;
+  std::vector<std::uint32_t> pos_rank_;
+  std::vector<std::uint32_t> probe_rank_;
+  std::vector<std::uint32_t> suffix_min_rank_;
+  std::vector<std::uint8_t> hit_found_;
+  std::vector<std::uint64_t> hit_id_;
   std::variant<typed_state<std::uint64_t>, typed_state<u128>, typed_state<u512>> state_;
 };
 

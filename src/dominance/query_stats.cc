@@ -7,7 +7,9 @@ namespace subcover {
 std::string query_stats::to_string() const {
   std::ostringstream os;
   os << "query_stats{cubes=" << cubes_enumerated << ", runs_plan=" << runs_in_plan
-     << ", runs_probed=" << runs_probed << ", m=" << truncation_m
+     << ", runs_probed=" << runs_probed << ", batches=" << frontier_batches
+     << ", restarted=" << probes_restarted << ", resumed=" << probes_resumed
+     << ", m=" << truncation_m
      << ", planned=" << static_cast<double>(volume_fraction_planned)
      << ", searched=" << static_cast<double>(volume_fraction_searched)
      << ", found=" << (found ? "yes" : "no") << ", ns=" << elapsed_ns << "}";

@@ -20,8 +20,26 @@ struct query_stats {
   // Runs in the probe plan after coalescing adjacent cube ranges.
   std::uint64_t runs_in_plan = 0;
   // Runs actually probed before the query terminated (hit, coverage target
-  // reached, or plan exhausted).
+  // reached, or plan exhausted). This is the paper's cost measure and is
+  // independent of how the probes are executed: the batched frontier sweep
+  // reports the same value as the single-range reference path.
   std::uint64_t runs_probed = 0;
+  // --- physical probe-work accounting (how the probes were executed) ------
+  // probe_frontier sweeps issued (at most one per occupied level).
+  std::uint64_t frontier_batches = 0;
+  // Probes that began a fresh search: each level's head probe (rank 0,
+  // probed alone before any batching), the first probe of every frontier
+  // sweep, and every probe on the single-range (batched_probe == false)
+  // path. Each costs a full O(log n) descent of the SFC array.
+  std::uint64_t probes_restarted = 0;
+  // Probes answered by resuming the previous probe's position inside a
+  // frontier sweep (galloping cursor / skip-list fingers) — sublinear in
+  // the resume distance instead of O(log n). On a batched query,
+  // probes_restarted + probes_resumed is the physical probe count; it can
+  // exceed runs_probed when a sweep answers ranges the replay then skips
+  // (early hit), and is far below it in restart cost when frontiers are
+  // large.
+  std::uint64_t probes_resumed = 0;
   // Truncation parameter m = ceil(log2(2d/epsilon)); 0 for exhaustive.
   int truncation_m = 0;
   // vol(R(t(l,m))) / vol(R(l)) — the fraction the plan covers.

@@ -8,7 +8,8 @@
 // Duplicate keys are allowed (distinct subscriptions may map to the same
 // cell); entries are ordered by (key, id) so erase is deterministic.
 // The only query the covering algorithms need is run probing: "is there any
-// entry with key in [lo, hi], and if so which" — first_in().
+// entry with key in [lo, hi], and if so which" — first_in() for one run,
+// probe_frontier() for a whole sorted level frontier in one resumed sweep.
 //
 // The interface is templated on the key type (key_traits.h): a
 // basic_sfc_array<std::uint64_t> stores and compares one machine word per
@@ -17,10 +18,12 @@
 // construction time.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sfc/key_range.h"
@@ -79,6 +82,48 @@ class basic_sfc_array {
                                                       probe_hint* hint) const {
     (void)hint;
     return first_in(r);
+  }
+
+  // Receiver for probe_frontier answers. Non-owning: implementations live on
+  // the caller's stack for the duration of one sweep.
+  struct frontier_sink {
+    // Called once per frontier range, in frontier order. `hit` points at the
+    // smallest-key entry inside frontier[index] (exactly what
+    // first_in(frontier[index]) would return), or is nullptr when the range
+    // holds no entry; the pointee is only valid for the duration of the
+    // call. Return false to stop the sweep (remaining ranges are not
+    // visited), true to continue.
+    virtual bool on_probe(std::size_t index, const entry* hit) = 0;
+
+   protected:
+    ~frontier_sink() = default;
+  };
+
+  // Batched run probing: answers a whole level frontier in one pass.
+  //
+  // Contract:
+  //   * `frontier` must be sorted ascending by lo (non-decreasing is
+  //     sufficient; the merged frontiers the query plan produces are
+  //     strictly ascending and disjoint). An unsorted frontier is a contract
+  //     violation and may return wrong answers.
+  //   * The sink is invoked once per range in frontier order — index 0
+  //     first — and each answer is byte-identical to first_in(frontier[i]):
+  //     the smallest-(key, id) entry with key in [lo_i, hi_i], if any.
+  //   * The sweep stops early iff the sink returns false.
+  //   * No allocation: backends keep their sweep state (cursor or descent
+  //     fingers) on the stack.
+  //
+  // The default answers each range with an independent first_in() — the
+  // reference semantics the overrides must match. Backends override it to
+  // resume instead of restarting: the sorted vector carries one galloping
+  // lower-bound cursor across ranges (monotone lows mean the bound can only
+  // move right), the skip list resumes its top-down descent from per-level
+  // fingers and never re-enters the list above the last node touched.
+  virtual void probe_frontier(std::span<const range_type> frontier, frontier_sink& sink) const {
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const std::optional<entry> hit = first_in(frontier[i]);
+      if (!sink.on_probe(i, hit.has_value() ? &*hit : nullptr)) return;
+    }
   }
   // Number of entries with key in [r.lo, r.hi].
   [[nodiscard]] virtual std::uint64_t count_in(const range_type& r) const = 0;

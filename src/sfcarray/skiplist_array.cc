@@ -95,6 +95,52 @@ auto basic_skiplist_array<K>::first_in(const range_type& r) const -> std::option
 }
 
 template <class K>
+void basic_skiplist_array<K>::probe_frontier(std::span<const range_type> frontier,
+                                             frontier_sink& sink) const {
+  // One resumed top-down descent across the whole frontier (Pugh's
+  // search-with-a-finger, forward-only). finger[lvl] is the rightmost node
+  // visited at level lvl — always head_ or a node whose entry is strictly
+  // below every remaining target, so it is a valid left bound for all later
+  // probes (frontier lows are non-decreasing). The first probe is a plain
+  // descent (exactly first_in's cost) and fills every live finger; later
+  // probes resume from the fingers.
+  std::array<node*, kMaxLevel> finger;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const range_type& r = frontier[i];
+    const entry target{r.lo, 0};
+    int lvl;
+    node* cur;
+    if (i == 0) {
+      lvl = level_ - 1;
+      cur = head_;
+    } else {
+      // Climb only as high as this target requires: while the next node at
+      // the level above is still left of the target, starting there skips
+      // work. Far targets climb to the top (a fresh descent); near targets
+      // stay low, costing O(log distance) instead of O(log n).
+      lvl = 0;
+      while (lvl + 1 < level_) {
+        const node* up_next = finger[static_cast<std::size_t>(lvl + 1)]->link(lvl + 1);
+        if (up_next == nullptr || !entry_less(up_next->e, target)) break;
+        ++lvl;
+      }
+      cur = finger[static_cast<std::size_t>(lvl)];
+    }
+    for (; lvl >= 0; --lvl) {
+      while (cur->link(lvl) != nullptr && entry_less(cur->link(lvl)->e, target)) {
+        cur = cur->link(lvl);
+      }
+      finger[static_cast<std::size_t>(lvl)] = cur;
+    }
+    // cur is now the rightmost node < (r.lo, 0); its level-0 successor is
+    // exactly what find_geq(r.lo, 0) returns.
+    const node* geq = cur->link(0);
+    const entry* hit = (geq != nullptr && geq->e.key <= r.hi) ? &geq->e : nullptr;
+    if (!sink.on_probe(i, hit)) return;
+  }
+}
+
+template <class K>
 std::uint64_t basic_skiplist_array<K>::count_in(const range_type& r) const {
   std::uint64_t count = 0;
   for (const node* n = find_geq(r.lo, 0, nullptr); n != nullptr && n->e.key <= r.hi;

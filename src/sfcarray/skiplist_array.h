@@ -12,6 +12,13 @@
 // per node at the common low levels (entry and links are contiguous) and
 // every node costs exactly one allocation — the dominant constant-factor
 // win for narrow keys, where the entry itself is one or two words.
+//
+// probe_frontier answers a sorted level frontier with one resumed top-down
+// descent (Pugh's search-with-a-finger, forward-only): the rightmost node
+// visited at each level is kept as a finger, and the next probe climbs only
+// as high as its target requires before descending again — the sweep never
+// re-enters the list above the last node touched, so M probes cost one
+// overall left-to-right pass instead of M independent O(log n) descents.
 #pragma once
 
 #include <array>
@@ -28,6 +35,7 @@ class basic_skiplist_array final : public basic_sfc_array<K> {
   using base = basic_sfc_array<K>;
   using entry = typename base::entry;
   using range_type = typename base::range_type;
+  using frontier_sink = typename base::frontier_sink;
 
   explicit basic_skiplist_array(std::uint64_t seed = 0x5c1b1157u);
   ~basic_skiplist_array() override;
@@ -35,6 +43,7 @@ class basic_skiplist_array final : public basic_sfc_array<K> {
   void insert(const K& key, std::uint64_t id) override;
   bool erase(const K& key, std::uint64_t id) override;
   [[nodiscard]] std::optional<entry> first_in(const range_type& r) const override;
+  void probe_frontier(std::span<const range_type> frontier, frontier_sink& sink) const override;
   [[nodiscard]] std::uint64_t count_in(const range_type& r) const override;
   [[nodiscard]] std::size_t size() const override;
   void for_each(const std::function<void(const entry&)>& fn) const override;

@@ -99,6 +99,50 @@ auto basic_sorted_vector_array<K>::first_in(const range_type& r, probe_hint* hin
 }
 
 template <class K>
+void basic_sorted_vector_array<K>::probe_frontier(std::span<const range_type> frontier,
+                                                  frontier_sink& sink) const {
+  // One merged galloping sweep. `pos` is the lower-bound index of the
+  // previous range's lo; every entry left of it is below every earlier lo,
+  // and frontier lows are non-decreasing, so the next lower bound can only
+  // be at or right of `pos` — each search resumes instead of restarting.
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const range_type& r = frontier[i];
+    const entry probe{r.lo, 0};
+    std::size_t it;
+    if (i == 0) {
+      // First probe: a plain binary search — exactly first_in's cost (a
+      // gallop from index 0 would double the comparisons).
+      it = static_cast<std::size_t>(
+          std::lower_bound(entries_.begin(), entries_.end(), probe, entry_cmp<entry>{}) -
+          entries_.begin());
+    } else if (pos >= entries_.size() || !entry_less(entries_[pos], probe)) {
+      // The resumed cursor is already at (or past) the bound.
+      it = pos;
+    } else {
+      // Gallop right from the cursor: double the step until a window
+      // bracketing the lower bound is found, then binary-search inside it.
+      // A probe `dist` entries ahead costs O(log dist) instead of O(log n).
+      std::size_t lo = pos + 1;
+      std::size_t step = 1;
+      while (lo + step < entries_.size() && entry_less(entries_[lo + step - 1], probe)) {
+        lo += step;
+        step <<= 1;
+      }
+      const std::size_t hi = std::min(lo + step, entries_.size());
+      const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(lo);
+      const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(hi);
+      it = static_cast<std::size_t>(
+          std::lower_bound(first, last, probe, entry_cmp<entry>{}) - entries_.begin());
+    }
+    pos = it;
+    const entry* hit =
+        (it < entries_.size() && entries_[it].key <= r.hi) ? &entries_[it] : nullptr;
+    if (!sink.on_probe(i, hit)) return;
+  }
+}
+
+template <class K>
 std::uint64_t basic_sorted_vector_array<K>::count_in(const range_type& r) const {
   const entry lo_probe{r.lo, 0};
   const auto lo =

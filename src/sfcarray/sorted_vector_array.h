@@ -8,6 +8,12 @@
 // instead of m inserts of O(n) each), and the probe_hint overload of
 // first_in gallops from the previous probe position, so a sequence of
 // probes at nearby keys costs O(log distance) instead of O(log n) each.
+//
+// probe_frontier answers a sorted level frontier with a single merged
+// galloping sweep: the lower-bound position of each range resumes from the
+// previous range's answer (lows are monotone, so the bound can only move
+// right — no restart from index 0), making M probes one left-to-right pass
+// whose total cost is O(M + log n + log of the total distance swept).
 #pragma once
 
 #include <vector>
@@ -23,6 +29,7 @@ class basic_sorted_vector_array final : public basic_sfc_array<K> {
   using entry = typename base::entry;
   using range_type = typename base::range_type;
   using probe_hint = typename base::probe_hint;
+  using frontier_sink = typename base::frontier_sink;
 
   basic_sorted_vector_array() = default;
 
@@ -35,6 +42,7 @@ class basic_sorted_vector_array final : public basic_sfc_array<K> {
   [[nodiscard]] std::optional<entry> first_in(const range_type& r) const override;
   [[nodiscard]] std::optional<entry> first_in(const range_type& r,
                                               probe_hint* hint) const override;
+  void probe_frontier(std::span<const range_type> frontier, frontier_sink& sink) const override;
   [[nodiscard]] std::uint64_t count_in(const range_type& r) const override;
   [[nodiscard]] std::size_t size() const override;
   void for_each(const std::function<void(const entry&)>& fn) const override;

@@ -121,6 +121,64 @@ TEST(QueryPlan, AllEntryPointsAgreeAcrossRandomUniverses) {
   }
 }
 
+TEST(QueryPlan, BatchedProbeIsByteIdenticalToSingleRangePath) {
+  // The batched frontier sweep (probe_frontier + volume-order replay) must
+  // reproduce the single-range reference path exactly: same hits, same
+  // pre-existing stats (runs probed, searched fraction, ...) for every
+  // curve, backend and epsilon. Only the physical probe-work counters may
+  // differ — batching must strictly reduce fresh descents on multi-probe
+  // queries.
+  rng gen(4242);
+  for (const auto curve : {curve_kind::z_order, curve_kind::hilbert, curve_kind::gray_code}) {
+    for (const auto array : {sfc_array_kind::skiplist, sfc_array_kind::sorted_vector}) {
+      const universe u(2, 6);
+      dominance_options batched_opts;
+      batched_opts.curve = curve;
+      batched_opts.array = array;
+      batched_opts.batched_probe = true;
+      dominance_options single_opts = batched_opts;
+      single_opts.batched_probe = false;
+      dominance_index batched_idx(u, batched_opts);
+      dominance_index single_idx(u, single_opts);
+      for (std::uint64_t i = 0; i < 200; ++i) {
+        const point p = random_point(gen, u);
+        batched_idx.insert(p, i);
+        single_idx.insert(p, i);
+      }
+
+      std::uint64_t batched_restarts = 0;
+      std::uint64_t single_restarts = 0;
+      for (const double eps : {0.0, 0.02, 0.2, 0.6}) {
+        for (int q = 0; q < 60; ++q) {
+          const point x = random_point(gen, u);
+          const std::string what = "curve=" + std::to_string(static_cast<int>(curve)) +
+                                   " array=" + std::to_string(static_cast<int>(array)) +
+                                   " eps=" + std::to_string(eps) + " x=" + x.to_string();
+          query_stats st_batched;
+          query_stats st_single;
+          const auto via_batched = batched_idx.query(x, eps, &st_batched);
+          const auto via_single = single_idx.query(x, eps, &st_single);
+          EXPECT_EQ(via_batched, via_single) << what;
+          expect_same_stats(st_batched, st_single, what);
+          // The reference path never batches; the batched path restarts at
+          // most once per probed level (the head probe) plus once per
+          // frontier sweep.
+          EXPECT_EQ(st_single.frontier_batches, 0u) << what;
+          EXPECT_EQ(st_single.probes_resumed, 0u) << what;
+          EXPECT_EQ(st_single.probes_restarted, st_single.runs_probed) << what;
+          EXPECT_LE(st_batched.probes_restarted,
+                    st_batched.runs_probed + st_batched.frontier_batches)
+              << what;
+          batched_restarts += st_batched.probes_restarted;
+          single_restarts += st_single.probes_restarted;
+        }
+      }
+      EXPECT_LT(batched_restarts, single_restarts)
+          << "batching should strictly reduce fresh descents";
+    }
+  }
+}
+
 TEST(QueryPlan, DegenerateMx1RegionsAgree) {
   // Query points with one coordinate at the maximum produce extremal regions
   // with a unit side — the paper's M x 1 worst case (per-cell runs). Use a
