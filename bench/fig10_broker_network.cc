@@ -7,6 +7,7 @@
 // of events, under: flooding (no covering), exact covering (linear-scan
 // detector), SFC exhaustive-within-budget, SFC approximate (two epsilons),
 // and the unsafe Monte-Carlo detector (which loses deliveries).
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.h"
@@ -37,6 +38,10 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const int subs = static_cast<int>(flags.get_int("subs", 1200));
   const int events = static_cast<int>(flags.get_int("events", 250));
+  // 0 = deterministic sequential engine; >= 1 = sharded parallel engine on
+  // that many workers (identical results and metric totals either way —
+  // only the wall clock moves).
+  const int workers = static_cast<int>(flags.get_int("workers", 0));
   flags.finish();
 
   bench::banner("E10", "Broker network: covering modes end to end",
@@ -66,7 +71,7 @@ int main(int argc, char** argv) {
   };
 
   ascii_table table({"mode", "sub msgs", "table entries", "event msgs", "lost deliveries",
-                     "cov checks", "cov hit rate", "cov time ms"});
+                     "cov checks", "cov hit rate", "cov time ms", "sub wall ms"});
   std::uint64_t flood_msgs = 0, flood_entries = 0;
   std::uint64_t exact_msgs = 0;
   std::uint64_t approx05_msgs = 0;
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
     o.use_covering = m.use_covering;
     o.epsilon = m.epsilon;
     o.factory = m.factory;
+    o.workers = workers;
     network net(topology::balanced_tree(2, 3), s, o);
 
     workload::subscription_gen_options wo;
@@ -84,8 +90,12 @@ int main(int argc, char** argv) {
     workload::subscription_gen sgen(s, wo, 909);
     workload::event_gen egen(s, 910);
     rng pick(911);
+    const auto sub_start = std::chrono::steady_clock::now();
     for (int i = 0; i < subs; ++i)
       (void)net.subscribe(static_cast<int>(pick.index(15)), sgen.next());
+    const double sub_wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - sub_start)
+            .count();
 
     std::uint64_t lost = 0;
     for (int e = 0; e < events; ++e) {
@@ -102,7 +112,8 @@ int main(int argc, char** argv) {
     table.add_row({m.name, fmt_u64(metrics.subscription_messages),
                    fmt_u64(net.total_routing_entries()), fmt_u64(metrics.event_messages),
                    fmt_u64(lost), fmt_u64(metrics.covering_checks), fmt_percent(hit_rate),
-                   fmt_double(static_cast<double>(metrics.covering_check_ns) / 1e6, 1)});
+                   fmt_double(static_cast<double>(metrics.covering_check_ns) / 1e6, 1),
+                   fmt_double(sub_wall_ms, 1)});
 
     if (m.name == "flooding") {
       flood_msgs = metrics.subscription_messages;
@@ -118,6 +129,9 @@ int main(int argc, char** argv) {
   }
   std::cout << (csv ? table.to_csv() : table.to_string());
   bench::note("* sfc exhaustive = epsilon 0 within the cube budget (degenerate regions settle).");
+  bench::note("engine: " + (workers == 0 ? std::string("deterministic sequential FIFO")
+                                         : "parallel, " + std::to_string(workers) + " workers") +
+              " (results and metric totals are engine-independent)");
 
   track.check(exact_msgs < flood_msgs, "exact covering reduces subscription traffic");
   track.check(approx05_msgs < flood_msgs, "approximate covering reduces subscription traffic");

@@ -9,10 +9,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "broker/network.h"
 #include "covering/sfc_covering_index.h"
 #include "dominance/query_plan.h"
 #include "sfc/decomposition.h"
@@ -382,6 +384,66 @@ BENCHMARK(BM_ProbeFrontier)
     ->ArgPair(0, 1)
     ->ArgPair(1, 0)
     ->ArgPair(1, 1);
+
+// Broker-network covering-check throughput under the sharded parallel
+// engine: the fig10 workload (15-broker balanced tree, clustered uniform
+// subscriptions, SFC covering indexes) driven through network::subscribe,
+// at a sweep of worker counts. Arg: workers (0 = the deterministic
+// sequential FIFO engine — the baseline the parallel sweep is judged
+// against). The per-iteration time covers one whole subscription workload;
+// items processed = covering checks performed, so the rate column is the
+// headline checks/sec number. Network construction and workload generation
+// are excluded via pause/resume.
+void BM_NetworkThroughput(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const schema s = workload::make_uniform_schema(2, 8);
+  constexpr int kSubs = 300;
+  std::uint64_t checks = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    network_options o;
+    o.use_covering = true;
+    o.epsilon = 0.05;
+    o.workers = workers;
+    o.factory = [](const schema& sc) {
+      sfc_covering_options so;
+      so.max_cubes = 8192;
+      return std::make_unique<sfc_covering_index>(sc, so);
+    };
+    // std::optional so teardown (joining the pool, destroying every
+    // per-link covering index) happens under PauseTiming too — otherwise
+    // higher worker counts would be charged for joining more threads.
+    std::optional<network> net;
+    net.emplace(topology::balanced_tree(2, 3), s, o);
+    workload::subscription_gen_options wo;
+    wo.kind = workload::workload_kind::uniform;
+    wo.mean_width = 0.45;
+    wo.wildcard_prob = 0.02;
+    workload::subscription_gen sgen(s, wo, 909);
+    rng pick(911);
+    std::vector<std::pair<int, subscription>> subs;
+    subs.reserve(kSubs);
+    for (int i = 0; i < kSubs; ++i)
+      subs.emplace_back(static_cast<int>(pick.index(15)), sgen.next());
+    state.ResumeTiming();
+    for (const auto& [at, body] : subs) (void)net->subscribe(at, body);
+    state.PauseTiming();
+    checks += net->metrics().covering_checks;
+    net.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(checks));
+  state.counters["checks"] =
+      benchmark::Counter(static_cast<double>(checks), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_NetworkThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_SkiplistInsert(benchmark::State& state) {
   skiplist_array sl;

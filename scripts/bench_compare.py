@@ -6,9 +6,13 @@ Usage:
 
 For every benchmark present in both files, the per-op real_time of CURRENT
 is compared against BASELINE; the script exits non-zero if any benchmark is
-more than THRESHOLD slower (default +10%). Benchmarks present in only one
-file are reported but never fail the run, so adding or retiring benchmarks
-does not break CI. Improvements are reported for the perf trajectory.
+more than THRESHOLD slower (default +10%). Throughput benchmarks — those
+reporting items_per_second, e.g. the BM_NetworkThroughput family, whose
+per-iteration real_time tracks a whole workload rather than one op — are
+gated on items/sec instead: a drop of more than THRESHOLD fails. Benchmarks
+present in only one file are reported but never fail the run, so adding or
+retiring benchmarks does not break CI. Improvements are reported for the
+perf trajectory.
 
 This is the regression gate of the repo's perf tracking: CI runs
 micro_benchmark, then compares the fresh output against the committed
@@ -28,8 +32,24 @@ def load(path):
         # Skip aggregate rows (mean/median/stddev of repetitions).
         if b.get("run_type") == "aggregate":
             continue
-        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+        ips = b.get("items_per_second")
+        out[b["name"]] = {
+            "real_time": float(b["real_time"]),
+            "time_unit": b.get("time_unit", "ns"),
+            "items_per_second": float(ips) if ips is not None else None,
+        }
     return out
+
+
+def slowdown_ratio(base, cur):
+    """Slowdown of `cur` vs `base` (> 1 means worse), on the benchmark's
+    declared metric: items/sec when both runs report it, per-op time
+    otherwise."""
+    if base["items_per_second"] and cur["items_per_second"]:
+        return base["items_per_second"] / cur["items_per_second"], "items/s"
+    if base["real_time"] <= 0:
+        return float("inf"), "time"
+    return cur["real_time"] / base["real_time"], "time"
 
 
 def main():
@@ -51,16 +71,16 @@ def main():
     rows = []
     for name in sorted(set(base) | set(cur)):
         if name not in base:
-            rows.append((name, None, cur[name][0], None, "new"))
+            rows.append((name, None, cur[name]["real_time"], None, "new"))
             continue
         if name not in cur:
-            rows.append((name, base[name][0], None, None, "retired"))
+            rows.append((name, base[name]["real_time"], None, None, "retired"))
             continue
-        b, c = base[name][0], cur[name][0]
-        ratio = c / b if b > 0 else float("inf")
+        ratio, metric = slowdown_ratio(base[name], cur[name])
+        b, c = base[name]["real_time"], cur[name]["real_time"]
         status = "ok"
         if ratio > 1.0 + args.threshold:
-            status = "REGRESSION"
+            status = f"REGRESSION ({metric})"
             regressions.append((name, b, c, ratio))
         elif ratio < 1.0 - args.threshold:
             status = "improved"

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "broker/worker_pool.h"
 #include "util/check.h"
 
 namespace subcover {
@@ -11,8 +12,9 @@ broker::broker(int id, const schema& s, const std::vector<int>& neighbor_links,
     : id_(id), schema_(s), links_(neighbor_links), options_(options), factory_(factory) {
   SUBCOVER_CHECK(static_cast<bool>(factory_), "broker: covering index factory required");
   for (const int link : links_) {
-    forwarded_.emplace(link, factory_(schema_));
-    forwarded_subs_.emplace(link, std::map<sub_id, subscription>{});
+    link_shard shard;
+    shard.index = factory_(schema_);
+    shards_.emplace(link, std::move(shard));
   }
 }
 
@@ -26,34 +28,67 @@ broker::broker(int id, const schema& s, const std::vector<int>& neighbor_links,
 
 void broker::bootstrap_forwarded(int link,
                                  const std::vector<std::pair<sub_id, subscription>>& subs) {
-  const auto it = forwarded_.find(link);
-  if (it == forwarded_.end())
+  const auto it = shards_.find(link);
+  if (it == shards_.end())
     throw std::invalid_argument("broker: bootstrap for unknown link");
-  auto& fwd_subs = forwarded_subs_.at(link);
+  link_shard& shard = it->second;
   // All-or-nothing: a duplicate id must not leave the covering index
-  // disagreeing with forwarded_subs_ (that would silently swallow later
+  // disagreeing with the forwarded set (that would silently swallow later
   // forwards), so validate before mutating either structure.
   std::set<sub_id> batch_ids;
   for (const auto& [id, s] : subs) {
     (void)s;
-    if (fwd_subs.count(id) > 0 || !batch_ids.insert(id).second)
+    if (shard.forwarded.count(id) > 0 || !batch_ids.insert(id).second)
       throw std::invalid_argument("broker: bootstrap duplicates a forwarded id");
   }
-  it->second->insert_batch(subs);
-  for (const auto& [id, s] : subs) fwd_subs.emplace(id, s);
+  shard.index->insert_batch(subs);
+  for (const auto& [id, s] : subs) shard.forwarded.emplace(id, s);
 }
 
-bool broker::covered_on_link(int link, const subscription& s, network_metrics& metrics) const {
-  const auto it = forwarded_.find(link);
-  SUBCOVER_CHECK(it != forwarded_.end(), "broker: unknown link");
-  const auto hit = it->second->find_covering(s, options_.epsilon, &check_scratch_);
+bool broker::covered_on_shard(const link_shard& shard, const subscription& s,
+                              network_metrics& metrics) const {
+  const auto hit = shard.index->find_covering(s, options_.epsilon, &shard.scratch);
   ++metrics.covering_checks;
-  metrics.covering_check_ns += check_scratch_.elapsed_ns;
-  metrics.covering_runs_probed += check_scratch_.dominance.runs_probed;
-  metrics.covering_probes_restarted += check_scratch_.dominance.probes_restarted;
-  metrics.covering_probes_resumed += check_scratch_.dominance.probes_resumed;
+  metrics.covering_check_ns += shard.scratch.elapsed_ns;
+  metrics.covering_runs_probed += shard.scratch.dominance.runs_probed;
+  metrics.covering_probes_restarted += shard.scratch.dominance.probes_restarted;
+  metrics.covering_probes_resumed += shard.scratch.dominance.probes_resumed;
   if (hit.has_value()) ++metrics.covering_hits;
   return hit.has_value();
+}
+
+bool broker::subscribe_on_shard(link_shard& shard, sub_id id, const subscription& s,
+                                network_metrics& metrics) {
+  if (options_.use_covering && covered_on_shard(shard, s, metrics)) return false;
+  shard.index->insert(id, s);
+  shard.forwarded.emplace(id, s);
+  return true;
+}
+
+broker::shard_unsubscribe_result broker::unsubscribe_on_shard(link_shard& shard, int link,
+                                                              sub_id id,
+                                                              network_metrics& metrics) {
+  shard_unsubscribe_result result;
+  const auto it = shard.forwarded.find(id);
+  if (it == shard.forwarded.end()) return result;  // was suppressed on this link
+  // Withdraw the subscription downstream.
+  shard.index->erase(id);
+  shard.forwarded.erase(it);
+  result.forward = true;
+  // Subscriptions whose forward was suppressed because of (possibly) this
+  // one may now be uncovered; re-check every active, unforwarded
+  // subscription and re-forward the ones no longer covered. Reads only the
+  // routing table (shared, unmodified during the per-shard fan-out) and
+  // this shard.
+  for (const auto& [other_id, other_sub] : table_.subs_not_from(link)) {
+    if (other_id == id) continue;
+    if (shard.forwarded.count(other_id) > 0) continue;  // already forwarded
+    if (options_.use_covering && covered_on_shard(shard, other_sub, metrics)) continue;
+    shard.index->insert(other_id, other_sub);
+    shard.forwarded.emplace(other_id, other_sub);
+    result.reforwards.push_back({other_id, other_sub});
+  }
+  return result;
 }
 
 broker::subscribe_action broker::handle_subscribe(int from_link, sub_id id,
@@ -63,10 +98,40 @@ broker::subscribe_action broker::handle_subscribe(int from_link, sub_id id,
   subscribe_action action;
   for (const int link : links_) {
     if (link == from_link) continue;
-    if (options_.use_covering && covered_on_link(link, s, metrics)) continue;
-    forwarded_.at(link)->insert(id, s);
-    forwarded_subs_.at(link).emplace(id, s);
-    action.forward_links.push_back(link);
+    if (subscribe_on_shard(shards_.at(link), id, s, metrics))
+      action.forward_links.push_back(link);
+  }
+  return action;
+}
+
+void broker::collect_targets(int from_link) {
+  targets_.clear();
+  target_links_.clear();
+  for (const int link : links_) {
+    if (link == from_link) continue;
+    targets_.push_back(&shards_.at(link));
+    target_links_.push_back(link);
+  }
+  delta_scratch_.assign(targets_.size(), network_metrics{});
+}
+
+broker::subscribe_action broker::handle_subscribe_parallel(int from_link, sub_id id,
+                                                           const subscription& s,
+                                                           network_metrics& metrics,
+                                                           worker_pool& pool) {
+  table_.add(from_link, id, s);
+  // Shard fan-out: job i owns exactly targets_[i]'s shard plus slot i of
+  // the result scratch; the merge below runs on this thread in link order,
+  // so the action and the metric totals match the serial handler exactly.
+  collect_targets(from_link);
+  forward_scratch_.assign(targets_.size(), 0);
+  pool.run_batch(targets_.size(), [&](std::size_t i) {
+    forward_scratch_[i] = subscribe_on_shard(*targets_[i], id, s, delta_scratch_[i]) ? 1 : 0;
+  });
+  subscribe_action action;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    metrics += delta_scratch_[i];
+    if (forward_scratch_[i] != 0) action.forward_links.push_back(target_links_[i]);
   }
   return action;
 }
@@ -78,24 +143,32 @@ broker::unsubscribe_action broker::handle_unsubscribe(int from_link, sub_id id,
   unsubscribe_action action;
   for (const int link : links_) {
     if (link == from_link) continue;
-    auto& fwd_subs = forwarded_subs_.at(link);
-    const auto it = fwd_subs.find(id);
-    if (it == fwd_subs.end()) continue;  // was suppressed on this link
-    // Withdraw the subscription downstream.
-    forwarded_.at(link)->erase(id);
-    fwd_subs.erase(it);
+    auto result = unsubscribe_on_shard(shards_.at(link), link, id, metrics);
+    if (!result.forward) continue;
     action.forward_links.push_back(link);
-    // Subscriptions whose forward was suppressed because of (possibly) this
-    // one may now be uncovered; re-check every active, unforwarded
-    // subscription and re-forward the ones no longer covered.
-    for (const auto& [other_id, other_sub] : table_.subs_not_from(link)) {
-      if (other_id == id) continue;
-      if (fwd_subs.count(other_id) > 0) continue;  // already forwarded
-      if (options_.use_covering && covered_on_link(link, other_sub, metrics)) continue;
-      forwarded_.at(link)->insert(other_id, other_sub);
-      fwd_subs.emplace(other_id, other_sub);
-      action.reforwards.push_back({link, {other_id, other_sub}});
-    }
+    for (auto& rf : result.reforwards) action.reforwards.push_back({link, std::move(rf)});
+  }
+  return action;
+}
+
+broker::unsubscribe_action broker::handle_unsubscribe_parallel(int from_link, sub_id id,
+                                                               network_metrics& metrics,
+                                                               worker_pool& pool) {
+  const bool removed = table_.remove(from_link, id);
+  SUBCOVER_CHECK(removed, "broker: unsubscribe for unknown subscription");
+  collect_targets(from_link);
+  unsub_scratch_.assign(targets_.size(), shard_unsubscribe_result{});
+  pool.run_batch(targets_.size(), [&](std::size_t i) {
+    unsub_scratch_[i] =
+        unsubscribe_on_shard(*targets_[i], target_links_[i], id, delta_scratch_[i]);
+  });
+  unsubscribe_action action;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    metrics += delta_scratch_[i];
+    if (!unsub_scratch_[i].forward) continue;
+    action.forward_links.push_back(target_links_[i]);
+    for (auto& rf : unsub_scratch_[i].reforwards)
+      action.reforwards.push_back({target_links_[i], std::move(rf)});
   }
   return action;
 }
@@ -113,8 +186,20 @@ broker::event_action broker::handle_event(int from_link, const event& e) const {
 }
 
 std::size_t broker::forwarded_to(int link) const {
-  const auto it = forwarded_subs_.find(link);
-  return it == forwarded_subs_.end() ? 0 : it->second.size();
+  const auto it = shards_.find(link);
+  return it == shards_.end() ? 0 : it->second.forwarded.size();
+}
+
+std::vector<sub_id> broker::forwarded_ids(int link) const {
+  std::vector<sub_id> out;
+  const auto it = shards_.find(link);
+  if (it == shards_.end()) return out;
+  out.reserve(it->second.forwarded.size());
+  for (const auto& [id, s] : it->second.forwarded) {
+    (void)s;
+    out.push_back(id);
+  }
+  return out;
 }
 
 }  // namespace subcover

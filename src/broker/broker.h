@@ -16,6 +16,21 @@
 // Unsubscription: removing a subscription that was forwarded to link M may
 // uncover subscriptions whose forward to M was suppressed; those are
 // re-forwarded so that completeness is preserved.
+//
+// Link shards and parallelism: all forwarding state of one outgoing link —
+// its covering index, the bodies of the subscriptions forwarded over it,
+// and the covering-check scratch — lives in one `link_shard`. The per-link
+// work of subscription handling (covering check + shard mutation) touches
+// exactly one shard and never another, so the *_parallel handler variants
+// can fan the per-link loop out over a worker_pool: each shard job runs on
+// whatever worker claims it, writes only its own shard and its own slot of
+// the result scratch, and the merge back into the action (and into the
+// caller's network_metrics) happens on the calling thread in link order —
+// producing the identical action and identical metric totals as the serial
+// handlers, independent of worker count and scheduling. The serial handlers
+// remain the reference semantics (and the deterministic-mode code path).
+// One broker instance must still be driven by one thread at a time; the
+// network's per-broker inbox serialization provides that.
 #pragma once
 
 #include <functional>
@@ -29,6 +44,8 @@
 #include "covering/covering_index.h"
 
 namespace subcover {
+
+class worker_pool;
 
 using covering_index_factory = std::function<std::unique_ptr<covering_index>(const schema&)>;
 
@@ -79,14 +96,63 @@ class broker {
   unsubscribe_action handle_unsubscribe(int from_link, sub_id id, network_metrics& metrics);
   [[nodiscard]] event_action handle_event(int from_link, const event& e) const;
 
+  // Parallel variants: semantically identical to the serial handlers above
+  // (same action, same metric totals), with the per-link shard work fanned
+  // out over `pool` via run_batch. `metrics` must not be shared with any
+  // concurrently-running handler; the network gives each broker its own
+  // accumulator. The broker itself must not be re-entered while a parallel
+  // handler is in flight.
+  subscribe_action handle_subscribe_parallel(int from_link, sub_id id, const subscription& s,
+                                             network_metrics& metrics, worker_pool& pool);
+  unsubscribe_action handle_unsubscribe_parallel(int from_link, sub_id id,
+                                                 network_metrics& metrics, worker_pool& pool);
+
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] std::size_t routing_entries() const { return table_.total_entries(); }
   [[nodiscard]] std::size_t forwarded_to(int link) const;
+  // Ids forwarded over `link`, ascending — the per-shard state the
+  // deterministic-vs-parallel equivalence tests compare.
+  [[nodiscard]] std::vector<sub_id> forwarded_ids(int link) const;
   [[nodiscard]] const routing_table& table() const { return table_; }
 
  private:
-  // True if a subscription already forwarded to `link` covers `s`.
-  bool covered_on_link(int link, const subscription& s, network_metrics& metrics) const;
+  // All forwarding state of one outgoing link. A shard is only ever touched
+  // by one thread at a time (the serial handlers by the broker's thread; the
+  // parallel handlers by whichever worker claimed the shard's batch index),
+  // so nothing in it is synchronized.
+  struct link_shard {
+    std::unique_ptr<covering_index> index;   // covering over forwarded subs
+    std::map<sub_id, subscription> forwarded;  // bodies for re-forwarding
+    // Scratch for covering checks on this shard: reused instead of
+    // constructing stats per call (the covering index reuses its own
+    // query-plan scratch underneath). Mutable so the logically-const check
+    // path can reuse it; shard-local so parallel checks on different links
+    // never share it.
+    mutable covering_check_stats scratch;
+  };
+
+  // True if a subscription already forwarded to the shard's link covers `s`;
+  // folds the check's accounting into `metrics`.
+  bool covered_on_shard(const link_shard& shard, const subscription& s,
+                        network_metrics& metrics) const;
+  // The subscribe-side work of one shard: check + insert-if-uncovered.
+  // Returns true if the subscription must be forwarded over the link.
+  // Touches only `shard` and `metrics`.
+  bool subscribe_on_shard(link_shard& shard, sub_id id, const subscription& s,
+                          network_metrics& metrics);
+  // The unsubscribe-side work of one shard: withdraw + re-forward newly
+  // uncovered subscriptions. `link` is the shard's link id (needed to skip
+  // subscriptions received over it). Touches only `shard`, `metrics` and
+  // the (read-only) routing table.
+  struct shard_unsubscribe_result {
+    bool forward = false;  // the unsubscription travels over this link
+    std::vector<std::pair<sub_id, subscription>> reforwards;
+  };
+  shard_unsubscribe_result unsubscribe_on_shard(link_shard& shard, int link, sub_id id,
+                                                network_metrics& metrics);
+  // Fills the fan-out scratch (targets_/target_links_) with every shard
+  // except `from_link`'s and sizes the per-shard delta slots.
+  void collect_targets(int from_link);
 
   int id_;
   schema schema_;
@@ -94,16 +160,16 @@ class broker {
   broker_options options_;
   covering_index_factory factory_;
   routing_table table_;
-  // Per outgoing link: covering index over subscriptions forwarded there,
-  // plus the subscription bodies for re-forwarding after unsubscriptions.
-  std::map<int, std::unique_ptr<covering_index>> forwarded_;
-  std::map<int, std::map<sub_id, subscription>> forwarded_subs_;
-  // Per-broker scratch for covering checks: covered_on_link reuses it
-  // instead of constructing stats per call, and the per-link covering
-  // indexes reuse their own query-plan scratch underneath. Mutable because
-  // covered_on_link is logically const; this makes covered_on_link
-  // non-reentrant, matching the single-threaded broker contract.
-  mutable covering_check_stats check_scratch_;
+  // Per outgoing link: the link's shard (see link_shard).
+  std::map<int, link_shard> shards_;
+  // Fan-out scratch for the parallel handlers, reused across messages (the
+  // broker is driven by one thread at a time, so one set suffices; batch
+  // job i writes only slot i). Kept warm like the per-shard check scratch.
+  std::vector<link_shard*> targets_;
+  std::vector<int> target_links_;
+  std::vector<std::uint8_t> forward_scratch_;
+  std::vector<network_metrics> delta_scratch_;
+  std::vector<shard_unsubscribe_result> unsub_scratch_;
 };
 
 }  // namespace subcover

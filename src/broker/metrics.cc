@@ -4,6 +4,32 @@
 
 namespace subcover {
 
+network_metrics& network_metrics::operator+=(const network_metrics& o) {
+  subscription_messages += o.subscription_messages;
+  unsubscription_messages += o.unsubscription_messages;
+  reforwards += o.reforwards;
+  event_messages += o.event_messages;
+  deliveries += o.deliveries;
+  covering_checks += o.covering_checks;
+  covering_hits += o.covering_hits;
+  covering_check_ns += o.covering_check_ns;
+  covering_runs_probed += o.covering_runs_probed;
+  covering_probes_restarted += o.covering_probes_restarted;
+  covering_probes_resumed += o.covering_probes_resumed;
+  return *this;
+}
+
+bool same_counters(const network_metrics& a, const network_metrics& b) {
+  return a.subscription_messages == b.subscription_messages &&
+         a.unsubscription_messages == b.unsubscription_messages &&
+         a.reforwards == b.reforwards && a.event_messages == b.event_messages &&
+         a.deliveries == b.deliveries && a.covering_checks == b.covering_checks &&
+         a.covering_hits == b.covering_hits &&
+         a.covering_runs_probed == b.covering_runs_probed &&
+         a.covering_probes_restarted == b.covering_probes_restarted &&
+         a.covering_probes_resumed == b.covering_probes_resumed;
+}
+
 std::string network_metrics::to_string() const {
   std::ostringstream os;
   os << "metrics{sub_msgs=" << subscription_messages << ", unsub_msgs=" << unsubscription_messages

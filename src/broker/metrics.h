@@ -35,7 +35,19 @@ struct network_metrics {
     deliveries = 0;
   }
 
+  // Field-wise sum: how the parallel network folds its per-broker
+  // accumulators into the network-wide totals. Because every increment of a
+  // run lands in exactly one accumulator and addition commutes, the folded
+  // totals are independent of worker count and scheduling.
+  network_metrics& operator+=(const network_metrics& o);
+
   [[nodiscard]] std::string to_string() const;
 };
+
+// True when every deterministic counter matches. covering_check_ns is
+// excluded: it sums wall-clock timer readings, which differ run to run even
+// on the byte-identical sequential path. This is the comparison the
+// deterministic-vs-parallel equivalence tests pin.
+[[nodiscard]] bool same_counters(const network_metrics& a, const network_metrics& b);
 
 }  // namespace subcover

@@ -1,15 +1,41 @@
-// Deterministic in-process simulation of a broker tree running covering-
-// optimized subscription propagation and reverse-path event routing.
+// In-process simulation of a broker tree running covering-optimized
+// subscription propagation and reverse-path event routing, with two
+// execution engines:
 //
-// Messages between brokers are processed from a FIFO queue until quiescence,
-// so every subscribe/publish call returns with the network in a stable
-// state. The simulation preserves exactly the metrics the paper's motivation
+//   * Deterministic mode (workers == 0, the default): messages between
+//     brokers are processed from a single FIFO queue until quiescence on the
+//     calling thread — byte-identical to the original sequential simulation
+//     (same message order, same delivery order, same metrics).
+//
+//   * Parallel mode (workers >= 1): an async message loop over a fixed
+//     worker_pool. Every broker owns an MPSC inbox; a broker with pending
+//     messages is scheduled onto a worker, drains its inbox in FIFO order,
+//     and re-enqueues the resulting forwards/deliveries onto its neighbors'
+//     inboxes. Within one broker, the per-outgoing-link covering shards fan
+//     out across the pool (broker::handle_*_parallel). Each subscribe /
+//     unsubscribe / publish call still runs to quiescence before returning.
+//
+// Parallel mode may reorder message processing across brokers, but on the
+// acyclic overlay every broker receives all of an operation's messages from
+// its unique neighbor toward the origin, in that neighbor's emission order —
+// so each broker consumes an identical message sequence under any schedule,
+// and the final routing tables, forwarded sets, delivered ids, and every
+// metric total are identical to deterministic mode for every worker count
+// (pinned by tests/broker/network_test.cc). Only wall-clock interleaving
+// and the covering_check_ns sum (a timer, not a counter) vary. The
+// equivalence contract covers operations that complete normally: if a
+// broker handler throws mid-propagation, both engines stop forwarding and
+// rethrow to the caller, leaving a valid but partially-propagated state
+// whose exact extent is scheduling-dependent in parallel mode.
+//
+// The simulation preserves exactly the metrics the paper's motivation
 // concerns: subscription messages, routing table sizes, event traffic, and
 // delivery completeness.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -24,11 +50,19 @@ struct network_options {
   // Factory for the per-link covering indexes; defaults to the paper's
   // SFC index (Z curve + skip list).
   covering_index_factory factory;
+  // 0 = deterministic sequential FIFO (the reference engine). >= 1 = async
+  // message loop on a worker pool of this size; covering checks overlap
+  // across links and brokers. Final state and metric totals are identical
+  // either way (see header comment).
+  int workers = 0;
 };
 
 class network {
  public:
   network(topology t, schema s, network_options options = {});
+  ~network();
+  network(const network&) = delete;
+  network& operator=(const network&) = delete;
 
   // Registers a subscription for a client at `broker_id`; propagates to
   // quiescence and returns the assigned subscription id.
@@ -53,12 +87,21 @@ class network {
   [[nodiscard]] std::size_t active_subscriptions() const { return owners_.size(); }
   [[nodiscard]] std::optional<int> owner_broker(sub_id id) const;
   [[nodiscard]] const schema& message_schema() const { return schema_; }
+  [[nodiscard]] int workers() const { return options_.workers; }
 
  private:
   struct sub_record {
     int broker;
     subscription s;
   };
+  // The parallel engine (worker pool, per-broker inboxes, per-broker metric
+  // accumulators and delivery buffers). Null in deterministic mode.
+  struct async_state;
+  struct net_msg;
+
+  // Enqueues one initial message and blocks until the network is quiescent,
+  // then folds the per-broker metric accumulators into metrics_.
+  void run_async(int target_broker, net_msg msg);
 
   topology topology_;
   schema schema_;
@@ -67,6 +110,7 @@ class network {
   std::map<sub_id, sub_record> owners_;
   network_metrics metrics_;
   sub_id next_id_ = 1;
+  std::unique_ptr<async_state> async_;
 };
 
 }  // namespace subcover

@@ -37,6 +37,10 @@ class routing_table {
   // All (id, subscription) pairs received over links other than `exclude`.
   [[nodiscard]] std::vector<std::pair<sub_id, subscription>> subs_not_from(int exclude) const;
 
+  // Full-state equality (same links, same ids, same subscription bodies) —
+  // what the deterministic-vs-parallel network equivalence tests compare.
+  friend bool operator==(const routing_table&, const routing_table&) = default;
+
  private:
   std::map<int, std::map<sub_id, subscription>> received_;
 };

@@ -1,0 +1,122 @@
+#include "broker/worker_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace subcover {
+
+namespace {
+
+// Shared state of one run_batch call. Heap-allocated and owned jointly by
+// the caller and the helper jobs (shared_ptr), so a helper that is dequeued
+// after the batch has already completed finds `next >= n`, does nothing, and
+// releases its reference — no lifetime race with the caller's stack.
+struct batch_state {
+  explicit batch_state(std::size_t count, const std::function<void(std::size_t)>& fn)
+      : n(count), job(fn) {}
+
+  const std::size_t n;
+  const std::function<void(std::size_t)>& job;  // outlives the batch: caller blocks
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t done = 0;                  // guarded by mu
+  std::exception_ptr first_error;        // guarded by mu
+
+  // Claims and runs indexes until none are left. A throwing job must not
+  // escape here — on a pool worker it would std::terminate the process, and
+  // an unfinished index would deadlock the caller's join — so the first
+  // exception is captured (and the index still counted done) for run_batch
+  // to rethrow after the join, matching the serial engine's propagation.
+  void help() {
+    std::size_t ran = 0;
+    std::exception_ptr error;
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        job(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      ++ran;
+    }
+    if (ran > 0) {
+      const std::lock_guard<std::mutex> lock(mu);
+      done += ran;
+      if (error && !first_error) first_error = error;
+      if (done == n) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+worker_pool::worker_pool(int workers) {
+  const int n = workers < 1 ? 1 : workers;
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) threads_.emplace_back([this] { worker_main(); });
+}
+
+worker_pool::~worker_pool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void worker_pool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void worker_pool::run_batch(std::size_t n, const std::function<void(std::size_t)>& job) {
+  if (n == 0) return;
+  if (n == 1 || size() == 1) {
+    // Nothing to steal: run inline (the caller would claim every index
+    // anyway, and skipping the shared state keeps the 1-worker
+    // configuration at exact parity with a plain loop) — with the same
+    // exception contract as the stealing path: every index is attempted,
+    // the first exception is rethrown after.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        job(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  auto state = std::make_shared<batch_state>(n, job);
+  const std::size_t helpers =
+      std::min(static_cast<std::size_t>(size() - 1), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h)
+    submit([state] { state->help(); });
+  state->help();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->done == state->n; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void worker_pool::worker_main() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and no work left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace subcover

@@ -1,0 +1,77 @@
+// Fixed-size worker pool for the parallel broker network.
+//
+// Two primitives, matching the two grains of parallelism in the network:
+//
+//   * submit(job)           — fire-and-forget: the unit the async message
+//                             loop schedules (one job = drain one broker's
+//                             inbox to empty).
+//   * run_batch(n, job)     — bounded fork-join: run job(0..n-1) where each
+//                             index touches disjoint state (one per-link
+//                             covering shard). The caller participates —
+//                             it claims indexes itself while idle workers
+//                             steal the rest — so run_batch never deadlocks
+//                             even when every pool thread is already busy
+//                             (including pool size 1, or a caller that is
+//                             itself a pool worker). The call returns only
+//                             after every index has fully executed.
+//
+// Scheduling is deliberately simple (one mutex-protected FIFO + condvar):
+// the network simulation pushes thousands of coarse jobs per operation, not
+// millions, and the covering checks inside each job dominate the cost. The
+// pool makes no fairness or ordering promise across jobs; the broker
+// network's determinism comes from per-broker FIFO inboxes, not from the
+// pool (see docs/ARCHITECTURE.md, threading model).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace subcover {
+
+class worker_pool {
+ public:
+  // Spawns `workers` threads (at least 1; the pool clamps). The pool is not
+  // resizable: per-link shard ownership in the broker network is planned
+  // against a fixed worker count.
+  explicit worker_pool(int workers);
+  // Drains nothing: outstanding submitted jobs are completed, then threads
+  // join. Callers must not destroy the pool while a run_batch is blocked in
+  // another thread.
+  ~worker_pool();
+
+  worker_pool(const worker_pool&) = delete;
+  worker_pool& operator=(const worker_pool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues a job for any worker. Safe from any thread, including pool
+  // workers themselves (jobs that submit jobs).
+  void submit(std::function<void()> job);
+
+  // Runs job(0), ..., job(n-1), each exactly once, and returns when all have
+  // finished. The calling thread claims indexes in a loop; up to
+  // min(size() - 1, n - 1) helper jobs are submitted so idle workers steal
+  // the remainder. Indexes may execute in any order and concurrently; the
+  // caller must ensure distinct indexes touch disjoint state. If jobs
+  // throw, the batch still runs to completion (every index is attempted)
+  // and the first captured exception is rethrown on the calling thread
+  // after the join — a throwing job never terminates a pool worker or
+  // deadlocks the batch.
+  void run_batch(std::size_t n, const std::function<void(std::size_t)>& job);
+
+ private:
+  void worker_main();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace subcover

@@ -18,6 +18,7 @@ dominance_options to_dominance_options(const sfc_covering_options& o) {
   d.width = o.width;
   d.merge_runs = o.merge_runs;
   d.batched_probe = o.batched_probe;
+  d.head_probe = o.head_probe;
   d.max_cubes = o.max_cubes;
   d.settle_on_budget = o.settle_on_budget;
   return d;

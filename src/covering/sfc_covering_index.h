@@ -33,6 +33,11 @@ struct sfc_covering_options {
   // each level's run frontier with one resumed probe_frontier sweep instead
   // of per-run descents. Identical detection results either way.
   bool batched_probe = true;
+  // Head-probe depth before the frontier sweep engages (see
+  // dominance_options::head_probe): 1 = the pinned PR-4 behavior, 0 =
+  // adaptive from the plan's running hit-at-rank estimate, > 1 = fixed
+  // deeper head. Identical detection results for every setting.
+  int head_probe = 1;
   // Covering queries for subscriptions with wildcard or open-ended
   // constraints produce degenerate (unit-thickness, huge-aspect-ratio)
   // dominance regions — the paper's "M x 1" worst case — whose full

@@ -78,6 +78,23 @@ std::optional<std::uint64_t> query_plan::run(const point& x, double epsilon,
   return std::visit([&](auto& ts) { return run_impl(ts, x, epsilon, stats); }, state_);
 }
 
+void query_plan::note_hit_rank(std::size_t rank) {
+  ++hit_total_;
+  ++hit_rank_counts_[std::min(rank, kAdaptiveMaxHead - 1)];
+}
+
+std::size_t query_plan::adaptive_head_depth() const {
+  // Behave like the pinned h = 1 until the estimate has seen enough hits.
+  if (hit_total_ < kAdaptiveMinSamples) return 1;
+  const std::uint64_t target = (hit_total_ * 9 + 9) / 10;  // ceil(0.9 * hits)
+  std::uint64_t cum = 0;
+  for (std::size_t r = 0; r < kAdaptiveMaxHead; ++r) {
+    cum += hit_rank_counts_[r];
+    if (cum >= target) return r + 1;
+  }
+  return kAdaptiveMaxHead;
+}
+
 template <class K>
 std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const point& x,
                                                   double epsilon, query_stats* stats) {
@@ -188,35 +205,83 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
       // --- head probe + batched frontier sweep (see query_plan.h) ----------
       // The single-range path probes rank 0 — the first run in probe order
       // (probes_before) — before anything else, and on hit-dense workloads
-      // that one probe usually decides the level. Reproduce it exactly:
-      // find rank 0 with one O(run_count) scan (cheaper than the reference
-      // path's full sort) and probe it alone; only a miss engages the
-      // ordering + sweep machinery for the remaining ranks.
-      std::size_t head = 0;
-      for (std::size_t pos = 1; pos < run_count; ++pos) {
-        if (probes_before(ts.level_ranges[pos], ts.level_ranges[head])) head = pos;
-      }
-      ++st.runs_probed;
-      ++st.probes_restarted;
-      const auto head_hit = ts.array->first_in(ts.level_ranges[head], &ts.hint);
-      searched += ts.level_ranges[head].cell_count_ld();
-      if (head_hit.has_value()) {
-        result = head_hit->id;
-        st.found = true;
-        done = true;
-      } else if (epsilon > 0 && searched >= coverage_target) {
-        done = true;
-      } else if (run_count > 1) {
-        // The merged frontier stays key-ascending (what probe_frontier
-        // wants); the probe order of the single-range path (probes_before)
-        // becomes a *replay order* over rank indices. probes_before's lo
-        // tie-break is well-defined here: merged ranges have distinct lows.
+      // that one probe usually decides the level. head_probe generalizes
+      // the idea: probe the top `head_count` volume ranks individually
+      // (fresh descents, in rank order) and only engage the sweep for the
+      // ranks behind them. head_count == 1 — the pinned default —
+      // reproduces PR-4 exactly: rank 0 is found with one O(run_count)
+      // scan (cheaper than a full sort) and only a miss sorts at all;
+      // deeper heads (fixed h > 1, or the adaptive estimate) sort up
+      // front, betting that hits land past rank 0 often enough to repay
+      // it.
+      const std::size_t head_req =
+          opts.head_probe >= 1 ? static_cast<std::size_t>(opts.head_probe)
+                               : adaptive_head_depth();
+      const std::size_t head_count = std::min(head_req, run_count);
+      bool ordered = false;     // replay_order_ valid for this level
+      // The probe order of the single-range path (probes_before) as a rank
+      // -> position map over the merged frontier. One definition shared by
+      // the head probes and the sweep replay, so they cannot diverge.
+      // probes_before's lo tie-break is well-defined here: merged ranges
+      // have distinct lows.
+      const auto ensure_replay_order = [&] {
+        if (ordered) return;
         replay_order_.resize(run_count);
         std::iota(replay_order_.begin(), replay_order_.end(), 0U);
         std::sort(replay_order_.begin(), replay_order_.end(),
                   [&ranges_buf = ts.level_ranges](std::uint32_t a, std::uint32_t b) {
                     return probes_before(ranges_buf[a], ranges_buf[b]);
                   });
+        ordered = true;
+      };
+      // Probing of this level ended (hit or coverage reached). Distinct
+      // from `done`, which the planning step above also sets when the
+      // coverage target falls inside this level — such a level must still
+      // be probed.
+      bool level_stop = false;
+      if (head_count == 1) {
+        std::size_t head = 0;
+        for (std::size_t pos = 1; pos < run_count; ++pos) {
+          if (probes_before(ts.level_ranges[pos], ts.level_ranges[head])) head = pos;
+        }
+        ++st.runs_probed;
+        ++st.probes_restarted;
+        const auto head_hit = ts.array->first_in(ts.level_ranges[head], &ts.hint);
+        searched += ts.level_ranges[head].cell_count_ld();
+        if (head_hit.has_value()) {
+          result = head_hit->id;
+          st.found = true;
+          done = true;
+          level_stop = true;
+          note_hit_rank(0);
+        } else if (epsilon > 0 && searched >= coverage_target) {
+          done = true;
+          level_stop = true;
+        }
+      } else {
+        // The merged frontier stays key-ascending; rank the runs once and
+        // probe the head prefix in rank order, exactly the sequence the
+        // single-range path would execute.
+        ensure_replay_order();
+        for (std::size_t j = 0; j < head_count && !level_stop; ++j) {
+          ++st.runs_probed;
+          ++st.probes_restarted;
+          const auto hit = ts.array->first_in(ts.level_ranges[replay_order_[j]], &ts.hint);
+          searched += ts.level_ranges[replay_order_[j]].cell_count_ld();
+          if (hit.has_value()) {
+            result = hit->id;
+            st.found = true;
+            done = true;
+            level_stop = true;
+            note_hit_rank(j);
+          } else if (epsilon > 0 && searched >= coverage_target) {
+            done = true;
+            level_stop = true;
+          }
+        }
+      }
+      if (!level_stop && run_count > head_count) {
+        ensure_replay_order();
         // With epsilon > 0 the coverage stop point depends only on run
         // volumes: rerun the accumulation (same long-double order the probe
         // loop would use, continuing after the head's contribution) to find
@@ -225,7 +290,7 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
         std::size_t probe_count = run_count;
         if (epsilon > 0) {
           long double cum = searched;
-          for (std::size_t j = 1; j < run_count; ++j) {
+          for (std::size_t j = head_count; j < run_count; ++j) {
             cum += ts.level_ranges[replay_order_[j]].cell_count_ld();
             if (cum >= coverage_target) {
               probe_count = j + 1;
@@ -237,9 +302,9 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
         // each element carrying its rank. With no coverage cut (the common
         // case, and always for epsilon == 0) that is the whole frontier —
         // the sweep reads level_ranges and pos_rank_ in place (re-answering
-        // the head's rank 0 is harmless and cheaper than compacting it
-        // away); only a genuine cut compacts into the probe_ranges scratch,
-        // dropping rank 0 with the rest.
+        // the already-probed head ranks is harmless and cheaper than
+        // compacting them away); only a genuine cut compacts into the
+        // probe_ranges scratch, dropping the head with the rest.
         pos_rank_.resize(run_count);
         for (std::size_t j = 0; j < run_count; ++j)
           pos_rank_[replay_order_[j]] = static_cast<std::uint32_t>(j);
@@ -250,7 +315,7 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
           ts.probe_ranges.clear();
           probe_rank_.clear();
           for (std::size_t pos = 0; pos < run_count; ++pos) {
-            if (pos_rank_[pos] != 0 && pos_rank_[pos] < probe_count) {
+            if (pos_rank_[pos] >= head_count && pos_rank_[pos] < probe_count) {
               ts.probe_ranges.push_back(ts.level_ranges[pos]);
               probe_rank_.push_back(pos_rank_[pos]);
             }
@@ -260,14 +325,14 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
           pn = ts.probe_ranges.size();
         }
         // Suffix-min-rank table: the sink's oracle for stopping the sweep
-        // once no unprobed range can outrank the best hit. Rank 0 is
-        // already answered (the head miss), so it must not hold the sweep
-        // open; mask it to the weakest rank.
+        // once no unprobed range can outrank the best hit. Head ranks are
+        // already answered (they all missed), so they must not hold the
+        // sweep open; mask them to the weakest rank.
         suffix_min_rank_.resize(pn);
         std::uint32_t min_rank = std::numeric_limits<std::uint32_t>::max();
         for (std::size_t p = pn; p-- > 0;) {
           const std::uint32_t rk = sweep_rank[p];
-          if (rk != 0) min_rank = std::min(min_rank, rk);
+          if (rk >= head_count) min_rank = std::min(min_rank, rk);
           suffix_min_rank_[p] = min_rank;
         }
         hit_found_.assign(probe_count, 0);
@@ -292,13 +357,14 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
         // stats byte for byte — every rank below the first hit was swept
         // (the early stop only fires once no unprobed range outranks the
         // best hit) and recorded as a miss.
-        for (std::size_t j = 1; j < probe_count; ++j) {
+        for (std::size_t j = head_count; j < probe_count; ++j) {
           ++st.runs_probed;
           searched += ts.level_ranges[replay_order_[j]].cell_count_ld();
           if (hit_found_[j] != 0) {
             result = hit_id_[j];
             st.found = true;
             done = true;
+            note_hit_rank(j);
             break;
           }
           if (epsilon > 0 && searched >= coverage_target) {

@@ -31,6 +31,14 @@
 // probes first, which on hit-dense workloads usually decides the level —
 // is found with one O(m) scan and probed alone before any ordering work;
 // only a miss engages the sort + sweep machinery for the remaining ranks.
+// dominance_options::head_probe generalizes that head: a fixed depth h
+// probes the top-h volume ranks individually (one sort, then h fresh
+// descents) before the sweep answers the rest, and h == 0 picks the depth
+// adaptively from the plan's running histogram of the ranks past hits
+// landed at. The pinned default h = 1 keeps the scan-only fast path;
+// results and every logical query_stats field are identical at every
+// depth (the probe order never changes — only the restart/resume split of
+// the physical counters moves).
 // Two prunings keep the sweep from touching runs the replay can never
 // reach: (a) with epsilon > 0 the coverage stop point depends only on run
 // volumes, so the sweep is cut to the exact volume-order prefix the replay
@@ -67,6 +75,7 @@
 // query_plan over the shared index.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <variant>
@@ -118,6 +127,18 @@ class query_plan {
   std::optional<std::uint64_t> run_impl(typed_state<K>& ts, const point& x, double epsilon,
                                         query_stats* stats);
 
+  // --- adaptive head-probe estimate (dominance_options::head_probe == 0) --
+  // A per-plan running histogram of the volume rank at which queries hit
+  // within a level (ranks >= kAdaptiveMaxHead - 1 pool in the last bucket).
+  // The adaptive depth is the smallest rank prefix that captured >= 90% of
+  // past hits; until kAdaptiveMinSamples hits are seen it stays at the
+  // pinned default of 1. Plain plan state, not synchronized: a plan is
+  // single-threaded scratch by contract.
+  static constexpr std::size_t kAdaptiveMaxHead = 8;
+  static constexpr std::uint64_t kAdaptiveMinSamples = 32;
+  void note_hit_rank(std::size_t rank);
+  [[nodiscard]] std::size_t adaptive_head_depth() const;
+
   const dominance_index* index_;
   std::vector<u512> level_counts_;  // Lemma 3.5 counts, reused per query
   // Batched-probe scratch (key-type independent, reused across queries):
@@ -132,6 +153,8 @@ class query_plan {
   std::vector<std::uint32_t> suffix_min_rank_;
   std::vector<std::uint8_t> hit_found_;
   std::vector<std::uint64_t> hit_id_;
+  std::array<std::uint64_t, kAdaptiveMaxHead> hit_rank_counts_{};
+  std::uint64_t hit_total_ = 0;
   std::variant<typed_state<std::uint64_t>, typed_state<u128>, typed_state<u512>> state_;
 };
 

@@ -170,6 +170,148 @@ TEST(Network, BadBrokerIdsThrow) {
   EXPECT_THROW((void)net.broker_at(5), std::invalid_argument);
 }
 
+// --- deterministic-vs-parallel equivalence ---------------------------------
+//
+// The parallel engine's contract (network.h): for every worker count, a
+// parallel network fed the same operation sequence as a deterministic one
+// must end with identical routing tables, identical forwarded sets,
+// identical per-publish delivery sets, and identical metric totals (all
+// counters; covering_check_ns is a timer and excluded by same_counters).
+
+namespace {
+
+network_options sfc_opts(double eps, int workers) {
+  network_options o;
+  o.use_covering = true;
+  o.epsilon = eps;
+  o.workers = workers;
+  o.factory = [](const schema& sc) {
+    sfc_covering_options so;
+    so.max_cubes = 2048;
+    return std::make_unique<sfc_covering_index>(sc, so);
+  };
+  return o;
+}
+
+// Runs the same seeded churn workload (subscribes, unsubscribes, publishes)
+// on both networks, asserting per-publish delivery equality along the way.
+void run_identical_churn(network& a, network& b, const schema& s, std::uint64_t seed,
+                         int steps) {
+  workload::subscription_gen subs(s, {}, seed);
+  workload::event_gen events(s, seed + 1);
+  rng gen(seed + 2);
+  const auto n = static_cast<std::size_t>(a.broker_count());
+  std::vector<sub_id> active;
+  for (int step = 0; step < steps; ++step) {
+    const auto roll = gen.uniform(0, 9);
+    if (roll < 5 || active.empty()) {
+      const auto at = static_cast<int>(gen.index(n));
+      const auto body = subs.next();
+      const auto ida = a.subscribe(at, body);
+      const auto idb = b.subscribe(at, body);
+      ASSERT_EQ(ida, idb);
+      active.push_back(ida);
+    } else if (roll < 7) {
+      const auto pick = gen.index(active.size());
+      ASSERT_TRUE(a.unsubscribe(active[pick]));
+      ASSERT_TRUE(b.unsubscribe(active[pick]));
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto ev = events.next();
+      const auto at = static_cast<int>(gen.index(n));
+      EXPECT_EQ(a.publish(at, ev), b.publish(at, ev)) << "step " << step;
+    }
+  }
+}
+
+void expect_same_final_state(const network& a, const network& b) {
+  ASSERT_EQ(a.broker_count(), b.broker_count());
+  for (int i = 0; i < a.broker_count(); ++i) {
+    EXPECT_EQ(a.broker_at(i).table(), b.broker_at(i).table()) << "broker " << i;
+    for (int j = 0; j < a.broker_count(); ++j)
+      EXPECT_EQ(a.broker_at(i).forwarded_ids(j), b.broker_at(i).forwarded_ids(j))
+          << "broker " << i << " link " << j;
+  }
+  EXPECT_EQ(a.total_routing_entries(), b.total_routing_entries());
+  EXPECT_TRUE(same_counters(a.metrics(), b.metrics()))
+      << "deterministic: " << a.metrics().to_string()
+      << "\nparallel:      " << b.metrics().to_string();
+}
+
+}  // namespace
+
+TEST(Network, ParallelMatchesDeterministicAcrossWorkerCounts) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  for (const std::uint64_t seed : {131U, 232U}) {
+    for (const int workers : {1, 2, 4, 8}) {
+      network det(topology::balanced_tree(2, 3), s, sfc_opts(0.1, 0));
+      network par(topology::balanced_tree(2, 3), s, sfc_opts(0.1, workers));
+      run_identical_churn(det, par, s, seed, 120);
+      expect_same_final_state(det, par);
+    }
+  }
+}
+
+TEST(Network, ParallelMatchesDeterministicOnStarTopology) {
+  // A star maximizes per-broker link fan-out: the hub's covering checks
+  // spread over every shard on every message, the hardest case for the
+  // shard merge to keep deterministic.
+  const schema s = workload::make_uniform_schema(2, 8);
+  network det(topology::star(13), s, sfc_opts(0.0, 0));
+  network par(topology::star(13), s, sfc_opts(0.0, 4));
+  run_identical_churn(det, par, s, 555, 150);
+  expect_same_final_state(det, par);
+}
+
+TEST(Network, ParallelDeliveryCompletenessWithCovering) {
+  // The safety property must survive the async engine: no deliveries lost
+  // at any worker count, validated against ground truth.
+  const schema s = workload::make_uniform_schema(2, 8);
+  for (const int workers : {1, 4}) {
+    network net(topology::balanced_tree(2, 3), s, sfc_opts(0.1, workers));
+    workload::subscription_gen subs(s, {}, 717);
+    workload::event_gen events(s, 818);
+    rng pick(919);
+    for (int i = 0; i < 100; ++i)
+      (void)net.subscribe(static_cast<int>(pick.index(15)), subs.next());
+    for (int e = 0; e < 40; ++e) {
+      const auto ev = events.next();
+      EXPECT_EQ(net.publish(static_cast<int>(pick.index(15)), ev),
+                net.expected_recipients(ev))
+          << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Network, ShardLocalScratchSurvivesConcurrentChecks) {
+  // Race test for the shard-local covering scratch: a high-fanout hub broker
+  // whose every subscribe fans one covering check out per link shard, at a
+  // worker count that forces genuine overlap. Any sharing of check scratch
+  // or query-plan state across shards is a data race here (caught by the
+  // TSan CI job) and a wrong-suppression bug (caught by the equivalence
+  // check below).
+  const schema s = workload::make_uniform_schema(2, 8);
+  network det(topology::star(9), s, sfc_opts(0.05, 0));
+  network par(topology::star(9), s, sfc_opts(0.05, 8));
+  workload::subscription_gen_options wo;
+  wo.kind = workload::workload_kind::clustered;
+  workload::subscription_gen subs(s, wo, 4242);
+  for (int i = 0; i < 150; ++i) {
+    // Subscribe at the hub: every check batch spans all 8 outgoing shards.
+    const auto body = subs.next();
+    (void)det.subscribe(0, body);
+    (void)par.subscribe(0, body);
+  }
+  expect_same_final_state(det, par);
+}
+
+TEST(Network, BadWorkerCountThrows) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  network_options o = with_linear(true);
+  o.workers = -1;
+  EXPECT_THROW(network(topology::line(2), s, o), std::invalid_argument);
+}
+
 TEST(Network, DefaultFactoryIsSfc) {
   const schema s = workload::make_uniform_schema(1, 8);
   network net(topology::line(2), s, {});

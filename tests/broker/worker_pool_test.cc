@@ -1,0 +1,121 @@
+#include "broker/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace subcover {
+namespace {
+
+TEST(WorkerPool, SubmitRunsEveryJob) {
+  std::atomic<int> ran{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  {
+    worker_pool pool(4);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&] {
+        if (ran.fetch_add(1) + 1 == 100) {
+          const std::lock_guard<std::mutex> lock(mu);
+          cv.notify_all();
+        }
+      });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ran.load() == 100; });
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(WorkerPool, DestructorCompletesQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    worker_pool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ran.fetch_add(1); });
+  }  // ~worker_pool drains the queue before joining
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(WorkerPool, RunBatchRunsEachIndexExactlyOnce) {
+  for (const int workers : {1, 2, 4, 8}) {
+    worker_pool pool(workers);
+    constexpr std::size_t kN = 500;
+    std::vector<std::atomic<int>> counts(kN);
+    pool.run_batch(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(counts[i].load(), 1) << "workers=" << workers << " i=" << i;
+  }
+}
+
+TEST(WorkerPool, RunBatchOfZeroAndOne) {
+  worker_pool pool(3);
+  pool.run_batch(0, [&](std::size_t) { FAIL() << "no indexes to run"; });
+  int ran = 0;
+  pool.run_batch(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0U);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(WorkerPool, RunBatchInsideWorkerJobDoesNotDeadlock) {
+  // The broker network's shape: a submitted job (a broker draining its
+  // inbox) forks a batch (its per-link covering shards) and joins it. The
+  // caller participates in its own batch, so this must complete even when
+  // every pool thread is busy — including a pool of size 1.
+  for (const int workers : {1, 2, 4}) {
+    worker_pool pool(workers);
+    std::atomic<int> items{0};
+    std::atomic<int> jobs_done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    constexpr int kJobs = 8;
+    for (int j = 0; j < kJobs; ++j)
+      pool.submit([&] {
+        pool.run_batch(16, [&](std::size_t) { items.fetch_add(1); });
+        if (jobs_done.fetch_add(1) + 1 == kJobs) {
+          const std::lock_guard<std::mutex> lock(mu);
+          cv.notify_all();
+        }
+      });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return jobs_done.load() == kJobs; });
+    EXPECT_EQ(items.load(), kJobs * 16);
+  }
+}
+
+TEST(WorkerPool, RunBatchRethrowsFirstJobException) {
+  // A throwing job must neither terminate a pool worker nor deadlock the
+  // join: the batch runs every index and the caller gets the exception.
+  for (const int workers : {1, 4}) {
+    worker_pool pool(workers);
+    std::atomic<int> attempted{0};
+    EXPECT_THROW(
+        pool.run_batch(32,
+                       [&](std::size_t i) {
+                         attempted.fetch_add(1);
+                         if (i % 7 == 3) throw std::runtime_error("shard failed");
+                       }),
+        std::runtime_error)
+        << "workers=" << workers;
+    EXPECT_EQ(attempted.load(), 32) << "workers=" << workers;
+    // The pool must still be usable afterwards.
+    int ran = 0;
+    pool.run_batch(4, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 4);
+  }
+}
+
+TEST(WorkerPool, ClampsToAtLeastOneWorker) {
+  worker_pool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  int ran = 0;
+  pool.run_batch(3, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 3);
+}
+
+}  // namespace
+}  // namespace subcover

@@ -100,6 +100,115 @@ TEST(Interleave, HighCoordinateBitsIgnored) {
   }
 }
 
+// Wide-key dispatch (u128 / u512 word-sliced BMI2 ladder, or the loop on
+// non-BMI2 hosts) agrees with the u512 per-bit loop reference on every
+// (dims, bits) shape — exhaustively over all keys on small shapes.
+TEST(Interleave, WideDispatchMatchesLoopExhaustive) {
+  for (int dims = 1; dims <= 8; ++dims) {
+    for (int bits = 1; dims * bits <= 14; ++bits) {
+      const std::uint64_t keys = std::uint64_t{1} << (dims * bits);
+      for (std::uint64_t key = 0; key < keys; ++key) {
+        std::array<std::uint32_t, kMaxDims> coords{};
+        deinterleave_bits_loop(key, coords.data(), dims, bits);
+        ASSERT_EQ(interleave_bits<u128>(coords.data(), dims, bits), u128(key))
+            << "dims=" << dims << " bits=" << bits;
+        ASSERT_EQ(interleave_bits<u512>(coords.data(), dims, bits), u512(key))
+            << "dims=" << dims << " bits=" << bits;
+        std::array<std::uint32_t, kMaxDims> via128{};
+        std::array<std::uint32_t, kMaxDims> via512{};
+        deinterleave_bits(u128(key), via128.data(), dims, bits);
+        deinterleave_bits(u512(key), via512.data(), dims, bits);
+        for (int d = 0; d < dims; ++d) {
+          ASSERT_EQ(via128[static_cast<std::size_t>(d)], coords[static_cast<std::size_t>(d)])
+              << "dims=" << dims << " bits=" << bits << " key=" << key;
+          ASSERT_EQ(via512[static_cast<std::size_t>(d)], coords[static_cast<std::size_t>(d)])
+              << "dims=" << dims << " bits=" << bits << " key=" << key;
+        }
+      }
+    }
+  }
+}
+
+// Wide shapes up to the full 512-bit key (the word-sliced ladder crosses
+// every word boundary here): randomized coordinates against the u512 loop.
+TEST(Interleave, WideDispatchMatchesLoopRandomizedAllShapes) {
+  rng gen(3456);
+  for (int dims = 1; dims <= kMaxDims; ++dims) {
+    const int max_bits = std::min(512 / dims, static_cast<int>(kMaxBitsPerDim));
+    for (int bits = 1; bits <= max_bits; ++bits) {
+      const int trials = dims * bits > 64 ? 20 : 5;
+      for (int trial = 0; trial < trials; ++trial) {
+        std::array<std::uint32_t, kMaxDims> coords{};
+        for (int d = 0; d < dims; ++d)
+          coords[static_cast<std::size_t>(d)] =
+              static_cast<std::uint32_t>(gen.next()) &
+              ((bits < 32 ? std::uint32_t{1} << bits : 0U) - 1);
+        const u512 wide = interleave_bits_loop<u512>(coords.data(), dims, bits);
+        ASSERT_EQ(interleave_bits<u512>(coords.data(), dims, bits), wide)
+            << "dims=" << dims << " bits=" << bits;
+        if (dims * bits <= 128) {
+          const u128 k128 = interleave_bits<u128>(coords.data(), dims, bits);
+          ASSERT_EQ((u512(static_cast<std::uint64_t>(k128 >> 64)) << 64) |
+                        u512(static_cast<std::uint64_t>(k128)),
+                    wide)
+              << "dims=" << dims << " bits=" << bits;
+          std::array<std::uint32_t, kMaxDims> back128{};
+          deinterleave_bits(k128, back128.data(), dims, bits);
+          for (int d = 0; d < dims; ++d)
+            ASSERT_EQ(back128[static_cast<std::size_t>(d)],
+                      coords[static_cast<std::size_t>(d)]);
+        }
+        std::array<std::uint32_t, kMaxDims> back{};
+        deinterleave_bits(wide, back.data(), dims, bits);
+        for (int d = 0; d < dims; ++d)
+          ASSERT_EQ(back[static_cast<std::size_t>(d)], coords[static_cast<std::size_t>(d)])
+              << "dims=" << dims << " bits=" << bits;
+      }
+    }
+  }
+}
+
+#if SUBCOVER_BMI2_DISPATCH
+// When the host has BMI2, pin the wide intrinsic kernels against the loop
+// directly on every shape (the dispatch tests above would silently test
+// loop-vs-loop on a pre-BMI2 machine).
+TEST(Interleave, Bmi2WideKernelsMatchLoopWhenAvailable) {
+  if (!detail::cpu_has_bmi2()) GTEST_SKIP() << "host CPU lacks BMI2";
+  rng gen(6543);
+  for (int dims = 1; dims <= kMaxDims; ++dims) {
+    const int max_bits = std::min(512 / dims, static_cast<int>(kMaxBitsPerDim));
+    for (int bits = 0; bits <= max_bits; ++bits) {
+      const std::uint32_t coord_mask =
+          bits == 0 ? 0U : bits >= 32 ? ~0U : (std::uint32_t{1} << bits) - 1;
+      for (int trial = 0; trial < 12; ++trial) {
+        std::array<std::uint32_t, kMaxDims> coords{};
+        for (int d = 0; d < dims; ++d)
+          coords[static_cast<std::size_t>(d)] =
+              static_cast<std::uint32_t>(gen.next()) & coord_mask;
+        const u512 wide = interleave_bits_loop<u512>(coords.data(), dims, bits);
+        ASSERT_EQ(detail::interleave_bits_bmi2_u512(coords.data(), dims, bits), wide)
+            << "dims=" << dims << " bits=" << bits;
+        std::array<std::uint32_t, kMaxDims> back{};
+        detail::deinterleave_bits_bmi2_u512(wide, back.data(), dims, bits);
+        for (int d = 0; d < dims; ++d)
+          ASSERT_EQ(back[static_cast<std::size_t>(d)], coords[static_cast<std::size_t>(d)])
+              << "dims=" << dims << " bits=" << bits;
+        if (dims * bits <= 128) {
+          const u128 loop128 = interleave_bits_loop<u128>(coords.data(), dims, bits);
+          ASSERT_EQ(detail::interleave_bits_bmi2_u128(coords.data(), dims, bits), loop128)
+              << "dims=" << dims << " bits=" << bits;
+          std::array<std::uint32_t, kMaxDims> back128{};
+          detail::deinterleave_bits_bmi2_u128(loop128, back128.data(), dims, bits);
+          for (int d = 0; d < dims; ++d)
+            ASSERT_EQ(back128[static_cast<std::size_t>(d)],
+                      coords[static_cast<std::size_t>(d)]);
+        }
+      }
+    }
+  }
+}
+#endif
+
 #if SUBCOVER_BMI2_DISPATCH
 // When the host has BMI2, pin the intrinsic kernels against the loop
 // directly (the dispatch tests above would silently test loop-vs-loop on a
