@@ -7,12 +7,34 @@
 //     doubles as a coarse regression harness.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <string>
 
 #include "util/table.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace subcover::bench {
+
+// Peak resident set size of this process in bytes; 0 where the platform
+// offers no getrusage. Monotone over the process lifetime, so a reading
+// after building an index upper-bounds everything built so far.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // already bytes
+#elif defined(__unix__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#else
+  return 0;
+#endif
+}
 
 inline void banner(const std::string& id, const std::string& title,
                    const std::string& paper_anchor) {

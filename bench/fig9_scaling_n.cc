@@ -6,7 +6,9 @@
 // n grows, for the SFC approximate detector vs the linear-scan exact
 // baseline and the Monte-Carlo baseline (both Theta(n) per check). The SFC
 // curve should stay nearly flat; the scan baselines grow linearly.
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "covering/linear_covering_index.h"
@@ -24,7 +26,12 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const int queries = static_cast<int>(flags.get_int("queries", 250));
   const auto max_n = static_cast<sub_id>(flags.get_int("max-subs", 100'000));
+  // --subs extends the sweep past the default ceiling (300k, 1M, ... up to
+  // N); 0 keeps the classic --max-subs behavior. The default output is
+  // unchanged.
+  const auto subs = static_cast<sub_id>(flags.get_int("subs", 0));
   flags.finish();
+  const sub_id ceiling = subs > 0 ? subs : max_n;
 
   bench::banner("E9", "Covering-check latency vs number of indexed subscriptions",
                 "Section 1.3 (sublinearity in n)");
@@ -52,12 +59,17 @@ int main(int argc, char** argv) {
   }
 
   ascii_table table({"n", "sfc median us", "sfc probes", "linear us (covered)",
-                     "linear us (uncovered)", "mc-sampled us", "sfc detection rate"});
+                     "linear us (uncovered)", "mc-sampled us", "sfc detection rate",
+                     "peak rss MB"});
   std::vector<double> ns, sfc_probe_series;
   std::vector<double> ns_uncov, linear_uncov_series;  // only rows with misses
+  std::vector<sub_id> sweep = {1'000, 3'000, 10'000, 30'000, 100'000, 300'000, 1'000'000};
+  if (std::find(sweep.begin(), sweep.end(), ceiling) == sweep.end())
+    sweep.push_back(ceiling);
+  std::sort(sweep.begin(), sweep.end());
   sub_id next_id = 0;
-  for (sub_id n : {1'000ULL, 3'000ULL, 10'000ULL, 30'000ULL, 100'000ULL}) {
-    if (n > max_n) break;
+  for (const sub_id n : sweep) {
+    if (n > ceiling) break;
     while (next_id < n) {
       const auto sub = gen.next();
       sfc.insert(next_id, sub);
@@ -86,7 +98,9 @@ int main(int argc, char** argv) {
     table.add_row({fmt_u64(n), fmt_double(sfc_median, 1), fmt_double(probes.mean(), 1),
                    lin_cov_us.count() > 0 ? fmt_double(lin_cov_us.mean(), 1) : "-",
                    lin_uncov_us.count() > 0 ? fmt_double(lin_uncov_us.mean(), 1) : "-",
-                   fmt_double(mc_us.mean(), 1), fmt_percent(rate)});
+                   fmt_double(mc_us.mean(), 1), fmt_percent(rate),
+                   fmt_double(static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0),
+                              1)});
     ns.push_back(static_cast<double>(n));
     sfc_probe_series.push_back(std::max(probes.mean(), 0.01));
     if (lin_uncov_us.count() > 0) {

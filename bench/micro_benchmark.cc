@@ -8,6 +8,7 @@
 // probes/cubes/runs counters feed the perf-trajectory tracking.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <optional>
 #include <span>
@@ -325,6 +326,54 @@ void BM_DominanceQueryWidth(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(restarts), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_DominanceQueryWidth)->Arg(48)->Arg(96)->Arg(256);
+
+// Bytes per subscription held by the dominance array, the storage headline
+// of the compressed cold tier. ArgPair: (key bits 48/96/256, mode: 0 =
+// materialized resident array — the default skiplist backend — 1 = tiered
+// with the compressed cold store). 20k clustered points (fig9's
+// covering-rich regime: key locality is what gap coding monetizes), loaded
+// through the bulk path so the tiered side lands cold. The timed loop only
+// measures the footprint audit itself; the counters are the metric:
+// bytes_per_sub feeds the compression-floor gate in bench_compare.py
+// (resident / tiered must stay >= 3x).
+void BM_MemoryFootprint(benchmark::State& state) {
+  const universe u = width_universe(state.range(0));
+  const bool tiered = state.range(1) != 0;
+  dominance_options opts;  // default array = skiplist, the production backend
+  if (tiered) {
+    opts.tier_hot_capacity = 1024;
+    opts.tier_block_entries = 64;
+  }
+  dominance_index idx(u, opts);
+  rng gen(23);
+  constexpr std::size_t kSubs = 20'000;
+  std::vector<std::pair<point, std::uint64_t>> pts;
+  pts.reserve(kSubs);
+  point center(u.dims());
+  for (std::size_t i = 0; i < kSubs; ++i) {
+    if (i % 100 == 0)
+      for (int d = 0; d < u.dims(); ++d)
+        center[d] = static_cast<std::uint32_t>(gen.uniform(0, u.coord_max()));
+    point p(u.dims());
+    for (int d = 0; d < u.dims(); ++d) {
+      const std::uint64_t c = center[d] + gen.uniform(0, 15);
+      p[d] = static_cast<std::uint32_t>(std::min<std::uint64_t>(c, u.coord_max()));
+    }
+    pts.emplace_back(p, i);
+  }
+  idx.insert_batch(pts);
+  for (auto _ : state) benchmark::DoNotOptimize(idx.memory_footprint());
+  state.counters["bytes_per_sub"] =
+      static_cast<double>(idx.memory_footprint()) / static_cast<double>(kSubs);
+  state.counters["bytes_total"] = static_cast<double>(idx.memory_footprint());
+}
+BENCHMARK(BM_MemoryFootprint)
+    ->ArgPair(48, 0)
+    ->ArgPair(48, 1)
+    ->ArgPair(96, 0)
+    ->ArgPair(96, 1)
+    ->ArgPair(256, 0)
+    ->ArgPair(256, 1);
 
 // The batched probe primitive in isolation: one probe_frontier sweep over a
 // 64-range sorted frontier vs 64 independent first_in probes, on both

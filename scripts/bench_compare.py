@@ -3,6 +3,8 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+                     [--bytes-threshold 0.10] [--compression-floor 3.0]
+                     [--counters-only]
 
 For every benchmark present in both files, the per-op real_time of CURRENT
 is compared against BASELINE; the script exits non-zero if any benchmark is
@@ -14,6 +16,19 @@ present in only one file are reported but never fail the run, so adding or
 retiring benchmarks does not break CI. Improvements are reported for the
 perf trajectory.
 
+Bytes gating: benchmarks reporting a `bytes_per_sub` counter (the
+BM_MemoryFootprint family) are additionally gated on that counter — growth
+beyond BYTES_THRESHOLD vs the baseline fails. Bytes are deterministic
+(structure audits, not timings), so this gate is meaningful even on
+unoptimized builds: `--counters-only` skips every timing gate and checks
+only the bytes counters, which is what the CI memory-footprint smoke job
+runs against a Debug binary.
+
+Compression floor: within CURRENT alone, each BM_MemoryFootprint width pair
+(`.../<bits>/0` = materialized resident array, `.../<bits>/1` = compressed
+tier) must satisfy resident / tiered >= COMPRESSION_FLOOR (default 3.0) —
+the cold tier's storage headline. Set --compression-floor 0 to disable.
+
 This is the regression gate of the repo's perf tracking: CI runs
 micro_benchmark, then compares the fresh output against the committed
 BENCH_micro.json (the per-PR archived run; see ROADMAP.md).
@@ -21,6 +36,7 @@ BENCH_micro.json (the per-PR archived run; see ROADMAP.md).
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -33,10 +49,12 @@ def load(path):
         if b.get("run_type") == "aggregate":
             continue
         ips = b.get("items_per_second")
+        bps = b.get("bytes_per_sub")
         out[b["name"]] = {
             "real_time": float(b["real_time"]),
             "time_unit": b.get("time_unit", "ns"),
             "items_per_second": float(ips) if ips is not None else None,
+            "bytes_per_sub": float(bps) if bps is not None else None,
         }
     return out
 
@@ -52,21 +70,8 @@ def slowdown_ratio(base, cur):
     return cur["real_time"] / base["real_time"], "time"
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.10,
-        help="allowed per-op slowdown fraction before failing (default 0.10)",
-    )
-    args = parser.parse_args()
-
-    base = load(args.baseline)
-    cur = load(args.current)
-
+def gate_times(base, cur, threshold):
+    """The classic per-op timing gate. Returns the failure list."""
     regressions = []
     rows = []
     for name in sorted(set(base) | set(cur)):
@@ -79,10 +84,10 @@ def main():
         ratio, metric = slowdown_ratio(base[name], cur[name])
         b, c = base[name]["real_time"], cur[name]["real_time"]
         status = "ok"
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + threshold:
             status = f"REGRESSION ({metric})"
             regressions.append((name, b, c, ratio))
-        elif ratio < 1.0 - args.threshold:
+        elif ratio < 1.0 - threshold:
             status = "improved"
         rows.append((name, b, c, ratio, status))
 
@@ -93,17 +98,134 @@ def main():
         cs = f"{c:14.1f}" if c is not None else f"{'-':>14s}"
         rs = f"{ratio:8.3f}" if ratio is not None else f"{'-':>8s}"
         print(f"{name:{width}s} {bs} {cs} {rs}  {status}")
+    return regressions
 
-    if regressions:
+
+def gate_bytes(base, cur, threshold):
+    """Gate bytes_per_sub counters: cur may not grow past baseline by more
+    than `threshold` (lower is better; shrinkage never fails)."""
+    regressions = []
+    names = sorted(
+        n
+        for n in set(base) & set(cur)
+        if base[n]["bytes_per_sub"] is not None and cur[n]["bytes_per_sub"] is not None
+    )
+    if not names:
+        return regressions
+    width = max(len(n) for n in names)
+    print(f"\n{'bytes counter':{width}s} {'baseline':>14s} {'current':>14s} {'ratio':>8s}  status")
+    for name in names:
+        b, c = base[name]["bytes_per_sub"], cur[name]["bytes_per_sub"]
+        ratio = float("inf") if b <= 0 else c / b
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION (bytes)"
+            regressions.append((name, b, c, ratio))
+        elif ratio < 1.0 - threshold:
+            status = "improved"
+        print(f"{name:{width}s} {b:14.1f} {c:14.1f} {ratio:8.3f}  {status}")
+    return regressions
+
+
+def gate_compression_floor(cur, floor):
+    """Within CURRENT alone: for each BM_MemoryFootprint width, the
+    materialized (/0) bytes_per_sub over the tiered (/1) bytes_per_sub must
+    be at least `floor`."""
+    failures = []
+    pat = re.compile(r"^(BM_MemoryFootprint/\d+)/([01])$")
+    pairs = {}
+    for name, vals in cur.items():
+        m = pat.match(name)
+        if m and vals["bytes_per_sub"] is not None:
+            pairs.setdefault(m.group(1), {})[m.group(2)] = vals["bytes_per_sub"]
+    for stem in sorted(pairs):
+        p = pairs[stem]
+        if "0" not in p or "1" not in p:
+            continue
+        ratio = float("inf") if p["1"] <= 0 else p["0"] / p["1"]
+        ok = ratio >= floor
         print(
-            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"compression {stem}: resident {p['0']:.1f} B/sub, tiered {p['1']:.1f} B/sub "
+            f"-> {ratio:.2f}x ({'ok' if ok else f'BELOW FLOOR {floor:.1f}x'})"
+        )
+        if not ok:
+            failures.append((stem, ratio))
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed per-op slowdown fraction before failing (default 0.10)",
+    )
+    parser.add_argument(
+        "--bytes-threshold",
+        type=float,
+        default=0.10,
+        help="allowed bytes_per_sub growth fraction before failing (default 0.10)",
+    )
+    parser.add_argument(
+        "--compression-floor",
+        type=float,
+        default=3.0,
+        help="required resident/tiered bytes_per_sub ratio within CURRENT "
+        "(BM_MemoryFootprint pairs; 0 disables; default 3.0)",
+    )
+    parser.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="skip all timing gates; check only bytes counters and the "
+        "compression floor (for unoptimized smoke builds)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    time_regressions = [] if args.counters_only else gate_times(base, cur, args.threshold)
+    bytes_regressions = gate_bytes(base, cur, args.bytes_threshold)
+    floor_failures = (
+        gate_compression_floor(cur, args.compression_floor)
+        if args.compression_floor > 0
+        else []
+    )
+
+    failed = False
+    if time_regressions:
+        failed = True
+        print(
+            f"\nFAIL: {len(time_regressions)} benchmark(s) regressed more than "
             f"{args.threshold:.0%} vs {args.baseline}:",
             file=sys.stderr,
         )
-        for name, b, c, ratio in regressions:
+        for name, b, c, ratio in time_regressions:
             print(f"  {name}: {b:.1f} -> {c:.1f} ns ({ratio:.2f}x)", file=sys.stderr)
+    if bytes_regressions:
+        failed = True
+        print(
+            f"\nFAIL: {len(bytes_regressions)} bytes counter(s) grew more than "
+            f"{args.bytes_threshold:.0%} vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for name, b, c, ratio in bytes_regressions:
+            print(f"  {name}: {b:.1f} -> {c:.1f} B/sub ({ratio:.2f}x)", file=sys.stderr)
+    if floor_failures:
+        failed = True
+        print(
+            f"\nFAIL: {len(floor_failures)} BM_MemoryFootprint pair(s) below the "
+            f"{args.compression_floor:.1f}x compression floor:",
+            file=sys.stderr,
+        )
+        for stem, ratio in floor_failures:
+            print(f"  {stem}: {ratio:.2f}x", file=sys.stderr)
+    if failed:
         return 1
-    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}.")
+    print(f"\nOK: no regression (times, bytes) and compression floor holds.")
     return 0
 
 

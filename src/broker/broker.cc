@@ -53,6 +53,10 @@ bool broker::covered_on_shard(const link_shard& shard, const subscription& s,
   metrics.covering_runs_probed += shard.scratch.dominance.runs_probed;
   metrics.covering_probes_restarted += shard.scratch.dominance.probes_restarted;
   metrics.covering_probes_resumed += shard.scratch.dominance.probes_resumed;
+  metrics.covering_tier_cold_probes += shard.scratch.dominance.tier_cold_probes;
+  metrics.covering_tier_summary_answers += shard.scratch.dominance.tier_summary_answers;
+  metrics.covering_tier_blocks_decoded += shard.scratch.dominance.tier_blocks_decoded;
+  metrics.covering_tier_cold_hits += shard.scratch.dominance.tier_cold_hits;
   if (hit.has_value()) ++metrics.covering_hits;
   return hit.has_value();
 }
@@ -200,6 +204,22 @@ std::vector<sub_id> broker::forwarded_ids(int link) const {
     out.push_back(id);
   }
   return out;
+}
+
+std::size_t broker::memory_footprint() const {
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+  std::size_t total = sizeof(*this) + table_.memory_footprint();
+  for (const auto& [link, shard] : shards_) {
+    (void)link;
+    total += kNodeOverhead + sizeof(std::pair<const int, link_shard>);
+    total += shard.index->memory_footprint();
+    for (const auto& [id, s] : shard.forwarded) {
+      (void)id;
+      total += kNodeOverhead + sizeof(std::pair<const sub_id, subscription>) +
+               static_cast<std::size_t>(s.attribute_count()) * sizeof(attr_range);
+    }
+  }
+  return total;
 }
 
 }  // namespace subcover

@@ -114,6 +114,10 @@ class broker {
   // deterministic-vs-parallel equivalence tests compare.
   [[nodiscard]] std::vector<sub_id> forwarded_ids(int link) const;
   [[nodiscard]] const routing_table& table() const { return table_; }
+  // Estimated bytes this broker holds: the routing table plus every link
+  // shard (covering index — dominance array, tiered or not, included — and
+  // the forwarded subscription bodies).
+  [[nodiscard]] std::size_t memory_footprint() const;
 
  private:
   // All forwarding state of one outgoing link. A shard is only ever touched

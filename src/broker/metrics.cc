@@ -16,6 +16,10 @@ network_metrics& network_metrics::operator+=(const network_metrics& o) {
   covering_runs_probed += o.covering_runs_probed;
   covering_probes_restarted += o.covering_probes_restarted;
   covering_probes_resumed += o.covering_probes_resumed;
+  covering_tier_cold_probes += o.covering_tier_cold_probes;
+  covering_tier_summary_answers += o.covering_tier_summary_answers;
+  covering_tier_blocks_decoded += o.covering_tier_blocks_decoded;
+  covering_tier_cold_hits += o.covering_tier_cold_hits;
   return *this;
 }
 
@@ -27,7 +31,11 @@ bool same_counters(const network_metrics& a, const network_metrics& b) {
          a.covering_hits == b.covering_hits &&
          a.covering_runs_probed == b.covering_runs_probed &&
          a.covering_probes_restarted == b.covering_probes_restarted &&
-         a.covering_probes_resumed == b.covering_probes_resumed;
+         a.covering_probes_resumed == b.covering_probes_resumed &&
+         a.covering_tier_cold_probes == b.covering_tier_cold_probes &&
+         a.covering_tier_summary_answers == b.covering_tier_summary_answers &&
+         a.covering_tier_blocks_decoded == b.covering_tier_blocks_decoded &&
+         a.covering_tier_cold_hits == b.covering_tier_cold_hits;
 }
 
 std::string network_metrics::to_string() const {
@@ -38,7 +46,11 @@ std::string network_metrics::to_string() const {
      << ", cov_hits=" << covering_hits << ", cov_ns=" << covering_check_ns
      << ", cov_runs_probed=" << covering_runs_probed
      << ", cov_restarted=" << covering_probes_restarted
-     << ", cov_resumed=" << covering_probes_resumed << "}";
+     << ", cov_resumed=" << covering_probes_resumed
+     << ", cov_tier_cold=" << covering_tier_cold_probes
+     << ", cov_tier_summary=" << covering_tier_summary_answers
+     << ", cov_tier_decoded=" << covering_tier_blocks_decoded
+     << ", cov_tier_hits=" << covering_tier_cold_hits << "}";
   return os.str();
 }
 

@@ -29,6 +29,12 @@ struct network_metrics {
   std::uint64_t covering_runs_probed = 0;
   std::uint64_t covering_probes_restarted = 0;
   std::uint64_t covering_probes_resumed = 0;
+  // Cold-tier probe work behind those checks (query_stats tier_* fields;
+  // zero unless the covering indexes enable hot/cold tiering).
+  std::uint64_t covering_tier_cold_probes = 0;
+  std::uint64_t covering_tier_summary_answers = 0;
+  std::uint64_t covering_tier_blocks_decoded = 0;
+  std::uint64_t covering_tier_cold_hits = 0;
 
   void reset_traffic() {
     event_messages = 0;

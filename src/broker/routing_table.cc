@@ -63,6 +63,23 @@ std::vector<sub_id> routing_table::matching_subs(int link, const event& e) const
   return out;
 }
 
+std::size_t routing_table::memory_footprint() const {
+  // Four pointers-worth of red-black node header per map element, plus the
+  // subscription payload (one attr_range per attribute).
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+  std::size_t total = sizeof(*this);
+  for (const auto& [link, subs] : received_) {
+    (void)link;
+    total += kNodeOverhead + sizeof(std::pair<const int, std::map<sub_id, subscription>>);
+    for (const auto& [id, s] : subs) {
+      (void)id;
+      total += kNodeOverhead + sizeof(std::pair<const sub_id, subscription>) +
+               static_cast<std::size_t>(s.attribute_count()) * sizeof(attr_range);
+    }
+  }
+  return total;
+}
+
 std::vector<std::pair<sub_id, subscription>> routing_table::subs_not_from(int exclude) const {
   std::vector<std::pair<sub_id, subscription>> out;
   for (const auto& [link, subs] : received_) {

@@ -37,6 +37,10 @@ class routing_table {
   // All (id, subscription) pairs received over links other than `exclude`.
   [[nodiscard]] std::vector<std::pair<sub_id, subscription>> subs_not_from(int exclude) const;
 
+  // Estimated bytes the table owns: per-link and per-entry tree nodes plus
+  // the subscription rectangle payloads.
+  [[nodiscard]] std::size_t memory_footprint() const;
+
   // Full-state equality (same links, same ids, same subscription bodies) —
   // what the deterministic-vs-parallel network equivalence tests compare.
   friend bool operator==(const routing_table&, const routing_table&) = default;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -66,11 +67,31 @@ class covering_index {
       const subscription& s, double epsilon, covering_check_stats* stats = nullptr) const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;
+  // Bytes the index owns: search structures (for the SFC index, the
+  // dominance array — hot + compressed cold tier when tiering is enabled)
+  // plus the stored subscription rectangles. Structural overhead is
+  // counted; see basic_sfc_array::memory_footprint for the conventions.
+  [[nodiscard]] virtual std::size_t memory_footprint() const = 0;
 
   [[nodiscard]] const schema& message_schema() const { return schema_; }
 
  protected:
   explicit covering_index(schema s) : schema_(std::move(s)) {}
+
+  // Footprint estimate for the sub_id -> subscription maps every
+  // implementation keeps: tree-node headers plus the per-subscription
+  // rectangle payload (one attr_range per schema attribute).
+  static std::size_t subscription_map_footprint(const std::map<sub_id, subscription>& subs) {
+    // Four pointers-worth of red-black node header per element.
+    constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+    std::size_t total = sizeof(subs);
+    for (const auto& [id, s] : subs) {
+      (void)id;
+      total += kNodeOverhead + sizeof(std::pair<const sub_id, subscription>) +
+               static_cast<std::size_t>(s.attribute_count()) * sizeof(attr_range);
+    }
+    return total;
+  }
 
   schema schema_;
 };

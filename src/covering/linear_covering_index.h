@@ -21,6 +21,9 @@ class linear_covering_index final : public covering_index {
       covering_check_stats* stats = nullptr) const override;
   [[nodiscard]] std::size_t size() const override { return subs_.size(); }
   [[nodiscard]] std::string_view name() const override { return "linear-scan"; }
+  [[nodiscard]] std::size_t memory_footprint() const override {
+    return sizeof(*this) + subscription_map_footprint(subs_);
+  }
 
   // All ids whose subscriptions cover `s` (used as the oracle in tests and
   // detection-rate benches).

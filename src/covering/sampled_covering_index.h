@@ -29,6 +29,9 @@ class sampled_covering_index final : public covering_index {
       covering_check_stats* stats = nullptr) const override;
   [[nodiscard]] std::size_t size() const override { return subs_.size(); }
   [[nodiscard]] std::string_view name() const override { return "mc-sampled"; }
+  [[nodiscard]] std::size_t memory_footprint() const override {
+    return sizeof(*this) + subscription_map_footprint(subs_);
+  }
 
  private:
   std::map<sub_id, subscription> subs_;

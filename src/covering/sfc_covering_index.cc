@@ -21,6 +21,8 @@ dominance_options to_dominance_options(const sfc_covering_options& o) {
   d.head_probe = o.head_probe;
   d.max_cubes = o.max_cubes;
   d.settle_on_budget = o.settle_on_budget;
+  d.tier_hot_capacity = o.tier_hot_capacity;
+  d.tier_block_entries = o.tier_block_entries;
   return d;
 }
 

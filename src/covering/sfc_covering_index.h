@@ -48,6 +48,14 @@ struct sfc_covering_options {
   // degrades on degenerate queries.
   std::uint64_t max_cubes = std::uint64_t{1} << 16;
   bool settle_on_budget = true;
+  // Hot/cold tiering of the dominance array (see
+  // dominance_options::tier_hot_capacity): 0 = classic resident array (the
+  // default, byte-for-byte today's behavior); > 0 = keep at most this many
+  // recently inserted / recently hit entries in the probe-ready hot
+  // backend and the rest delta/varint-compressed. Detection results and
+  // logical query_stats are identical either way.
+  std::size_t tier_hot_capacity = 0;
+  std::size_t tier_block_entries = 64;
 };
 
 class sfc_covering_index final : public covering_index {
@@ -64,6 +72,9 @@ class sfc_covering_index final : public covering_index {
       covering_check_stats* stats = nullptr) const override;
   [[nodiscard]] std::size_t size() const override { return subs_.size(); }
   [[nodiscard]] std::string_view name() const override;
+  [[nodiscard]] std::size_t memory_footprint() const override {
+    return sizeof(*this) + index_.memory_footprint() + subscription_map_footprint(subs_);
+  }
 
   [[nodiscard]] const dominance_index& index() const { return index_; }
 

@@ -6,11 +6,24 @@
 #include <type_traits>
 
 #include "dominance/query_plan.h"
+#include "sfcarray/tiered_sfc_array.h"
 #include "util/bitops.h"
 
 namespace subcover {
 
 namespace {
+
+// Engine array factory honoring the tiering options: plain backend when
+// tiering is off (the default), hot/cold tiered array when on.
+template <class K>
+std::unique_ptr<basic_sfc_array<K>> make_engine_array(const dominance_options& o) {
+  if (o.tier_hot_capacity == 0) return make_basic_sfc_array<K>(o.array);
+  tiered_array_options t;
+  t.hot_backend = o.array;
+  t.hot_capacity = o.tier_hot_capacity;
+  t.block_entries = o.tier_block_entries;
+  return std::make_unique<basic_tiered_sfc_array<K>>(t);
+}
 
 // Read-only u512 adapter over a narrow array: keys are widened on the way
 // out and truncated (with clamping for over-wide probe ranges) on the way
@@ -101,6 +114,11 @@ class widening_array_view final : public sfc_array {
       fn(entry{key_traits<K>::widen(e.key), e.id});
     });
   }
+  [[nodiscard]] std::size_t memory_footprint() const override {
+    // The view owns nothing; report the viewed array so callers holding the
+    // facade see the real storage cost.
+    return inner_->memory_footprint();
+  }
 
  private:
   static K narrow_key(const u512& key) {
@@ -135,17 +153,17 @@ dominance_index::dominance_index(const universe& u, dominance_options options)
     case key_width::w64:
       engine_.emplace<engine<std::uint64_t>>(
           engine<std::uint64_t>{make_basic_curve<std::uint64_t>(options.curve, u),
-                                make_basic_sfc_array<std::uint64_t>(options.array)});
+                                make_engine_array<std::uint64_t>(options_)});
       break;
     case key_width::w128:
       engine_.emplace<engine<u128>>(engine<u128>{make_basic_curve<u128>(options.curve, u),
-                                                 make_basic_sfc_array<u128>(options.array)});
+                                                 make_engine_array<u128>(options_)});
       break;
     case key_width::w512:
     case key_width::automatic:
       width_ = key_width::w512;
       engine_.emplace<engine<u512>>(engine<u512>{make_basic_curve<u512>(options.curve, u),
-                                                 make_basic_sfc_array<u512>(options.array)});
+                                                 make_engine_array<u512>(options_)});
       break;
   }
   // Narrow engines get u512 facades so sfc()/array() keep their reference-
@@ -176,6 +194,10 @@ const sfc_array& dominance_index::array() const {
 
 std::size_t dominance_index::size() const {
   return std::visit([](const auto& e) { return e.array->size(); }, engine_);
+}
+
+std::size_t dominance_index::memory_footprint() const {
+  return std::visit([](const auto& e) { return e.array->memory_footprint(); }, engine_);
 }
 
 void dominance_index::insert(const point& p, std::uint64_t id) {

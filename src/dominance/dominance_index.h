@@ -99,6 +99,18 @@ struct dominance_options {
   // gracefully and hits are still always true.
   std::uint64_t max_cubes = std::uint64_t{1} << 24;
   bool settle_on_budget = false;
+  // Hot/cold tiering (sfcarray/tiered_sfc_array.h). 0 (the default) keeps
+  // the classic single-tier backend — every existing path is untouched.
+  // > 0 stores the index in a tiered array: `array` becomes the hot-tier
+  // backend holding at most this many recently inserted / recently hit
+  // entries, everything else lives delta/varint-compressed in a
+  // compressed_run_store and is decoded on demand. Results and all logical
+  // query_stats are byte-identical either way; the physical tier_* stats
+  // report the extra cold-tier work.
+  std::size_t tier_hot_capacity = 0;
+  // Entries per compressed cold-tier block (only meaningful when tiering
+  // is enabled).
+  std::size_t tier_block_entries = 64;
 };
 
 class query_plan;
@@ -136,6 +148,10 @@ class dominance_index {
       std::vector<query_stats>* stats = nullptr) const;
 
   [[nodiscard]] std::size_t size() const;
+  // Bytes owned by the underlying SFC array (hot + cold tiers when tiering
+  // is enabled), structural overhead included — see
+  // basic_sfc_array::memory_footprint.
+  [[nodiscard]] std::size_t memory_footprint() const;
   [[nodiscard]] const universe& space() const { return universe_; }
   // The key width the pipeline was instantiated at.
   [[nodiscard]] key_width width() const { return width_; }

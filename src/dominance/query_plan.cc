@@ -9,6 +9,7 @@
 
 #include "dominance/dominance_index.h"
 #include "sfc/extremal_decomposition.h"
+#include "sfcarray/tiered_sfc_array.h"
 #include "util/timer.h"
 
 namespace subcover {
@@ -68,6 +69,10 @@ query_plan::query_plan(const dominance_index& index) : index_(&index) {
         typed_state<K> ts;
         ts.curve = e.curve.get();
         ts.array = e.array.get();
+        // Tiered engines (tier_hot_capacity > 0) additionally expose the
+        // tiering API; a plain backend leaves `tiered` null and the plan
+        // skips all tier bookkeeping.
+        ts.tiered = dynamic_cast<basic_tiered_sfc_array<K>*>(e.array.get());
         state_.emplace<typed_state<K>>(std::move(ts));
       },
       index.engine_);
@@ -117,6 +122,11 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
   st = query_stats{};
   st.truncation_m = m;
   st.volume_fraction_planned = target.volume_ld() / vol_full;
+
+  // Tiered engine: the array's tier counters are cumulative; snapshot them
+  // here and report this query's delta at the end.
+  tier_counters tier_before;
+  if (ts.tiered != nullptr) tier_before = ts.tiered->counters();
 
   // The Section 5 search: probe standard cubes of the (truncated) region in
   // descending volume order, tracking the searched-volume ratio, and stop on
@@ -403,6 +413,17 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
     }
   }
   st.volume_fraction_searched = searched / vol_full;
+  if (ts.tiered != nullptr) {
+    const tier_counters& now = ts.tiered->counters();
+    st.tier_cold_probes = now.cold_probes - tier_before.cold_probes;
+    st.tier_summary_answers = now.summary_answers - tier_before.summary_answers;
+    st.tier_blocks_decoded = now.blocks_decoded - tier_before.blocks_decoded;
+    st.tier_cold_hits = now.cold_hits - tier_before.cold_hits;
+    // End-of-query maintenance: promote the cold entries this query hit
+    // (and flush the hot tier if an insert burst overfilled it), so the
+    // recently-hit working set is resident for the next query.
+    ts.tiered->maintain();
+  }
   st.elapsed_ns = timer.elapsed_ns();
   return result;
 }

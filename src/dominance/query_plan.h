@@ -92,6 +92,8 @@
 namespace subcover {
 
 class dominance_index;
+template <class K>
+class basic_tiered_sfc_array;
 
 class query_plan {
  public:
@@ -114,10 +116,17 @@ class query_plan {
     // No default member initializers: GCC rejects them in a nested class
     // template when std::variant's defaulted constructor is checked while
     // the enclosing class is still incomplete.
-    typed_state() : curve(nullptr), array(nullptr) {}
+    typed_state() : curve(nullptr), array(nullptr), tiered(nullptr) {}
 
     const basic_curve<K>* curve;
     const basic_sfc_array<K>* array;
+    // Non-null iff the index's array is hot/cold tiered
+    // (dominance_options::tier_hot_capacity > 0). The plan snapshots its
+    // tier counters around each query (diffed into query_stats) and runs
+    // its maintenance step — promotion of cold hits, capacity flush — at
+    // the end of run(). Non-const for exactly that maintenance call; the
+    // probe path stays read-only.
+    basic_tiered_sfc_array<K>* tiered;
     std::vector<basic_key_range<K>> level_ranges;  // run frontier (key-ascending)
     std::vector<basic_key_range<K>> probe_ranges;  // batched sweep list (coverage prefix)
     typename basic_sfc_array<K>::probe_hint hint;  // probe-locality cursor (legacy path)

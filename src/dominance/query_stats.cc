@@ -9,6 +9,8 @@ std::string query_stats::to_string() const {
   os << "query_stats{cubes=" << cubes_enumerated << ", runs_plan=" << runs_in_plan
      << ", runs_probed=" << runs_probed << ", batches=" << frontier_batches
      << ", restarted=" << probes_restarted << ", resumed=" << probes_resumed
+     << ", tier_cold=" << tier_cold_probes << ", tier_summary=" << tier_summary_answers
+     << ", tier_decoded=" << tier_blocks_decoded << ", tier_hits=" << tier_cold_hits
      << ", m=" << truncation_m
      << ", planned=" << static_cast<double>(volume_fraction_planned)
      << ", searched=" << static_cast<double>(volume_fraction_searched)

@@ -40,6 +40,21 @@ struct query_stats {
   // (early hit), and is far below it in restart cost when frontiers are
   // large.
   std::uint64_t probes_resumed = 0;
+  // --- cold-tier probe work (all zero unless tiering is enabled via
+  // dominance_options::tier_hot_capacity; see sfcarray/tiered_sfc_array.h).
+  // Physical counters like the frontier ones: results and every logical
+  // field above are identical with tiering on or off. ------------------
+  // Probes that consulted the compressed cold tier.
+  std::uint64_t tier_cold_probes = 0;
+  // Cold consults answered from the per-block envelope summaries alone
+  // ("definitely nothing in range", or the block's first entry) — no
+  // decode.
+  std::uint64_t tier_summary_answers = 0;
+  // Cold-tier blocks varint-decoded into scratch.
+  std::uint64_t tier_blocks_decoded = 0;
+  // Probes whose merged answer came from the cold tier (these entries are
+  // marked for promotion to the hot tier).
+  std::uint64_t tier_cold_hits = 0;
   // Truncation parameter m = ceil(log2(2d/epsilon)); 0 for exhaustive.
   int truncation_m = 0;
   // vol(R(t(l,m))) / vol(R(l)) — the fraction the plan covers.

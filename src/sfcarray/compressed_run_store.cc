@@ -1,0 +1,284 @@
+#include "sfcarray/compressed_run_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace subcover {
+
+namespace {
+
+template <class E>
+bool entry_less(const E& a, const E& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+template <class K>
+compressed_run_store<K>::compressed_run_store(std::size_t block_entries)
+    : block_entries_(block_entries == 0 ? 1 : block_entries) {}
+
+template <class K>
+void compressed_run_store<K>::encode_chunked(const std::vector<entry>& items, std::size_t from,
+                                             std::size_t to, std::vector<block>* blocks,
+                                             std::vector<summary>* summaries) const {
+  std::size_t b = from;
+  while (b < to) {
+    std::size_t e = std::min(b + block_entries_, to);
+    // Never split a run of equal keys across blocks: extend until the next
+    // entry starts a new key.
+    while (e < to && items[e].key == items[e - 1].key) ++e;
+
+    block blk;
+    summary s;
+    s.lo = items[b].key;
+    s.hi = items[e - 1].key;
+    s.first_id = items[b].id;
+    s.count = static_cast<std::uint32_t>(e - b);
+    detail::put_varint(blk.bytes, items[b].key);
+    detail::put_varint(blk.bytes, items[b].id);
+    for (std::size_t i = b + 1; i < e; ++i) {
+      detail::put_varint(blk.bytes, static_cast<K>(items[i].key - items[i - 1].key));
+      detail::put_varint(blk.bytes, items[i].id);
+    }
+    blk.bytes.shrink_to_fit();
+    blocks->push_back(std::move(blk));
+    summaries->push_back(s);
+    b = e;
+  }
+}
+
+template <class K>
+std::size_t compressed_run_store<K>::block_geq(const K& key) const {
+  auto it = std::lower_bound(summaries_.begin(), summaries_.end(), key,
+                             [](const summary& s, const K& k) { return s.hi < k; });
+  return static_cast<std::size_t>(it - summaries_.begin());
+}
+
+template <class K>
+const std::vector<typename compressed_run_store<K>::entry>& compressed_run_store<K>::decode(
+    std::size_t b, tier_counters* c) const {
+  if (cached_block_ == b) return cache_;
+  if (c != nullptr) ++c->blocks_decoded;
+  const summary& s = summaries_[b];
+  cache_.clear();
+  cache_.reserve(s.count);
+  const std::uint8_t* p = blocks_[b].bytes.data();
+  entry e;
+  e.key = detail::get_varint<K>(p);
+  e.id = detail::get_varint<std::uint64_t>(p);
+  cache_.push_back(e);
+  for (std::uint32_t i = 1; i < s.count; ++i) {
+    e.key = static_cast<K>(e.key + detail::get_varint<K>(p));
+    e.id = detail::get_varint<std::uint64_t>(p);
+    cache_.push_back(e);
+  }
+  cached_block_ = b;
+  return cache_;
+}
+
+template <class K>
+void compressed_run_store<K>::merge_in(std::vector<entry> items) {
+  if (items.empty()) return;
+  std::sort(items.begin(), items.end(), entry_less<entry>);
+  const std::size_t n = items.size();
+
+  if (blocks_.empty()) {
+    encode_chunked(items, 0, n, &blocks_, &summaries_);
+    size_ += n;
+    return;
+  }
+
+  std::vector<block> nb;
+  std::vector<summary> ns;
+  nb.reserve(blocks_.size() + n / block_entries_ + 1);
+  ns.reserve(nb.capacity());
+  std::vector<entry> merged;  // scratch for blocks the batch touches
+
+  std::size_t i = 0;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    // Batch entries strictly below this block's envelope become fresh
+    // blocks of their own (their keys fall in the gap between envelopes).
+    const std::size_t gap_from = i;
+    while (i < n && items[i].key < summaries_[b].lo) ++i;
+    if (i > gap_from) encode_chunked(items, gap_from, i, &nb, &ns);
+
+    if (i < n && items[i].key <= summaries_[b].hi) {
+      // The batch lands inside this block: decode, merge, re-encode.
+      std::size_t j = i;
+      while (j < n && items[j].key <= summaries_[b].hi) ++j;
+      const std::vector<entry>& old = decode(b, nullptr);
+      merged.clear();
+      merged.reserve(old.size() + (j - i));
+      std::merge(old.begin(), old.end(), items.begin() + static_cast<std::ptrdiff_t>(i),
+                 items.begin() + static_cast<std::ptrdiff_t>(j), std::back_inserter(merged),
+                 entry_less<entry>);
+      encode_chunked(merged, 0, merged.size(), &nb, &ns);
+      i = j;
+    } else {
+      // Untouched: move the encoded bytes verbatim.
+      nb.push_back(std::move(blocks_[b]));
+      ns.push_back(summaries_[b]);
+    }
+  }
+  if (i < n) encode_chunked(items, i, n, &nb, &ns);
+
+  blocks_ = std::move(nb);
+  summaries_ = std::move(ns);
+  size_ += n;
+  invalidate_cache();
+}
+
+template <class K>
+bool compressed_run_store<K>::erase(const K& key, std::uint64_t id) {
+  const std::size_t b = block_geq(key);
+  if (b >= blocks_.size() || summaries_[b].lo > key) return false;
+  const std::vector<entry>& old = decode(b, nullptr);
+  const entry target{key, id};
+  auto it = std::lower_bound(old.begin(), old.end(), target, entry_less<entry>);
+  if (it == old.end() || it->key != key || it->id != id) return false;
+
+  // Rebuild the block (or drop it) from the cache minus the hit. The cache
+  // IS the decoded block, so edit a copy, not the cache in place.
+  std::vector<entry> rest(old.begin(), it);
+  rest.insert(rest.end(), it + 1, old.end());
+  invalidate_cache();
+  --size_;
+  if (rest.empty()) {
+    blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(b));
+    summaries_.erase(summaries_.begin() + static_cast<std::ptrdiff_t>(b));
+    return true;
+  }
+  std::vector<block> nb;
+  std::vector<summary> ns;
+  encode_chunked(rest, 0, rest.size(), &nb, &ns);
+  // Splice the re-encoded block(s) in place of block b.
+  blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(b));
+  summaries_.erase(summaries_.begin() + static_cast<std::ptrdiff_t>(b));
+  blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(b),
+                 std::make_move_iterator(nb.begin()), std::make_move_iterator(nb.end()));
+  summaries_.insert(summaries_.begin() + static_cast<std::ptrdiff_t>(b), ns.begin(), ns.end());
+  return true;
+}
+
+template <class K>
+std::optional<typename compressed_run_store<K>::entry> compressed_run_store<K>::first_in(
+    const range_type& r, std::size_t* block_hint, tier_counters* c) const {
+  if (blocks_.empty() || r.lo > r.hi) return std::nullopt;
+
+  std::size_t b;
+  if (block_hint != nullptr && *block_hint != npos) {
+    // Resumed sweep: lows are non-decreasing across calls, so the first
+    // block with hi >= r.lo can only be at or after the previous answer.
+    b = *block_hint;
+    while (b < summaries_.size() && summaries_[b].hi < r.lo) ++b;
+  } else {
+    b = block_geq(r.lo);
+  }
+  if (block_hint != nullptr) *block_hint = b;
+
+  if (b >= summaries_.size() || summaries_[b].lo > r.hi) {
+    // The range falls past the last envelope or inside an envelope gap:
+    // answered negative from the summaries alone.
+    if (c != nullptr) ++c->summary_answers;
+    return std::nullopt;
+  }
+  const summary& s = summaries_[b];
+  if (r.lo <= s.lo) {
+    // The range covers the block's lower endpoint, so the block's first
+    // entry — already spelled out in the summary — is the global answer.
+    if (c != nullptr) ++c->summary_answers;
+    return entry{s.lo, s.first_id};
+  }
+  // r.lo lands strictly inside the block; decode and binary search. The
+  // block's last key equals s.hi >= r.lo, so the bound always lands on an
+  // in-block entry; it may still overshoot r.hi.
+  const std::vector<entry>& es = decode(b, c);
+  auto it = std::lower_bound(es.begin(), es.end(), entry{r.lo, 0}, entry_less<entry>);
+  if (it == es.end() || it->key > r.hi) return std::nullopt;
+  return *it;
+}
+
+template <class K>
+std::uint64_t compressed_run_store<K>::count_in(const range_type& r) const {
+  if (blocks_.empty() || r.lo > r.hi) return 0;
+  std::uint64_t total = 0;
+  for (std::size_t b = block_geq(r.lo); b < summaries_.size() && summaries_[b].lo <= r.hi; ++b) {
+    const summary& s = summaries_[b];
+    if (r.lo <= s.lo && s.hi <= r.hi) {
+      total += s.count;  // fully contained: the summary already knows
+      continue;
+    }
+    const std::vector<entry>& es = decode(b, nullptr);
+    auto lo = std::lower_bound(es.begin(), es.end(), entry{r.lo, 0}, entry_less<entry>);
+    auto hi = std::upper_bound(lo, es.end(), r.hi,
+                               [](const K& k, const entry& e) { return k < e.key; });
+    total += static_cast<std::uint64_t>(hi - lo);
+  }
+  return total;
+}
+
+template <class K>
+void compressed_run_store<K>::decode_all(std::vector<entry>* out) const {
+  out->reserve(out->size() + size_);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const std::vector<entry>& es = decode(b, nullptr);
+    out->insert(out->end(), es.begin(), es.end());
+  }
+}
+
+template <class K>
+std::size_t compressed_run_store<K>::encoded_bytes() const {
+  std::size_t total = 0;
+  for (const block& b : blocks_) total += b.bytes.size();
+  return total;
+}
+
+template <class K>
+std::size_t compressed_run_store<K>::memory_footprint() const {
+  std::size_t total = sizeof(*this);
+  total += blocks_.capacity() * sizeof(block);
+  for (const block& b : blocks_) total += b.bytes.capacity();
+  total += summaries_.capacity() * sizeof(summary);
+  total += cache_.capacity() * sizeof(entry);
+  return total;
+}
+
+template <class K>
+void compressed_run_store<K>::check_invariants() const {
+  if (blocks_.size() != summaries_.size()) {
+    throw std::logic_error("compressed_run_store: blocks/summaries size mismatch");
+  }
+  std::size_t total = 0;
+  bool have_prev = false;
+  entry prev{};
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const summary& s = summaries_[b];
+    if (s.count == 0) throw std::logic_error("compressed_run_store: empty block");
+    if (have_prev && !(prev.key < s.lo)) {
+      throw std::logic_error("compressed_run_store: envelopes not disjoint/ordered");
+    }
+    const std::vector<entry>& es = decode(b, nullptr);
+    if (es.size() != s.count) throw std::logic_error("compressed_run_store: count mismatch");
+    if (es.front().key != s.lo || es.back().key != s.hi || es.front().id != s.first_id) {
+      throw std::logic_error("compressed_run_store: summary/payload mismatch");
+    }
+    for (const entry& e : es) {
+      if (have_prev && entry_less(e, prev)) {
+        throw std::logic_error("compressed_run_store: entries out of order");
+      }
+      prev = e;
+      have_prev = true;
+    }
+    total += es.size();
+  }
+  if (total != size_) throw std::logic_error("compressed_run_store: size mismatch");
+}
+
+template class compressed_run_store<std::uint64_t>;
+template class compressed_run_store<u128>;
+template class compressed_run_store<u512>;
+
+}  // namespace subcover

@@ -130,6 +130,10 @@ class basic_sfc_array {
   [[nodiscard]] virtual std::size_t size() const = 0;
   // In-order traversal.
   virtual void for_each(const std::function<void(const entry&)>& fn) const = 0;
+  // Bytes this array owns, counting structural overhead (vector capacity
+  // including slack, skip-list node headers and link arrays), not just
+  // payload. The audit that bytes-per-subscription tracking is built on.
+  [[nodiscard]] virtual std::size_t memory_footprint() const = 0;
 };
 
 using sfc_array = basic_sfc_array<u512>;

@@ -7,7 +7,7 @@ namespace subcover {
 
 template <class K>
 auto basic_skiplist_array<K>::make_node(const entry& e, int level) -> node* {
-  void* mem = ::operator new(sizeof(node) + static_cast<std::size_t>(level) * sizeof(node*));
+  void* mem = ::operator new(node_bytes(level));
   node* n = new (mem) node{e, level};
   for (int i = 0; i < level; ++i) n->link(i) = nullptr;
   return n;
@@ -21,7 +21,7 @@ void basic_skiplist_array<K>::free_node(node* n) {
 
 template <class K>
 basic_skiplist_array<K>::basic_skiplist_array(std::uint64_t seed)
-    : head_(make_node(entry{}, kMaxLevel)), rng_(seed) {}
+    : head_(make_node(entry{}, kMaxLevel)), node_bytes_(node_bytes(kMaxLevel)), rng_(seed) {}
 
 template <class K>
 basic_skiplist_array<K>::~basic_skiplist_array() {
@@ -63,6 +63,7 @@ void basic_skiplist_array<K>::insert(const K& key, std::uint64_t id) {
   const int lvl = random_level();
   if (lvl > level_) level_ = lvl;
   node* n = make_node(entry{key, id}, lvl);
+  node_bytes_ += node_bytes(lvl);
   for (int i = 0; i < lvl; ++i) {
     node* prev = update[static_cast<std::size_t>(i)];
     n->link(i) = prev->link(i);
@@ -81,6 +82,7 @@ bool basic_skiplist_array<K>::erase(const K& key, std::uint64_t id) {
     node* prev = update[static_cast<std::size_t>(i)];
     if (prev->link(i) == hit) prev->link(i) = hit->link(i);
   }
+  node_bytes_ -= node_bytes(hit->level);
   free_node(hit);
   while (level_ > 1 && head_->link(level_ - 1) == nullptr) --level_;
   --size_;
@@ -157,6 +159,13 @@ std::size_t basic_skiplist_array<K>::size() const {
 template <class K>
 void basic_skiplist_array<K>::for_each(const std::function<void(const entry&)>& fn) const {
   for (const node* n = head_->link(0); n != nullptr; n = n->link(0)) fn(n->e);
+}
+
+template <class K>
+std::size_t basic_skiplist_array<K>::memory_footprint() const {
+  // Every node is one allocation of node_bytes(level); node_bytes_ tracks
+  // the live total (head sentinel included) so this is O(1).
+  return sizeof(*this) + node_bytes_;
 }
 
 template <class K>

@@ -47,6 +47,7 @@ class basic_skiplist_array final : public basic_sfc_array<K> {
   [[nodiscard]] std::uint64_t count_in(const range_type& r) const override;
   [[nodiscard]] std::size_t size() const override;
   void for_each(const std::function<void(const entry&)>& fn) const override;
+  [[nodiscard]] std::size_t memory_footprint() const override;
 
   // Verifies structural invariants (ordering on every level, level-0
   // completeness); used by tests. Throws std::logic_error on violation.
@@ -76,6 +77,11 @@ class basic_skiplist_array final : public basic_sfc_array<K> {
   // Single-allocation node factory: header + `level` null links.
   static node* make_node(const entry& e, int level);
   static void free_node(node* n);
+  // Allocation size of a level-`level` node (header + link array) — what
+  // make_node requests and what the footprint audit charges per node.
+  static constexpr std::size_t node_bytes(int level) {
+    return sizeof(node) + static_cast<std::size_t>(level) * sizeof(node*);
+  }
 
   // Strict (key, id) ordering used for positioning.
   static bool entry_less(const entry& a, const entry& b) {
@@ -91,6 +97,7 @@ class basic_skiplist_array final : public basic_sfc_array<K> {
   node* head_;  // sentinel with kMaxLevel links
   int level_ = 1;
   std::size_t size_ = 0;
+  std::size_t node_bytes_ = 0;  // live node allocations, head included
   rng rng_;
 };
 

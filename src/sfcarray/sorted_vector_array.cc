@@ -166,6 +166,12 @@ void basic_sorted_vector_array<K>::for_each(const std::function<void(const entry
   for (const auto& e : entries_) fn(e);
 }
 
+template <class K>
+std::size_t basic_sorted_vector_array<K>::memory_footprint() const {
+  // Capacity, not size: reserve slack is owned memory too.
+  return sizeof(*this) + entries_.capacity() * sizeof(entry);
+}
+
 template class basic_sorted_vector_array<std::uint64_t>;
 template class basic_sorted_vector_array<u128>;
 template class basic_sorted_vector_array<u512>;

@@ -46,6 +46,7 @@ class basic_sorted_vector_array final : public basic_sfc_array<K> {
   [[nodiscard]] std::uint64_t count_in(const range_type& r) const override;
   [[nodiscard]] std::size_t size() const override;
   void for_each(const std::function<void(const entry&)>& fn) const override;
+  [[nodiscard]] std::size_t memory_footprint() const override;
 
  private:
   std::vector<entry> entries_;  // sorted by (key, id)

@@ -1,0 +1,191 @@
+#include "sfcarray/tiered_sfc_array.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace subcover {
+
+template <class K>
+basic_tiered_sfc_array<K>::basic_tiered_sfc_array(tiered_array_options opts)
+    : opts_(opts),
+      hot_(make_basic_sfc_array<K>(opts.hot_backend)),
+      cold_(opts.block_entries == 0 ? 1 : opts.block_entries) {
+  if (opts_.hot_capacity == 0) opts_.hot_capacity = 1;
+  pending_promotions_.reserve(opts_.max_pending_promotions);
+}
+
+template <class K>
+void basic_tiered_sfc_array<K>::note_promotion(const entry& e) const {
+  if (pending_promotions_.size() < opts_.max_pending_promotions) {
+    pending_promotions_.push_back(e);
+  }
+}
+
+template <class K>
+void basic_tiered_sfc_array<K>::insert(const K& key, std::uint64_t id) {
+  hot_->insert(key, id);
+  if (hot_->size() > opts_.hot_capacity) maintain();
+}
+
+template <class K>
+bool basic_tiered_sfc_array<K>::erase(const K& key, std::uint64_t id) {
+  if (hot_->erase(key, id)) return true;
+  return cold_.erase(key, id);
+}
+
+template <class K>
+void basic_tiered_sfc_array<K>::reserve(std::size_t n) {
+  hot_->reserve(std::min(n, opts_.hot_capacity));
+}
+
+template <class K>
+void basic_tiered_sfc_array<K>::bulk_load(std::vector<entry> entries) {
+  // Bulk population goes straight to the cold tier: this is the broker
+  // bootstrap / benchmark-build path, nothing in the batch is hot yet, and
+  // encoding one sorted batch is the cheapest way in.
+  counters_.demotions += entries.size();
+  cold_.merge_in(std::move(entries));
+}
+
+template <class K>
+std::optional<typename basic_tiered_sfc_array<K>::entry> basic_tiered_sfc_array<K>::merge_answers(
+    std::optional<entry> hot, std::optional<entry> cold) const {
+  if (!cold) return hot;
+  if (!hot || cold->key < hot->key || (cold->key == hot->key && cold->id < hot->id)) {
+    ++counters_.cold_hits;
+    note_promotion(*cold);
+    return cold;
+  }
+  return hot;
+}
+
+template <class K>
+std::optional<typename basic_tiered_sfc_array<K>::entry> basic_tiered_sfc_array<K>::first_in(
+    const range_type& r) const {
+  return first_in(r, nullptr);
+}
+
+template <class K>
+std::optional<typename basic_tiered_sfc_array<K>::entry> basic_tiered_sfc_array<K>::first_in(
+    const range_type& r, probe_hint* hint) const {
+  std::optional<entry> hot = hint != nullptr ? hot_->first_in(r, hint) : hot_->first_in(r);
+  if (cold_.empty()) return hot;
+  ++counters_.cold_probes;
+  std::optional<entry> cold = cold_.first_in(r, nullptr, &counters_);
+  return merge_answers(hot, cold);
+}
+
+template <class K>
+void basic_tiered_sfc_array<K>::probe_frontier(std::span<const range_type> frontier,
+                                               frontier_sink& sink) const {
+  if (cold_.empty()) {
+    // Nothing demoted yet: the sweep is exactly the hot backend's sweep.
+    hot_->probe_frontier(frontier, sink);
+    return;
+  }
+  // Wrap the caller's sink: for each hot answer, consult the cold tier with
+  // a monotone block cursor (frontier lows are ascending, the cold sweep
+  // resumes like the hot one does) and forward the merged answer.
+  struct merge_sink final : frontier_sink {
+    const basic_tiered_sfc_array* self = nullptr;
+    std::span<const range_type> frontier;
+    frontier_sink* out = nullptr;
+    std::size_t cold_cursor = compressed_run_store<K>::npos;
+
+    bool on_probe(std::size_t index, const entry* hit) override {
+      ++self->counters_.cold_probes;
+      std::optional<entry> cold =
+          self->cold_.first_in(frontier[index], &cold_cursor, &self->counters_);
+      std::optional<entry> merged =
+          self->merge_answers(hit != nullptr ? std::optional<entry>(*hit) : std::nullopt,
+                              cold);
+      return out->on_probe(index, merged.has_value() ? &*merged : nullptr);
+    }
+  };
+  merge_sink ms;
+  ms.self = this;
+  ms.frontier = frontier;
+  ms.out = &sink;
+  hot_->probe_frontier(frontier, ms);
+}
+
+template <class K>
+std::uint64_t basic_tiered_sfc_array<K>::count_in(const range_type& r) const {
+  return hot_->count_in(r) + cold_.count_in(r);
+}
+
+template <class K>
+std::size_t basic_tiered_sfc_array<K>::size() const {
+  return hot_->size() + cold_.size();
+}
+
+template <class K>
+void basic_tiered_sfc_array<K>::for_each(const std::function<void(const entry&)>& fn) const {
+  // Merge the two sorted tiers. This materializes both (allocates) — it is
+  // the flush/diagnostic path, not a probe path.
+  std::vector<entry> hot;
+  hot.reserve(hot_->size());
+  hot_->for_each([&hot](const entry& e) { hot.push_back(e); });
+  std::vector<entry> cold;
+  cold_.decode_all(&cold);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  auto less = [](const entry& a, const entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  };
+  while (i < hot.size() && j < cold.size()) {
+    if (less(cold[j], hot[i])) {
+      fn(cold[j++]);
+    } else {
+      fn(hot[i++]);
+    }
+  }
+  while (i < hot.size()) fn(hot[i++]);
+  while (j < cold.size()) fn(cold[j++]);
+}
+
+template <class K>
+std::size_t basic_tiered_sfc_array<K>::memory_footprint() const {
+  return sizeof(*this) + hot_->memory_footprint() + cold_.memory_footprint() +
+         pending_promotions_.capacity() * sizeof(entry);
+}
+
+template <class K>
+void basic_tiered_sfc_array<K>::maintain() {
+  if (hot_->size() > opts_.hot_capacity) {
+    // Flush the whole hot tier; promotions are applied after, so the
+    // recently-hit entries end up resident again.
+    std::vector<entry> all;
+    all.reserve(hot_->size());
+    hot_->for_each([&all](const entry& e) { all.push_back(e); });
+    counters_.demotions += all.size();
+    cold_.merge_in(std::move(all));
+    hot_ = make_basic_sfc_array<K>(opts_.hot_backend);
+  }
+  if (!pending_promotions_.empty()) {
+    auto less = [](const entry& a, const entry& b) {
+      if (a.key != b.key) return a.key < b.key;
+      return a.id < b.id;
+    };
+    std::sort(pending_promotions_.begin(), pending_promotions_.end(), less);
+    pending_promotions_.erase(
+        std::unique(pending_promotions_.begin(), pending_promotions_.end()),
+        pending_promotions_.end());
+    for (const entry& e : pending_promotions_) {
+      // The mark may be stale (entry erased, or already promoted by an
+      // earlier duplicate); only a successful cold erase promotes.
+      if (cold_.erase(e.key, e.id)) {
+        hot_->insert(e.key, e.id);
+        ++counters_.promotions;
+      }
+    }
+    pending_promotions_.clear();
+  }
+}
+
+template class basic_tiered_sfc_array<std::uint64_t>;
+template class basic_tiered_sfc_array<u128>;
+template class basic_tiered_sfc_array<u512>;
+
+}  // namespace subcover

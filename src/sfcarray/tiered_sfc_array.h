@@ -1,0 +1,109 @@
+// Tiered SFC array: a probe-ready hot tier over a compressed cold tier.
+//
+// basic_tiered_sfc_array<K> implements the basic_sfc_array<K> interface by
+// splitting the entries between two tiers:
+//
+//   hot  — a regular backend (skip list or sorted vector, the configured
+//          sfc_array_kind) holding the recently inserted and recently hit
+//          working set, probe-ready and allocation-free on the warm path;
+//   cold — a compressed_run_store holding everything else, delta/varint
+//          encoded with per-block envelope summaries.
+//
+// Every probe is answered from both tiers and merged by (key, id), so the
+// answers are byte-identical to a single resident array holding the union —
+// the equivalence the CompressedTierIsByteIdenticalToResident test pins.
+// When the cold tier is empty (the default dominance/covering configuration
+// never populates it), probes forward straight to the hot backend with no
+// merge wrapper at all, keeping today's warm path untouched.
+//
+// Tiering policy (generational, deterministic):
+//   * insert() lands in the hot tier; bulk_load() lands in the cold tier
+//     (bulk population is the broker-bootstrap path where compression pays
+//     immediately and nothing is hot yet).
+//   * A cold answer that wins a probe marks its entry for promotion. The
+//     marks accumulate in a bounded pending list — probes never mutate the
+//     tiers mid-sweep (frontier cursors stay valid).
+//   * maintain() — called by query_plan at the end of each query, and
+//     internally when insert() overflows the hot tier — first flushes the
+//     whole hot tier to cold when it exceeds hot_capacity, then applies the
+//     pending promotions (cold erase -> hot insert). Flushing before
+//     promoting leaves exactly the recently-hit set resident.
+//
+// Counters: the array keeps a cumulative tier_counters ledger (mutable —
+// probes are logically const); query_plan snapshots it around a query and
+// reports the delta in query_stats. Like query_plan itself, a tiered array
+// is single-threaded by contract (the broker gives each link shard its own).
+#pragma once
+
+#include <memory>
+
+#include "sfcarray/compressed_run_store.h"
+#include "sfcarray/sfc_array.h"
+
+namespace subcover {
+
+struct tiered_array_options {
+  // Backend kind for the hot tier.
+  sfc_array_kind hot_backend = sfc_array_kind::skiplist;
+  // maintain() flushes the hot tier to cold when it grows past this.
+  std::size_t hot_capacity = 4096;
+  // Cold-tier block size (entries per compressed block).
+  std::size_t block_entries = 64;
+  // Bound on promotion marks buffered between maintain() calls.
+  std::size_t max_pending_promotions = 256;
+};
+
+template <class K>
+class basic_tiered_sfc_array final : public basic_sfc_array<K> {
+ public:
+  using base = basic_sfc_array<K>;
+  using entry = typename base::entry;
+  using range_type = typename base::range_type;
+  using probe_hint = typename base::probe_hint;
+  using frontier_sink = typename base::frontier_sink;
+
+  explicit basic_tiered_sfc_array(tiered_array_options opts = {});
+
+  void insert(const K& key, std::uint64_t id) override;
+  bool erase(const K& key, std::uint64_t id) override;
+  void reserve(std::size_t n) override;
+  void bulk_load(std::vector<entry> entries) override;
+  [[nodiscard]] std::optional<entry> first_in(const range_type& r) const override;
+  [[nodiscard]] std::optional<entry> first_in(const range_type& r,
+                                              probe_hint* hint) const override;
+  void probe_frontier(std::span<const range_type> frontier, frontier_sink& sink) const override;
+  [[nodiscard]] std::uint64_t count_in(const range_type& r) const override;
+  [[nodiscard]] std::size_t size() const override;
+  void for_each(const std::function<void(const entry&)>& fn) const override;
+  [[nodiscard]] std::size_t memory_footprint() const override;
+
+  // Applies the tiering policy: flush an over-capacity hot tier to cold,
+  // then promote the entries marked by cold probe hits since the last call.
+  void maintain();
+
+  [[nodiscard]] const tier_counters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t hot_size() const { return hot_->size(); }
+  [[nodiscard]] std::size_t cold_size() const { return cold_.size(); }
+  [[nodiscard]] const compressed_run_store<K>& cold_store() const { return cold_; }
+
+ private:
+  // Merges per-tier answers (smallest (key, id) wins), counting cold wins
+  // and marking them for promotion.
+  [[nodiscard]] std::optional<entry> merge_answers(std::optional<entry> hot,
+                                                   std::optional<entry> cold) const;
+  void note_promotion(const entry& e) const;
+
+  tiered_array_options opts_;
+  std::unique_ptr<base> hot_;
+  compressed_run_store<K> cold_;
+  mutable tier_counters counters_;
+  mutable std::vector<entry> pending_promotions_;
+};
+
+using tiered_sfc_array = basic_tiered_sfc_array<u512>;
+
+extern template class basic_tiered_sfc_array<std::uint64_t>;
+extern template class basic_tiered_sfc_array<u128>;
+extern template class basic_tiered_sfc_array<u512>;
+
+}  // namespace subcover

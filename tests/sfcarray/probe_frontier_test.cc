@@ -227,6 +227,9 @@ TEST(ProbeFrontier, DefaultImplementationIsReference) {
       return inner->count_in(r);
     }
     [[nodiscard]] std::size_t size() const override { return inner->size(); }
+    [[nodiscard]] std::size_t memory_footprint() const override {
+      return inner->memory_footprint();
+    }
     void for_each(const std::function<void(const entry&)>& fn) const override {
       inner->for_each(fn);
     }

@@ -1,0 +1,171 @@
+// Tiered array ≡ resident array: identical answers from every probe
+// primitive under random mixed workloads that force flushes, demotions and
+// promotions, plus the tiering policy's observable behavior.
+#include "sfcarray/tiered_sfc_array.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sfcarray/sorted_vector_array.h"
+#include "util/random.h"
+
+namespace subcover {
+namespace {
+
+using entry64 = basic_sfc_array<std::uint64_t>::entry;
+using range64 = basic_key_range<std::uint64_t>;
+
+// Collects probe_frontier answers for comparison.
+struct recording_sink final : basic_sfc_array<std::uint64_t>::frontier_sink {
+  std::vector<std::pair<std::size_t, std::optional<entry64>>> answers;
+  bool on_probe(std::size_t index, const entry64* hit) override {
+    answers.emplace_back(index, hit != nullptr ? std::optional<entry64>(*hit) : std::nullopt);
+    return true;
+  }
+};
+
+TEST(TieredSfcArray, MatchesResidentArrayUnderRandomOps) {
+  for (const sfc_array_kind hot_kind :
+       {sfc_array_kind::skiplist, sfc_array_kind::sorted_vector}) {
+    rng gen(42);
+    tiered_array_options opts;
+    opts.hot_backend = hot_kind;
+    opts.hot_capacity = 16;  // small: force frequent flushes
+    opts.block_entries = 8;
+    basic_tiered_sfc_array<std::uint64_t> tiered(opts);
+    basic_sorted_vector_array<std::uint64_t> oracle;
+
+    std::vector<entry64> live;
+    for (int step = 0; step < 3000; ++step) {
+      const int op = static_cast<int>(gen.uniform(0, 9));
+      if (op < 4) {  // insert
+        const entry64 e{gen.uniform(0, 100'000), gen.next() % 10'000};
+        tiered.insert(e.key, e.id);
+        oracle.insert(e.key, e.id);
+        live.push_back(e);
+      } else if (op < 5 && !live.empty()) {  // erase (hot or cold)
+        const std::size_t victim = gen.index(live.size());
+        const entry64 e = live[victim];
+        EXPECT_TRUE(tiered.erase(e.key, e.id));
+        EXPECT_TRUE(oracle.erase(e.key, e.id));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else if (op < 8) {  // first_in
+        std::uint64_t a = gen.uniform(0, 100'000);
+        std::uint64_t b = gen.uniform(0, 100'000);
+        if (b < a) std::swap(a, b);
+        const auto want = oracle.first_in(range64{a, b});
+        const auto got = tiered.first_in(range64{a, b});
+        ASSERT_EQ(got.has_value(), want.has_value());
+        if (want.has_value()) {
+          EXPECT_EQ(got->key, want->key);
+          EXPECT_EQ(got->id, want->id);
+        }
+        EXPECT_EQ(tiered.count_in(range64{a, b}), oracle.count_in(range64{a, b}));
+      } else {  // probe_frontier over an ascending disjoint frontier
+        std::vector<range64> frontier;
+        std::uint64_t lo = gen.uniform(0, 1000);
+        while (lo < 100'000 && frontier.size() < 20) {
+          const std::uint64_t hi = lo + gen.uniform(0, 3000);
+          frontier.push_back(range64{lo, hi});
+          lo = hi + 1 + gen.uniform(0, 5000);
+        }
+        recording_sink want;
+        recording_sink got;
+        oracle.probe_frontier(frontier, want);
+        tiered.probe_frontier(frontier, got);
+        ASSERT_EQ(got.answers.size(), want.answers.size());
+        for (std::size_t i = 0; i < want.answers.size(); ++i) {
+          EXPECT_EQ(got.answers[i].first, want.answers[i].first);
+          ASSERT_EQ(got.answers[i].second.has_value(), want.answers[i].second.has_value());
+          if (want.answers[i].second.has_value()) {
+            EXPECT_EQ(got.answers[i].second->key, want.answers[i].second->key);
+            EXPECT_EQ(got.answers[i].second->id, want.answers[i].second->id);
+          }
+        }
+      }
+      if (step % 100 == 0) tiered.maintain();
+      ASSERT_EQ(tiered.size(), oracle.size());
+    }
+    // The workload must actually have exercised both tiers.
+    EXPECT_GT(tiered.counters().demotions, 0U);
+    EXPECT_GT(tiered.counters().cold_probes, 0U);
+  }
+}
+
+TEST(TieredSfcArray, BulkLoadLandsColdAndInsertLandsHot) {
+  tiered_array_options opts;
+  opts.hot_capacity = 100;
+  basic_tiered_sfc_array<std::uint64_t> a(opts);
+  std::vector<entry64> batch;
+  for (std::uint64_t i = 0; i < 50; ++i) batch.push_back({i * 10, i});
+  a.bulk_load(batch);
+  EXPECT_EQ(a.cold_size(), 50U);
+  EXPECT_EQ(a.hot_size(), 0U);
+  a.insert(7, 99);
+  EXPECT_EQ(a.hot_size(), 1U);
+  EXPECT_EQ(a.size(), 51U);
+}
+
+TEST(TieredSfcArray, InsertOverflowFlushesToCold) {
+  tiered_array_options opts;
+  opts.hot_capacity = 8;
+  basic_tiered_sfc_array<std::uint64_t> a(opts);
+  for (std::uint64_t i = 0; i < 100; ++i) a.insert(i, i);
+  EXPECT_LE(a.hot_size(), 8U);
+  EXPECT_GE(a.cold_size(), 92U);
+  EXPECT_EQ(a.size(), 100U);
+  EXPECT_GT(a.counters().demotions, 0U);
+}
+
+TEST(TieredSfcArray, ColdHitsPromoteOnMaintain) {
+  tiered_array_options opts;
+  opts.hot_capacity = 100;
+  basic_tiered_sfc_array<std::uint64_t> a(opts);
+  std::vector<entry64> batch;
+  for (std::uint64_t i = 0; i < 50; ++i) batch.push_back({i * 10, i});
+  a.bulk_load(batch);
+
+  // Probe a cold entry: the answer comes from the cold tier...
+  const auto hit = a.first_in(range64{200, 205});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->key, 200U);
+  EXPECT_EQ(a.counters().cold_hits, 1U);
+  EXPECT_EQ(a.hot_size(), 0U);
+  // ...and maintain() moves it to the hot tier.
+  a.maintain();
+  EXPECT_EQ(a.counters().promotions, 1U);
+  EXPECT_EQ(a.hot_size(), 1U);
+  EXPECT_EQ(a.cold_size(), 49U);
+  // Re-probing now answers from the hot tier (no new cold hit) with the
+  // same result.
+  const auto again = a.first_in(range64{200, 205});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->key, 200U);
+  EXPECT_EQ(again->id, hit->id);
+  EXPECT_EQ(a.counters().cold_hits, 1U);
+}
+
+TEST(TieredSfcArray, MemoryFootprintBeatsResidentBackends) {
+  // At rest (everything demoted), the tiered footprint must undercut both
+  // resident backends holding the same clustered entries.
+  rng gen(7);
+  std::vector<entry64> batch;
+  std::uint64_t base = 0;
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    if (i % 100 == 0) base = gen.uniform(0, std::uint64_t{1} << 32);
+    batch.push_back({base + gen.uniform(0, 4096), i});
+  }
+  basic_tiered_sfc_array<std::uint64_t> tiered;
+  tiered.bulk_load(batch);
+  for (const sfc_array_kind kind :
+       {sfc_array_kind::skiplist, sfc_array_kind::sorted_vector}) {
+    const auto resident = make_basic_sfc_array<std::uint64_t>(kind);
+    resident->bulk_load(batch);
+    EXPECT_LT(tiered.memory_footprint() * 2, resident->memory_footprint());
+  }
+}
+
+}  // namespace
+}  // namespace subcover
