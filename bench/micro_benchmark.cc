@@ -580,6 +580,73 @@ void BM_CoveringInsertErase(benchmark::State& state) {
 }
 BENCHMARK(BM_CoveringInsertErase);
 
+// WAL replay throughput: rebuild a broker from a recorded churn history
+// (decode every framed record + apply_replay each disposition — no covering
+// checks re-run, the records carry the decisions). Arg: log length in
+// records. items/sec = records replayed per second, the recovery-time
+// headline the checkpoint policy (fault_options::checkpoint_every) bounds.
+void BM_RecoveryReplay(benchmark::State& state) {
+  const auto n_records = static_cast<int>(state.range(0));
+  const schema s = workload::make_uniform_schema(2, 8);
+  const std::vector<int> links = {1, 2, 3};
+  const covering_index_factory factory = [](const schema& sc) {
+    sfc_covering_options so;
+    so.max_cubes = 2048;
+    return std::make_unique<sfc_covering_index>(sc, so);
+  };
+  broker_options bo;
+  bo.use_covering = true;
+  bo.epsilon = 0.1;
+  // Record the history once: a subscribe-heavy churn from mixed links,
+  // logged the way the fault engine logs it.
+  broker writer(0, s, links, factory, bo);
+  broker_wal wal;
+  network_metrics m;
+  workload::subscription_gen_options wo;
+  wo.kind = workload::workload_kind::clustered;
+  workload::subscription_gen sgen(s, wo, 1234);
+  rng gen(1235);
+  std::vector<std::pair<sub_id, int>> active;
+  for (int i = 0; i < n_records; ++i) {
+    const auto from_pick = gen.index(links.size() + 1);
+    const int from = from_pick == links.size() ? kLocalLink : links[from_pick];
+    wal_record r;
+    r.op = static_cast<std::uint64_t>(i) + 1;
+    r.from = from;
+    r.seq = r.op;
+    if (gen.uniform(0, 9) < 7 || active.size() < 4) {
+      const sub_id id = static_cast<sub_id>(i) + 1;
+      const auto body = sgen.next();
+      const auto action = writer.handle_subscribe(from, id, body, m);
+      r.k = wal_record::kind::subscribe;
+      r.id = id;
+      r.body = body;
+      r.forwarded_links = action.forward_links;
+      active.emplace_back(id, from);
+    } else {
+      const auto pick = gen.index(active.size());
+      const auto [id, link] = active[pick];
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+      const auto action = writer.handle_unsubscribe(link, id, m);
+      r.k = wal_record::kind::unsubscribe;
+      r.from = link;
+      r.id = id;
+      r.withdrawn_links = action.forward_links;
+      r.reforwards = action.reforwards;
+    }
+    wal.append(r);
+  }
+  for (auto _ : state) {
+    const auto rec = wal.recover();
+    benchmark::DoNotOptimize(rec.records.size());
+    const broker rebuilt = broker::recover(0, s, links, factory, bo, rec);
+    benchmark::DoNotOptimize(rebuilt.routing_entries());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n_records);
+  state.counters["wal_bytes"] = benchmark::Counter(static_cast<double>(wal.bytes_appended()));
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(1024)->Arg(8192)->UseRealTime();
+
 }  // namespace
 }  // namespace subcover
 

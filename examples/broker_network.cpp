@@ -2,10 +2,17 @@
 // subscription propagation — the deployment the paper's optimization is for.
 //
 //   $ ./broker_network [--brokers-depth=3] [--subs=1000] [--events=100] [--epsilon=0.05]
+//                      [--chaos=0]
 //
 // Builds a binary broker tree, subscribes clients with a clustered workload,
 // publishes events, and reports the routing-table savings from covering
 // along with proof that no delivery was lost.
+//
+// --chaos=<seed> (0 = off) reruns the covering configuration through the
+// fault-injection engine: messages are dropped, duplicated, delayed and
+// brokers crash and restart from their write-ahead logs — plus one explicit
+// kill-and-recover of the root broker between phases. Deliveries must still
+// be complete, demonstrating the durable-broker fault model end to end.
 #include <iostream>
 
 #include "subcover.h"
@@ -18,6 +25,7 @@ int main(int argc, char** argv) {
   const int subs = static_cast<int>(flags.get_int("subs", 1000));
   const int events = static_cast<int>(flags.get_int("events", 100));
   const double epsilon = flags.get_double("epsilon", 0.05);
+  const auto chaos_seed = static_cast<std::uint64_t>(flags.get_int("chaos", 0));
   flags.finish();
 
   const schema s = workload::make_sensor_schema();
@@ -63,5 +71,49 @@ int main(int argc, char** argv) {
             << " and routing state by "
             << fmt_percent(1.0 - static_cast<double>(ce) / static_cast<double>(fe))
             << ", with zero lost deliveries (one-sided approximation).\n";
-  return cl == 0 && fl == 0 ? 0 : 1;
+
+  std::uint64_t chaos_lost = 0;
+  if (chaos_seed != 0) {
+    network_options o;
+    o.use_covering = true;
+    o.epsilon = epsilon;
+    fault_options f;
+    f.seed = chaos_seed;
+    f.drop_prob = 0.05;
+    f.duplicate_prob = 0.05;
+    f.delay_prob = 0.3;
+    f.crash_prob = 0.01;
+    f.checkpoint_every = 32;
+    o.faults = f;
+    network net(topo, s, o);
+    workload::subscription_gen_options wo;
+    wo.kind = workload::workload_kind::clustered;
+    wo.clusters = 5;
+    workload::subscription_gen sgen(s, wo, 7);
+    workload::event_gen egen(s, 8);
+    rng pick(9);
+    for (int i = 0; i < subs; ++i)
+      (void)net.subscribe(static_cast<int>(pick.index(static_cast<std::size_t>(topo.size()))),
+                          sgen.next());
+    // Kill the root broker outright between phases: its routing state is
+    // rebuilt from its WAL (snapshot + log replay), counted below.
+    const auto replayed = net.recover_broker(0);
+    for (int e = 0; e < events; ++e) {
+      const auto ev = egen.next();
+      const auto got =
+          net.publish(static_cast<int>(pick.index(static_cast<std::size_t>(topo.size()))), ev);
+      chaos_lost += net.expected_recipients(ev).size() - got.size();
+    }
+    const auto& m = net.metrics();
+    std::cout << "\nchaos run (seed " << chaos_seed
+              << "): drop 5%, duplicate 5%, delay 30%, crash 1%/delivery\n";
+    ascii_table chaos({"retries", "dups suppressed", "recoveries", "wal bytes", "root replay",
+                       "lost"});
+    chaos.add_row({fmt_u64(m.retries), fmt_u64(m.duplicates_suppressed), fmt_u64(m.recoveries),
+                   fmt_u64(m.wal_bytes), fmt_u64(replayed), fmt_u64(chaos_lost)});
+    chaos.print(std::cout);
+    std::cout << "every delivery survived the faults: the WAL-append-before-ack protocol "
+              << "makes retransmission exactly-once.\n";
+  }
+  return cl == 0 && fl == 0 && chaos_lost == 0 ? 0 : 1;
 }

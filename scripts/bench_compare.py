@@ -4,7 +4,7 @@
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
                      [--bytes-threshold 0.10] [--compression-floor 3.0]
-                     [--counters-only]
+                     [--counters-only] [--require PREFIX ...]
 
 For every benchmark present in both files, the per-op real_time of CURRENT
 is compared against BASELINE; the script exits non-zero if any benchmark is
@@ -23,6 +23,13 @@ beyond BYTES_THRESHOLD vs the baseline fails. Bytes are deterministic
 unoptimized builds: `--counters-only` skips every timing gate and checks
 only the bytes counters, which is what the CI memory-footprint smoke job
 runs against a Debug binary.
+
+Required families: `--require PREFIX` (repeatable) fails the run unless
+CURRENT contains at least one benchmark whose name starts with PREFIX.
+"Missing benchmarks never fail" is the right default for retiring families,
+but it also means a family that silently stops being built (a glob miss, an
+#ifdef, a renamed registration) would drop out of the gate unnoticed —
+--require pins the families CI depends on, e.g. --require BM_RecoveryReplay.
 
 Compression floor: within CURRENT alone, each BM_MemoryFootprint width pair
 (`.../<bits>/0` = materialized resident array, `.../<bits>/1` = compressed
@@ -182,10 +189,22 @@ def main():
         help="skip all timing gates; check only bytes counters and the "
         "compression floor (for unoptimized smoke builds)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="fail unless CURRENT contains a benchmark starting with PREFIX "
+        "(repeatable; pins families the gate depends on)",
+    )
     args = parser.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
+
+    missing_required = [
+        prefix for prefix in args.require if not any(n.startswith(prefix) for n in cur)
+    ]
 
     time_regressions = [] if args.counters_only else gate_times(base, cur, args.threshold)
     bytes_regressions = gate_bytes(base, cur, args.bytes_threshold)
@@ -223,6 +242,15 @@ def main():
         )
         for stem, ratio in floor_failures:
             print(f"  {stem}: {ratio:.2f}x", file=sys.stderr)
+    if missing_required:
+        failed = True
+        print(
+            f"\nFAIL: {len(missing_required)} required famil(ies) absent from "
+            f"{args.current}:",
+            file=sys.stderr,
+        )
+        for prefix in missing_required:
+            print(f"  {prefix}", file=sys.stderr)
     if failed:
         return 1
     print(f"\nOK: no regression (times, bytes) and compression floor holds.")

@@ -1,5 +1,6 @@
 #include "broker/broker.h"
 
+#include <exception>
 #include <stdexcept>
 
 #include "broker/worker_pool.h"
@@ -100,11 +101,20 @@ broker::subscribe_action broker::handle_subscribe(int from_link, sub_id id,
                                                   network_metrics& metrics) {
   table_.add(from_link, id, s);
   subscribe_action action;
+  // Attempt every shard even if one throws — the same attempt-every-index
+  // contract as worker_pool::run_batch, so the serial and parallel handlers
+  // leave identical shard state on failure. First error rethrown after.
+  std::exception_ptr first_error;
   for (const int link : links_) {
     if (link == from_link) continue;
-    if (subscribe_on_shard(shards_.at(link), id, s, metrics))
-      action.forward_links.push_back(link);
+    try {
+      if (subscribe_on_shard(shards_.at(link), id, s, metrics))
+        action.forward_links.push_back(link);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
   }
+  if (first_error) std::rethrow_exception(first_error);
   return action;
 }
 
@@ -129,14 +139,23 @@ broker::subscribe_action broker::handle_subscribe_parallel(int from_link, sub_id
   // so the action and the metric totals match the serial handler exactly.
   collect_targets(from_link);
   forward_scratch_.assign(targets_.size(), 0);
-  pool.run_batch(targets_.size(), [&](std::size_t i) {
-    forward_scratch_[i] = subscribe_on_shard(*targets_[i], id, s, delta_scratch_[i]) ? 1 : 0;
-  });
+  // run_batch attempts every index even when one throws; fold the per-shard
+  // metric deltas BEFORE rethrowing so the totals match the serial handler's
+  // accumulate-as-you-go exactly on the failure path too.
+  std::exception_ptr error;
+  try {
+    pool.run_batch(targets_.size(), [&](std::size_t i) {
+      forward_scratch_[i] = subscribe_on_shard(*targets_[i], id, s, delta_scratch_[i]) ? 1 : 0;
+    });
+  } catch (...) {
+    error = std::current_exception();
+  }
   subscribe_action action;
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     metrics += delta_scratch_[i];
     if (forward_scratch_[i] != 0) action.forward_links.push_back(target_links_[i]);
   }
+  if (error) std::rethrow_exception(error);
   return action;
 }
 
@@ -145,13 +164,19 @@ broker::unsubscribe_action broker::handle_unsubscribe(int from_link, sub_id id,
   const bool removed = table_.remove(from_link, id);
   SUBCOVER_CHECK(removed, "broker: unsubscribe for unknown subscription");
   unsubscribe_action action;
+  std::exception_ptr first_error;
   for (const int link : links_) {
     if (link == from_link) continue;
-    auto result = unsubscribe_on_shard(shards_.at(link), link, id, metrics);
-    if (!result.forward) continue;
-    action.forward_links.push_back(link);
-    for (auto& rf : result.reforwards) action.reforwards.push_back({link, std::move(rf)});
+    try {
+      auto result = unsubscribe_on_shard(shards_.at(link), link, id, metrics);
+      if (!result.forward) continue;
+      action.forward_links.push_back(link);
+      for (auto& rf : result.reforwards) action.reforwards.push_back({link, std::move(rf)});
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
   }
+  if (first_error) std::rethrow_exception(first_error);
   return action;
 }
 
@@ -162,10 +187,15 @@ broker::unsubscribe_action broker::handle_unsubscribe_parallel(int from_link, su
   SUBCOVER_CHECK(removed, "broker: unsubscribe for unknown subscription");
   collect_targets(from_link);
   unsub_scratch_.assign(targets_.size(), shard_unsubscribe_result{});
-  pool.run_batch(targets_.size(), [&](std::size_t i) {
-    unsub_scratch_[i] =
-        unsubscribe_on_shard(*targets_[i], target_links_[i], id, delta_scratch_[i]);
-  });
+  std::exception_ptr error;
+  try {
+    pool.run_batch(targets_.size(), [&](std::size_t i) {
+      unsub_scratch_[i] =
+          unsubscribe_on_shard(*targets_[i], target_links_[i], id, delta_scratch_[i]);
+    });
+  } catch (...) {
+    error = std::current_exception();
+  }
   unsubscribe_action action;
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     metrics += delta_scratch_[i];
@@ -174,6 +204,7 @@ broker::unsubscribe_action broker::handle_unsubscribe_parallel(int from_link, su
     for (auto& rf : unsub_scratch_[i].reforwards)
       action.reforwards.push_back({target_links_[i], std::move(rf)});
   }
+  if (error) std::rethrow_exception(error);
   return action;
 }
 
@@ -187,6 +218,59 @@ broker::event_action broker::handle_event(int from_link, const event& e) const {
   // Do not forward back over the local pseudo-link.
   std::erase(action.forward_links, kLocalLink);
   return action;
+}
+
+broker_snapshot broker::snapshot() const {
+  broker_snapshot snap;
+  snap.routing = table_.snapshot();
+  for (const auto& [link, shard] : shards_) {
+    auto& subs = snap.forwarded[link];
+    subs.reserve(shard.forwarded.size());
+    for (const auto& [id, s] : shard.forwarded) subs.emplace_back(id, s);
+  }
+  return snap;
+}
+
+void broker::checkpoint(broker_wal& wal) const { wal.write_snapshot(snapshot()); }
+
+void broker::apply_replay(const wal_record& r) {
+  switch (r.k) {
+    case wal_record::kind::subscribe:
+      table_.add(r.from, r.id, r.body);
+      for (const int link : r.forwarded_links) {
+        link_shard& shard = shards_.at(link);
+        shard.index->insert(r.id, r.body);
+        shard.forwarded.emplace(r.id, r.body);
+      }
+      break;
+    case wal_record::kind::unsubscribe: {
+      const bool removed = table_.remove(r.from, r.id);
+      SUBCOVER_CHECK(removed, "broker: replayed unsubscribe for unknown subscription");
+      for (const int link : r.withdrawn_links) {
+        link_shard& shard = shards_.at(link);
+        shard.index->erase(r.id);
+        shard.forwarded.erase(r.id);
+      }
+      for (const auto& [link, sub_pair] : r.reforwards) {
+        link_shard& shard = shards_.at(link);
+        shard.index->insert(sub_pair.first, sub_pair.second);
+        shard.forwarded.emplace(sub_pair.first, sub_pair.second);
+      }
+      break;
+    }
+    case wal_record::kind::event_receipt:
+      break;  // channel-position bookkeeping only; no routing state moves
+  }
+}
+
+broker broker::recover(int id, const schema& s, const std::vector<int>& neighbor_links,
+                       const covering_index_factory& factory, broker_options options,
+                       const broker_wal::recovery& rec) {
+  broker b(id, s, neighbor_links, factory, options, rec.snapshot.forwarded);
+  for (const auto& [link, subs] : rec.snapshot.routing)
+    for (const auto& [sid, body] : subs) b.table_.add(link, sid, body);
+  for (const auto& r : rec.records) b.apply_replay(r);
+  return b;
 }
 
 std::size_t broker::forwarded_to(int link) const {

@@ -41,6 +41,7 @@
 
 #include "broker/metrics.h"
 #include "broker/routing_table.h"
+#include "broker/wal.h"
 #include "covering/covering_index.h"
 
 namespace subcover {
@@ -106,6 +107,31 @@ class broker {
                                              network_metrics& metrics, worker_pool& pool);
   unsubscribe_action handle_unsubscribe_parallel(int from_link, sub_id id,
                                                  network_metrics& metrics, worker_pool& pool);
+
+  // --- durability (broker/wal.h) ---------------------------------------
+  // Full routing state at this instant: routing-table entries plus per-link
+  // forwarded sets, ids ascending within each link.
+  [[nodiscard]] broker_snapshot snapshot() const;
+  // Writes snapshot() through `wal` (replacing its snapshot and compacting
+  // its log). Call only at operation boundaries — a snapshot taken between
+  // an operation's messages would capture state no record sequence ends at.
+  void checkpoint(broker_wal& wal) const;
+  // Applies one logged disposition as a pure state mutation: table add or
+  // remove plus the recorded shard inserts/withdrawals. No covering check
+  // re-runs and no metrics move — the record already carries the decision's
+  // outcome. event_receipt records are a no-op here (their channel
+  // positions are the fault engine's concern, not the broker's).
+  void apply_replay(const wal_record& r);
+  // Rebuilds a broker from recovered durable state: the snapshot first
+  // (forwarded sets through the bootstrap constructor, routing entries into
+  // the table), then every log record in append order. The result is
+  // state-identical to the broker that wrote them — pinned by
+  // routing_table::operator== and forwarded_ids equality in
+  // tests/broker/broker_recovery_test.cc.
+  [[nodiscard]] static broker recover(int id, const schema& s,
+                                      const std::vector<int>& neighbor_links,
+                                      const covering_index_factory& factory,
+                                      broker_options options, const broker_wal::recovery& rec);
 
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] std::size_t routing_entries() const { return table_.total_entries(); }

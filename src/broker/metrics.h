@@ -35,6 +35,16 @@ struct network_metrics {
   std::uint64_t covering_tier_summary_answers = 0;
   std::uint64_t covering_tier_blocks_decoded = 0;
   std::uint64_t covering_tier_cold_hits = 0;
+  // Fault-injection engine accounting (zero outside faults mode). These are
+  // *transport* counters — retransmissions, suppressed duplicates, broker
+  // crash-recoveries, durable bytes written — and are deliberately excluded
+  // from same_counters: the logical counters above must match deterministic
+  // mode exactly under any fault schedule, while these describe the fault
+  // schedule itself.
+  std::uint64_t retries = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t wal_bytes = 0;
 
   void reset_traffic() {
     event_messages = 0;
@@ -50,10 +60,13 @@ struct network_metrics {
   [[nodiscard]] std::string to_string() const;
 };
 
-// True when every deterministic counter matches. covering_check_ns is
-// excluded: it sums wall-clock timer readings, which differ run to run even
-// on the byte-identical sequential path. This is the comparison the
-// deterministic-vs-parallel equivalence tests pin.
+// True when every deterministic logical counter matches. covering_check_ns
+// is excluded (wall-clock timer readings differ run to run even on the
+// byte-identical sequential path), as are the fault-transport counters
+// (retries, duplicates_suppressed, recoveries, wal_bytes — they describe
+// the injected fault schedule, not the logical computation). This is the
+// comparison the deterministic-vs-parallel and deterministic-vs-faults
+// equivalence tests pin.
 [[nodiscard]] bool same_counters(const network_metrics& a, const network_metrics& b);
 
 }  // namespace subcover

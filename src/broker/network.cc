@@ -66,16 +66,17 @@ struct network::async_state {
   std::mutex done_mu;
   std::condition_variable done_cv;
   // First exception a drain job caught from a broker handler (guarded by
-  // done_mu); rethrown to the operation caller after quiescence. Once an
-  // error is recorded, `failed` makes the remaining drains consume-and-
-  // discard their messages — best-effort abandonment mirroring the
-  // sequential engine, which walks away from its FIFO at the throw. On a
-  // throwing operation BOTH engines leave a valid but partially-propagated
-  // state; which brokers were reached before the stop is scheduling-
-  // dependent in parallel mode, so the cross-engine state-equivalence
-  // contract applies to operations that complete normally.
+  // done_mu); rethrown to the operation caller after quiescence. A handler
+  // throw fails only its own message: the throw happens before the message
+  // enqueues any output (broker handlers throw before their action is
+  // acted on), so the failing message's subtree is skipped while every
+  // other in-flight message still propagates to quiescence — mirroring the
+  // sequential engine, which catches per message and finishes its FIFO.
+  // Which failure is "first" is scheduling-dependent when several messages
+  // throw, but the post-throw *state* is not: the set of skipped subtrees
+  // is data-dependent, so tables, forwarded sets, and metric totals match
+  // the sequential engine exactly (pinned by tests/broker/network_test.cc).
   std::exception_ptr first_error;
-  std::atomic<bool> failed{false};
   network* net = nullptr;
   // Declared last so it is destroyed FIRST: ~worker_pool completes any
   // straggler drain job (one can outlive an operation's quiescence by the
@@ -95,7 +96,9 @@ struct network::async_state {
         need_submit = true;
       }
     }
-    if (need_submit) pool.submit([this, b] { drain(b); });
+    // Rejection is only possible during pool teardown, when no operation
+    // is in flight and the undrained inbox no longer matters.
+    if (need_submit) (void)pool.submit([this, b] { drain(b); });
   }
 
   void drain(int b) {
@@ -111,14 +114,11 @@ struct network::async_state {
         msg = std::move(box.q.front());
         box.q.pop_front();
       }
-      if (!failed.load(std::memory_order_relaxed)) {
-        try {
-          process(b, msg);
-        } catch (...) {
-          failed.store(true, std::memory_order_relaxed);
-          const std::lock_guard<std::mutex> lock(done_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
+      try {
+        process(b, msg);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(done_mu);
+        if (!first_error) first_error = std::current_exception();
       }
       // The message's own decrement comes after its outputs' increments
       // (inside process), so in_flight can only reach zero at true
@@ -185,7 +185,14 @@ network::network(topology t, schema s, network_options options)
   brokers_.reserve(static_cast<std::size_t>(topology_.size()));
   for (int i = 0; i < topology_.size(); ++i)
     brokers_.emplace_back(i, schema_, topology_.neighbors(i), options_.factory, bo);
-  if (options_.workers >= 1) {
+  if (options_.faults.has_value()) {
+    if (options_.workers != 0)
+      throw std::invalid_argument(
+          "network: faults mode requires workers == 0 (the fault fabric is its own "
+          "single-threaded virtual-time scheduler)");
+    faults_ = std::make_unique<fault_engine>(topology_, schema_, options_.factory, bo,
+                                             *options_.faults, brokers_, metrics_);
+  } else if (options_.workers >= 1) {
     async_ = std::make_unique<async_state>(options_.workers,
                                            static_cast<std::size_t>(topology_.size()));
     async_->net = this;
@@ -214,7 +221,6 @@ void network::run_async(int target_broker, net_msg msg) {
     error = as.first_error;
     as.first_error = nullptr;
   }
-  as.failed.store(false, std::memory_order_relaxed);
   if (error) std::rethrow_exception(error);
 }
 
@@ -224,6 +230,10 @@ sub_id network::subscribe(int broker_id, const subscription& s) {
   const sub_id id = next_id_++;
   owners_.emplace(id, sub_record{broker_id, s});
 
+  if (faults_ != nullptr) {
+    faults_->run_subscribe(broker_id, id, s);
+    return id;
+  }
   if (async_ != nullptr) {
     run_async(broker_id, net_msg{net_msg::kind::subscribe, kLocalLink, id, s, nullptr});
     return id;
@@ -234,16 +244,25 @@ sub_id network::subscribe(int broker_id, const subscription& s) {
     int from_link;
   };
   std::deque<pending> queue{{broker_id, kLocalLink}};
+  std::exception_ptr first_error;
   while (!queue.empty()) {
     const auto [b, from] = queue.front();
     queue.pop_front();
-    const auto action =
-        brokers_[static_cast<std::size_t>(b)].handle_subscribe(from, id, s, metrics_);
-    for (const int link : action.forward_links) {
-      ++metrics_.subscription_messages;
-      queue.push_back({link, b});
+    try {
+      const auto action =
+          brokers_[static_cast<std::size_t>(b)].handle_subscribe(from, id, s, metrics_);
+      for (const int link : action.forward_links) {
+        ++metrics_.subscription_messages;
+        queue.push_back({link, b});
+      }
+    } catch (...) {
+      // Fail this message only: skip its forwards, finish the rest of the
+      // FIFO, surface the first error after quiescence (same contract as
+      // the parallel engine's drain boundary — see network.h).
+      if (!first_error) first_error = std::current_exception();
     }
   }
+  if (first_error) std::rethrow_exception(first_error);
   return id;
 }
 
@@ -253,6 +272,10 @@ bool network::unsubscribe(sub_id id) {
   const int origin = rec->second.broker;
   owners_.erase(rec);
 
+  if (faults_ != nullptr) {
+    faults_->run_unsubscribe(origin, id);
+    return true;
+  }
   if (async_ != nullptr) {
     run_async(origin,
               net_msg{net_msg::kind::unsubscribe, kLocalLink, id, subscription{}, nullptr});
@@ -269,29 +292,35 @@ bool network::unsubscribe(sub_id id) {
   std::deque<pending> queue;
   queue.push_back({origin, kLocalLink, true, id, subscription{}});
 
+  std::exception_ptr first_error;
   while (!queue.empty()) {
     const auto msg = queue.front();
     queue.pop_front();
     auto& b = brokers_[static_cast<std::size_t>(msg.broker)];
-    if (msg.is_unsub) {
-      const auto action = b.handle_unsubscribe(msg.from_link, msg.sid, metrics_);
-      for (const int link : action.forward_links) {
-        ++metrics_.unsubscription_messages;
-        queue.push_back({link, msg.broker, true, msg.sid, subscription{}});
+    try {
+      if (msg.is_unsub) {
+        const auto action = b.handle_unsubscribe(msg.from_link, msg.sid, metrics_);
+        for (const int link : action.forward_links) {
+          ++metrics_.unsubscription_messages;
+          queue.push_back({link, msg.broker, true, msg.sid, subscription{}});
+        }
+        for (const auto& [link, sub_pair] : action.reforwards) {
+          ++metrics_.subscription_messages;
+          ++metrics_.reforwards;
+          queue.push_back({link, msg.broker, false, sub_pair.first, sub_pair.second});
+        }
+      } else {
+        const auto action = b.handle_subscribe(msg.from_link, msg.sid, msg.body, metrics_);
+        for (const int link : action.forward_links) {
+          ++metrics_.subscription_messages;
+          queue.push_back({link, msg.broker, false, msg.sid, msg.body});
+        }
       }
-      for (const auto& [link, sub_pair] : action.reforwards) {
-        ++metrics_.subscription_messages;
-        ++metrics_.reforwards;
-        queue.push_back({link, msg.broker, false, sub_pair.first, sub_pair.second});
-      }
-    } else {
-      const auto action = b.handle_subscribe(msg.from_link, msg.sid, msg.body, metrics_);
-      for (const int link : action.forward_links) {
-        ++metrics_.subscription_messages;
-        queue.push_back({link, msg.broker, false, msg.sid, msg.body});
-      }
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
     }
   }
+  if (first_error) std::rethrow_exception(first_error);
   return true;
 }
 
@@ -300,7 +329,9 @@ std::vector<sub_id> network::publish(int broker_id, const event& e) {
     throw std::invalid_argument("network::publish: bad broker id");
   std::vector<sub_id> delivered;
 
-  if (async_ != nullptr) {
+  if (faults_ != nullptr) {
+    delivered = faults_->run_publish(broker_id, e);
+  } else if (async_ != nullptr) {
     run_async(broker_id, net_msg{net_msg::kind::publish, kLocalLink, 0, subscription{}, &e});
     for (auto& del : async_->broker_deliveries) {
       delivered.insert(delivered.end(), del.begin(), del.end());
@@ -312,19 +343,25 @@ std::vector<sub_id> network::publish(int broker_id, const event& e) {
       int from_link;
     };
     std::deque<pending> queue{{broker_id, kLocalLink}};
+    std::exception_ptr first_error;
     while (!queue.empty()) {
       const auto [b, from] = queue.front();
       queue.pop_front();
-      const auto action = brokers_[static_cast<std::size_t>(b)].handle_event(from, e);
-      for (const sub_id id : action.local_deliveries) {
-        delivered.push_back(id);
-        ++metrics_.deliveries;
-      }
-      for (const int link : action.forward_links) {
-        ++metrics_.event_messages;
-        queue.push_back({link, b});
+      try {
+        const auto action = brokers_[static_cast<std::size_t>(b)].handle_event(from, e);
+        for (const sub_id id : action.local_deliveries) {
+          delivered.push_back(id);
+          ++metrics_.deliveries;
+        }
+        for (const int link : action.forward_links) {
+          ++metrics_.event_messages;
+          queue.push_back({link, b});
+        }
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
       }
     }
+    if (first_error) std::rethrow_exception(first_error);
   }
   std::sort(delivered.begin(), delivered.end());
   // Tree routing visits each broker at most once, so ids cannot repeat; keep
@@ -351,6 +388,22 @@ const broker& network::broker_at(int id) const {
   if (id < 0 || id >= topology_.size())
     throw std::invalid_argument("network::broker_at: bad broker id");
   return brokers_[static_cast<std::size_t>(id)];
+}
+
+broker_wal& network::wal_of(int broker_id) {
+  if (faults_ == nullptr)
+    throw std::logic_error("network::wal_of: only available in faults mode");
+  if (broker_id < 0 || broker_id >= topology_.size())
+    throw std::invalid_argument("network::wal_of: bad broker id");
+  return faults_->wal_of(broker_id);
+}
+
+std::size_t network::recover_broker(int broker_id) {
+  if (faults_ == nullptr)
+    throw std::logic_error("network::recover_broker: only available in faults mode");
+  if (broker_id < 0 || broker_id >= topology_.size())
+    throw std::invalid_argument("network::recover_broker: bad broker id");
+  return faults_->recover_broker(broker_id);
 }
 
 std::optional<int> network::owner_broker(sub_id id) const {

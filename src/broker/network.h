@@ -1,5 +1,5 @@
 // In-process simulation of a broker tree running covering-optimized
-// subscription propagation and reverse-path event routing, with two
+// subscription propagation and reverse-path event routing, with three
 // execution engines:
 //
 //   * Deterministic mode (workers == 0, the default): messages between
@@ -15,6 +15,12 @@
 //     out across the pool (broker::handle_*_parallel). Each subscribe /
 //     unsubscribe / publish call still runs to quiescence before returning.
 //
+//   * Faults mode (options.faults set; requires workers == 0): inter-broker
+//     messages travel through a seeded deterministic fault fabric — drop,
+//     duplicate, delay/reorder, broker crash-restart-from-WAL — with acks,
+//     bounded retransmission, and idempotent handling rebuilding exactly
+//     the deterministic-mode final state on top (broker/fault_engine.h).
+//
 // Parallel mode may reorder message processing across brokers, but on the
 // acyclic overlay every broker receives all of an operation's messages from
 // its unique neighbor toward the origin, in that neighbor's emission order —
@@ -22,11 +28,19 @@
 // and the final routing tables, forwarded sets, delivered ids, and every
 // metric total are identical to deterministic mode for every worker count
 // (pinned by tests/broker/network_test.cc). Only wall-clock interleaving
-// and the covering_check_ns sum (a timer, not a counter) vary. The
-// equivalence contract covers operations that complete normally: if a
-// broker handler throws mid-propagation, both engines stop forwarding and
-// rethrow to the caller, leaving a valid but partially-propagated state
-// whose exact extent is scheduling-dependent in parallel mode.
+// and the covering_check_ns sum (a timer, not a counter) vary.
+//
+// The equivalence contract includes operations whose broker handlers throw:
+// every engine catches at its message-processing boundary (the sequential
+// FIFO pop, the parallel inbox drain), skips only the failing message's
+// forwards, completes every other in-flight message to quiescence, and
+// rethrows the first error to the caller. Within a broker, the per-shard
+// fan-out attempts every shard even when one throws (the serial loop
+// matches run_batch's attempt-every-index contract) and the parallel
+// handlers fold their per-shard metric deltas before rethrowing — so the
+// post-throw routing tables, forwarded sets, and metric totals are valid,
+// deterministic, and identical across engines and worker counts (which
+// failure is reported first is the only scheduling-dependent part).
 //
 // The simulation preserves exactly the metrics the paper's motivation
 // concerns: subscription messages, routing table sizes, event traffic, and
@@ -40,6 +54,7 @@
 #include <vector>
 
 #include "broker/broker.h"
+#include "broker/fault_engine.h"
 #include "broker/topology.h"
 
 namespace subcover {
@@ -55,6 +70,12 @@ struct network_options {
   // across links and brokers. Final state and metric totals are identical
   // either way (see header comment).
   int workers = 0;
+  // Set = faults mode: inter-broker messages travel through the seeded
+  // fault-injection fabric (broker/fault_engine.h) with per-broker WALs and
+  // crash recovery. Requires workers == 0 (the fabric is its own single-
+  // threaded virtual-time scheduler). Unset = the two engines above run
+  // byte-for-byte as before.
+  std::optional<fault_options> faults;
 };
 
 class network {
@@ -89,6 +110,14 @@ class network {
   [[nodiscard]] const schema& message_schema() const { return schema_; }
   [[nodiscard]] int workers() const { return options_.workers; }
 
+  // Faults mode only (throws std::logic_error otherwise): the broker's
+  // durable write-ahead log, for inspection.
+  [[nodiscard]] broker_wal& wal_of(int broker_id);
+  // Faults mode only: crash-between-operations — discards the broker's
+  // in-memory routing state and rebuilds it from its WAL (counted in
+  // metrics().recoveries). Returns the number of log records replayed.
+  std::size_t recover_broker(int broker_id);
+
  private:
   struct sub_record {
     int broker;
@@ -111,6 +140,8 @@ class network {
   network_metrics metrics_;
   sub_id next_id_ = 1;
   std::unique_ptr<async_state> async_;
+  // The fault-injection executor; null unless options_.faults is set.
+  std::unique_ptr<fault_engine> faults_;
 };
 
 }  // namespace subcover

@@ -89,4 +89,14 @@ std::vector<std::pair<sub_id, subscription>> routing_table::subs_not_from(int ex
   return out;
 }
 
+std::map<int, std::vector<std::pair<sub_id, subscription>>> routing_table::snapshot() const {
+  std::map<int, std::vector<std::pair<sub_id, subscription>>> out;
+  for (const auto& [link, subs] : received_) {
+    auto& entries = out[link];
+    entries.reserve(subs.size());
+    for (const auto& [id, s] : subs) entries.emplace_back(id, s);
+  }
+  return out;
+}
+
 }  // namespace subcover

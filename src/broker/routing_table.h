@@ -37,6 +37,10 @@ class routing_table {
   // All (id, subscription) pairs received over links other than `exclude`.
   [[nodiscard]] std::vector<std::pair<sub_id, subscription>> subs_not_from(int exclude) const;
 
+  // Full export as link -> (id, subscription) pairs, ids ascending within
+  // each link — the routing payload of a broker_snapshot (broker/wal.h).
+  [[nodiscard]] std::map<int, std::vector<std::pair<sub_id, subscription>>> snapshot() const;
+
   // Estimated bytes the table owns: per-link and per-entry tree nodes plus
   // the subscription rectangle payloads.
   [[nodiscard]] std::size_t memory_footprint() const;

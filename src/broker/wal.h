@@ -1,0 +1,177 @@
+// Durable per-broker routing state: a write-ahead log of subscription
+// dispositions plus periodic compacted snapshots, the persistence layer the
+// fault-tolerant broker network recovers from.
+//
+// What is logged: not the covering *decisions* but their *dispositions* —
+// for a subscribe, the routing-table entry plus the exact set of links the
+// subscription was forwarded (i.e. inserted into the link shard) on; for an
+// unsubscribe, the links it was withdrawn from plus every (link, id, body)
+// re-forward the withdrawal uncovered. Replaying a record is therefore a
+// pure state mutation (broker::apply_replay): no covering check re-runs, no
+// metrics move, and the rebuilt broker is state-identical to one that never
+// crashed (pinned by routing_table::operator== and forwarded_ids equality
+// in tests/broker/broker_recovery_test.cc).
+//
+// Idempotency keys: every record carries the op-scoped channel position
+// (op, from, seq) it was applied at. The fault engine rebuilds its
+// duplicate-suppression state from these keys after a crash, which is what
+// makes "WAL-append before ack" turn at-least-once message delivery into
+// exactly-once state application (docs/ARCHITECTURE.md, fault model).
+// event_receipt records exist only for this: events mutate no routing
+// state, but their channel position must survive a crash so retransmitted
+// (already-processed) events are suppressed instead of re-delivered.
+//
+// On-disk format (wal_store holds opaque bytes; both stores are durable on
+// return from append/replace):
+//
+//   log    := record*                     (append-only; compacted by snapshot)
+//   record := len:u32le  fnv1a64(payload):u64le  payload[len]
+//
+// A torn tail — a final record whose length header, checksum, or payload was
+// cut by a crash mid-append — is tolerated: recovery applies every intact
+// prefix record and reports the dropped bytes (recovery::torn_bytes).
+// Payloads are varint/zigzag coded (LEB128); see wal.cc.
+//
+// The snapshot store holds one checksummed broker_snapshot (routing table +
+// per-link forwarded sets); write_snapshot replaces it atomically and
+// truncates the log, bounding both replay time and WAL size.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "broker/routing_table.h"
+#include "pubsub/subscription.h"
+
+namespace subcover {
+
+// Recovery found a corrupt snapshot or an internally inconsistent store
+// (torn *tails* are tolerated and reported, not thrown).
+struct wal_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// One logged disposition. `op`/`from`/`seq` form the idempotency key: the
+// fault engine's per-operation channel position at which this record was
+// applied (from == kLocalLink for client-originated messages).
+struct wal_record {
+  enum class kind : std::uint8_t { subscribe = 1, unsubscribe = 2, event_receipt = 3 };
+  kind k = kind::subscribe;
+  std::uint64_t op = 0;
+  int from = kLocalLink;
+  std::uint64_t seq = 0;
+  sub_id id = 0;                    // subscribe / unsubscribe
+  subscription body;                // subscribe
+  std::vector<int> forwarded_links;  // subscribe: links the body was inserted on
+  std::vector<int> withdrawn_links;  // unsubscribe: links the id was withdrawn from
+  // unsubscribe: re-forwards the withdrawal uncovered, as (link, (id, body)).
+  std::vector<std::pair<int, std::pair<sub_id, subscription>>> reforwards;
+
+  friend bool operator==(const wal_record&, const wal_record&) = default;
+};
+
+// Full routing state of one broker at a checkpoint: per-link routing-table
+// entries and per-link forwarded sets, ids ascending within each link.
+struct broker_snapshot {
+  std::map<int, std::vector<std::pair<sub_id, subscription>>> routing;
+  std::map<int, std::vector<std::pair<sub_id, subscription>>> forwarded;
+
+  friend bool operator==(const broker_snapshot&, const broker_snapshot&) = default;
+};
+
+// Durable byte storage for one log or snapshot. Implementations must make
+// append/replace durable before returning (the fault model's crashes never
+// lose acknowledged writes; a crash *during* the final append is the torn
+// tail recovery tolerates).
+class wal_store {
+ public:
+  virtual ~wal_store() = default;
+  virtual void append(const std::vector<std::uint8_t>& bytes) = 0;
+  virtual void replace(const std::vector<std::uint8_t>& bytes) = 0;
+  [[nodiscard]] virtual std::vector<std::uint8_t> read_all() const = 0;
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+};
+
+// In-memory store: the fault-injection engine's default (durability is
+// simulated — the store lives in the network, outside the crashing broker).
+class memory_wal_store final : public wal_store {
+ public:
+  void append(const std::vector<std::uint8_t>& bytes) override;
+  void replace(const std::vector<std::uint8_t>& bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read_all() const override;
+  [[nodiscard]] std::uint64_t size() const override { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// File-backed store: append opens O_APPEND-style and flushes per record;
+// replace writes a sibling temp file and renames over the target, so a
+// crash mid-replace leaves either the old or the new content, never a mix.
+class file_wal_store final : public wal_store {
+ public:
+  explicit file_wal_store(std::string path);
+  void append(const std::vector<std::uint8_t>& bytes) override;
+  void replace(const std::vector<std::uint8_t>& bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read_all() const override;
+  [[nodiscard]] std::uint64_t size() const override;
+
+ private:
+  std::string path_;
+};
+
+// One broker's durable state: a snapshot store plus an append-only record
+// log. Not thread-safe; driven by the single-threaded fault engine (or a
+// test) one call at a time.
+class broker_wal {
+ public:
+  // In-memory stores (the fault engine's configuration).
+  broker_wal();
+  // Caller-chosen stores; both required.
+  broker_wal(std::unique_ptr<wal_store> snapshot_store, std::unique_ptr<wal_store> log_store);
+  // File-backed stores <dir>/broker-<id>.snap and <dir>/broker-<id>.log.
+  static broker_wal in_directory(const std::string& dir, int broker_id);
+
+  // Appends one framed record to the log, durably.
+  void append(const wal_record& r);
+  // Replaces the snapshot and truncates the log (compaction). Everything the
+  // log's records built is assumed folded into `snap`.
+  void write_snapshot(const broker_snapshot& snap);
+
+  struct recovery {
+    broker_snapshot snapshot;
+    std::vector<wal_record> records;  // intact log records, append order
+    std::uint64_t torn_bytes = 0;     // trailing log bytes dropped as torn
+  };
+  // Reads snapshot + log back. Tolerates a torn final record (reported in
+  // torn_bytes); throws wal_error on a corrupt snapshot or a corrupt
+  // non-tail region that cannot be attributed to a torn append.
+  [[nodiscard]] recovery recover() const;
+
+  // Total bytes made durable through this object (records + snapshots) —
+  // the network_metrics::wal_bytes feed.
+  [[nodiscard]] std::uint64_t bytes_appended() const { return bytes_appended_; }
+  // Records appended since the last snapshot (checkpoint-policy input).
+  [[nodiscard]] std::uint64_t records_since_snapshot() const { return records_since_snapshot_; }
+
+  [[nodiscard]] wal_store& log_store() { return *log_; }
+  [[nodiscard]] wal_store& snapshot_store() { return *snapshot_; }
+
+ private:
+  std::unique_ptr<wal_store> snapshot_;
+  std::unique_ptr<wal_store> log_;
+  std::uint64_t bytes_appended_ = 0;
+  std::uint64_t records_since_snapshot_ = 0;
+};
+
+// Codec internals, exposed for tests (round-trip and torn-frame property
+// tests) and for the fault engine's size accounting.
+std::vector<std::uint8_t> encode_record(const wal_record& r);
+std::vector<std::uint8_t> encode_snapshot(const broker_snapshot& s);
+
+}  // namespace subcover

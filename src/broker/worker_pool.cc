@@ -67,12 +67,14 @@ worker_pool::~worker_pool() {
   for (auto& t : threads_) t.join();
 }
 
-void worker_pool::submit(std::function<void()> job) {
+bool worker_pool::submit(std::function<void()> job) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
+  return true;
 }
 
 void worker_pool::run_batch(std::size_t n, const std::function<void(std::size_t)>& job) {
@@ -97,8 +99,10 @@ void worker_pool::run_batch(std::size_t n, const std::function<void(std::size_t)
   auto state = std::make_shared<batch_state>(n, job);
   const std::size_t helpers =
       std::min(static_cast<std::size_t>(size() - 1), n - 1);
+  // A rejected helper (pool already stopping) is harmless: the caller
+  // claims every remaining index itself below.
   for (std::size_t h = 0; h < helpers; ++h)
-    submit([state] { state->help(); });
+    (void)submit([state] { state->help(); });
   state->help();
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&] { return state->done == state->n; });

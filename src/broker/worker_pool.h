@@ -50,8 +50,11 @@ class worker_pool {
   [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
 
   // Enqueues a job for any worker. Safe from any thread, including pool
-  // workers themselves (jobs that submit jobs).
-  void submit(std::function<void()> job);
+  // workers themselves (jobs that submit jobs). Returns false — and does
+  // not enqueue — once destruction has begun: a job racing the destructor
+  // is rejected instead of being queued behind the stop flag (where it
+  // might run on a pool whose owner is mid-teardown, or never run at all).
+  [[nodiscard]] bool submit(std::function<void()> job);
 
   // Runs job(0), ..., job(n-1), each exactly once, and returns when all have
   // finished. The calling thread claims indexes in a loop; up to

@@ -26,6 +26,12 @@ subscription subscription::match_all(const schema& s) {
   return {s, std::move(ranges)};
 }
 
+subscription subscription::from_raw_ranges(std::vector<attr_range> ranges) {
+  subscription s;
+  s.ranges_ = std::move(ranges);
+  return s;
+}
+
 bool subscription::covers(const subscription& other) const {
   if (ranges_.size() != other.ranges_.size())
     throw std::invalid_argument("subscription::covers: schema mismatch");

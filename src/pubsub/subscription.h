@@ -28,6 +28,11 @@ class subscription {
   // Wildcard subscription matching every message.
   static subscription match_all(const schema& s);
 
+  // Rebuilds a subscription from ranges without schema validation. For
+  // deserialization paths (broker WAL replay) where the ranges were already
+  // validated when first accepted and the schema is not stored alongside.
+  static subscription from_raw_ranges(std::vector<attr_range> ranges);
+
   [[nodiscard]] int attribute_count() const { return static_cast<int>(ranges_.size()); }
   [[nodiscard]] const attr_range& range(int i) const {
     return ranges_[static_cast<std::size_t>(i)];

@@ -3,6 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
 
 #include "covering/linear_covering_index.h"
 #include "covering/sfc_covering_index.h"
@@ -303,6 +309,202 @@ TEST(Network, ShardLocalScratchSurvivesConcurrentChecks) {
     (void)par.subscribe(0, body);
   }
   expect_same_final_state(det, par);
+}
+
+// --- throwing covering handlers ---------------------------------------------
+//
+// The exception contract (network.h): a handler that throws fails only its
+// own message's forwards; every other shard and in-flight message completes,
+// and the post-throw state is deterministic and identical across engines.
+
+namespace {
+
+// Exact linear index that throws from find_covering while a sentinel "bomb"
+// subscription is stored in this shard. Arming happens via the broker's own
+// propagation (insert runs after the shard's covering check, so the bomb's
+// own subscribe completes cleanly); every later check on an armed shard
+// fails. Used to pin which forwards a throwing subscribe still performs.
+class bomb_index final : public covering_index {
+ public:
+  bomb_index(const schema& s, subscription bomb)
+      : covering_index(s), inner_(s), bomb_(std::move(bomb)) {}
+
+  void insert(sub_id id, const subscription& s) override {
+    inner_.insert(id, s);
+    if (s == bomb_) armed_.insert(id);
+  }
+  bool erase(sub_id id) override {
+    armed_.erase(id);
+    return inner_.erase(id);
+  }
+  [[nodiscard]] std::optional<sub_id> find_covering(
+      const subscription& s, double epsilon,
+      covering_check_stats* stats = nullptr) const override {
+    if (!armed_.empty()) throw std::runtime_error("armed covering shard");
+    return inner_.find_covering(s, epsilon, stats);
+  }
+  [[nodiscard]] std::size_t size() const override { return inner_.size(); }
+  [[nodiscard]] std::string_view name() const override { return "bomb"; }
+  [[nodiscard]] std::size_t memory_footprint() const override {
+    return inner_.memory_footprint();
+  }
+
+ private:
+  linear_covering_index inner_;
+  subscription bomb_;
+  std::set<sub_id> armed_;
+};
+
+// Exact linear index whose k-th find_covering call (per shard instance)
+// throws; all other calls delegate. Per-shard call sequences are schedule-
+// independent (each broker consumes an identical message sequence, and a
+// shard is only ever touched by its own link's job), so the failure lands on
+// the same operation in every engine.
+class kth_call_index final : public covering_index {
+ public:
+  kth_call_index(const schema& s, std::uint64_t k)
+      : covering_index(s), inner_(s), k_(k) {}
+
+  void insert(sub_id id, const subscription& s) override { inner_.insert(id, s); }
+  bool erase(sub_id id) override { return inner_.erase(id); }
+  [[nodiscard]] std::optional<sub_id> find_covering(
+      const subscription& s, double epsilon,
+      covering_check_stats* stats = nullptr) const override {
+    if (++calls_ == k_) throw std::runtime_error("scheduled shard failure");
+    return inner_.find_covering(s, epsilon, stats);
+  }
+  [[nodiscard]] std::size_t size() const override { return inner_.size(); }
+  [[nodiscard]] std::string_view name() const override { return "kth-call"; }
+  [[nodiscard]] std::size_t memory_footprint() const override {
+    return inner_.memory_footprint();
+  }
+
+ private:
+  linear_covering_index inner_;
+  const std::uint64_t k_;
+  mutable std::uint64_t calls_ = 0;
+};
+
+// run_identical_churn, but each operation runs under a catch: both networks
+// must throw on exactly the same operations and agree on every result.
+// Returns the number of operations that threw.
+int run_churn_with_throw_parity(network& a, network& b, const schema& s,
+                                std::uint64_t seed, int steps) {
+  workload::subscription_gen subs(s, {}, seed);
+  workload::event_gen events(s, seed + 1);
+  rng gen(seed + 2);
+  const auto n = static_cast<std::size_t>(a.broker_count());
+  std::vector<sub_id> active;
+  int threw = 0;
+  for (int step = 0; step < steps; ++step) {
+    const auto roll = gen.uniform(0, 9);
+    if (roll < 5 || active.empty()) {
+      const auto at = static_cast<int>(gen.index(n));
+      const auto body = subs.next();
+      std::optional<sub_id> ida, idb;
+      bool ta = false, tb = false;
+      try {
+        ida = a.subscribe(at, body);
+      } catch (const std::runtime_error&) {
+        ta = true;
+      }
+      try {
+        idb = b.subscribe(at, body);
+      } catch (const std::runtime_error&) {
+        tb = true;
+      }
+      EXPECT_EQ(ta, tb) << "step " << step;
+      EXPECT_EQ(ida, idb) << "step " << step;
+      if (ida && idb) active.push_back(*ida);
+      threw += ta ? 1 : 0;
+    } else if (roll < 7) {
+      const auto pick = gen.index(active.size());
+      std::optional<bool> ra, rb;
+      try {
+        ra = a.unsubscribe(active[pick]);
+      } catch (const std::runtime_error&) {
+      }
+      try {
+        rb = b.unsubscribe(active[pick]);
+      } catch (const std::runtime_error&) {
+      }
+      EXPECT_EQ(ra, rb) << "step " << step;
+      threw += ra.has_value() ? 0 : 1;
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      // Publishes never run covering checks, so they must not throw — and
+      // they double as a liveness probe that both networks still route.
+      const auto ev = events.next();
+      const auto at = static_cast<int>(gen.index(n));
+      EXPECT_EQ(a.publish(at, ev), b.publish(at, ev)) << "step " << step;
+    }
+  }
+  return threw;
+}
+
+}  // namespace
+
+TEST(Network, ThrowingHandlerStatePinnedAcrossEngines) {
+  // line(3): a bomb subscribed at broker 2 arms broker 2's shard toward 1 and
+  // broker 1's shard toward 0. A later subscribe at broker 1 then fails its
+  // covering check toward broker 0 but not toward broker 2 — the contract
+  // says the clean shard's forward still happens, in every engine.
+  const schema s = workload::make_uniform_schema(1, 8);
+  const auto bomb = parse_subscription(s, "attr0 >= 100");
+  auto opts = [&](int workers) {
+    network_options o;
+    o.use_covering = true;
+    o.workers = workers;
+    o.factory = [bomb](const schema& sc) { return std::make_unique<bomb_index>(sc, bomb); };
+    return o;
+  };
+  for (const int workers : {0, 1, 4}) {
+    network net(topology::line(3), s, opts(workers));
+    const auto bomb_id = net.subscribe(2, bomb);  // arms; must not throw
+    const auto before0 = net.broker_at(1).forwarded_ids(0);
+    const auto before2 = net.broker_at(1).forwarded_ids(2);
+    EXPECT_THROW((void)net.subscribe(1, parse_subscription(s, "attr0 <= 50")),
+                 std::runtime_error)
+        << "workers=" << workers;
+    // The armed shard's forward (toward broker 0) was skipped...
+    EXPECT_EQ(net.broker_at(1).forwarded_ids(0), before0) << "workers=" << workers;
+    // ...but the clean shard's forward (toward broker 2) completed.
+    EXPECT_EQ(net.broker_at(1).forwarded_ids(2).size(), before2.size() + 1)
+        << "workers=" << workers;
+    // The network stays live: events still route through the bomb's path.
+    EXPECT_EQ(net.publish(0, event(s, {150})), (std::vector<sub_id>{bomb_id}))
+        << "workers=" << workers;
+  }
+  // And the post-throw state is identical between the engines.
+  network det(topology::line(3), s, opts(0));
+  network par(topology::line(3), s, opts(4));
+  (void)det.subscribe(2, bomb);
+  (void)par.subscribe(2, bomb);
+  const auto narrow = parse_subscription(s, "attr0 <= 50");
+  EXPECT_THROW((void)det.subscribe(1, narrow), std::runtime_error);
+  EXPECT_THROW((void)par.subscribe(1, narrow), std::runtime_error);
+  expect_same_final_state(det, par);
+}
+
+TEST(Network, ThrowingHandlerChaosMatchesAcrossWorkerCounts) {
+  // Seeded churn where every covering shard fails exactly once (on its 7th
+  // check): the deterministic and parallel engines must throw on the same
+  // operations and converge to the same final state at every worker count.
+  const schema s = workload::make_uniform_schema(2, 8);
+  auto opts = [](int workers) {
+    network_options o;
+    o.use_covering = true;
+    o.workers = workers;
+    o.factory = [](const schema& sc) { return std::make_unique<kth_call_index>(sc, 7); };
+    return o;
+  };
+  for (const int workers : {1, 4}) {
+    network det(topology::balanced_tree(2, 3), s, opts(0));
+    network par(topology::balanced_tree(2, 3), s, opts(workers));
+    const int threw = run_churn_with_throw_parity(det, par, s, 2718, 120);
+    EXPECT_GT(threw, 0) << "workers=" << workers;  // the bombs must actually fire
+    expect_same_final_state(det, par);
+  }
 }
 
 TEST(Network, BadWorkerCountThrows) {

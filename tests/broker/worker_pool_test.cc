@@ -18,12 +18,12 @@ TEST(WorkerPool, SubmitRunsEveryJob) {
   {
     worker_pool pool(4);
     for (int i = 0; i < 100; ++i)
-      pool.submit([&] {
+      ASSERT_TRUE(pool.submit([&] {
         if (ran.fetch_add(1) + 1 == 100) {
           const std::lock_guard<std::mutex> lock(mu);
           cv.notify_all();
         }
-      });
+      }));
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return ran.load() == 100; });
   }
@@ -34,7 +34,7 @@ TEST(WorkerPool, DestructorCompletesQueuedJobs) {
   std::atomic<int> ran{0};
   {
     worker_pool pool(2);
-    for (int i = 0; i < 50; ++i) pool.submit([&] { ran.fetch_add(1); });
+    for (int i = 0; i < 50; ++i) ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
   }  // ~worker_pool drains the queue before joining
   EXPECT_EQ(ran.load(), 50);
 }
@@ -74,13 +74,13 @@ TEST(WorkerPool, RunBatchInsideWorkerJobDoesNotDeadlock) {
     std::condition_variable cv;
     constexpr int kJobs = 8;
     for (int j = 0; j < kJobs; ++j)
-      pool.submit([&] {
+      ASSERT_TRUE(pool.submit([&] {
         pool.run_batch(16, [&](std::size_t) { items.fetch_add(1); });
         if (jobs_done.fetch_add(1) + 1 == kJobs) {
           const std::lock_guard<std::mutex> lock(mu);
           cv.notify_all();
         }
-      });
+      }));
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return jobs_done.load() == kJobs; });
     EXPECT_EQ(items.load(), kJobs * 16);
@@ -107,6 +107,30 @@ TEST(WorkerPool, RunBatchRethrowsFirstJobException) {
     pool.run_batch(4, [&](std::size_t) { ++ran; });
     EXPECT_EQ(ran, 4);
   }
+}
+
+TEST(WorkerPool, SubmitDuringDestructionIsRejected) {
+  // Regression: a job racing the destructor must be rejected, not queued
+  // behind the stop flag. The in-pool job spin-submits until the destructor
+  // (running concurrently on the main thread) flips stop_ — with the old
+  // always-enqueue submit this test never terminates.
+  std::atomic<bool> rejected{false};
+  std::atomic<bool> started{false};
+  auto pool = std::make_unique<worker_pool>(1);
+  // Raw pointer: unique_ptr::reset nulls its pointer before the destructor
+  // runs, but the object itself stays valid until the destructor's join —
+  // which is exactly the window this test exercises.
+  worker_pool* raw = pool.get();
+  ASSERT_TRUE(raw->submit([&, raw] {
+    started.store(true);
+    while (raw->submit([] {})) {
+    }  // every accepted no-op still runs before teardown
+    rejected.store(true);
+  }));
+  while (!started.load()) {
+  }
+  pool.reset();  // sets stop_, completes the spinning job, then joins
+  EXPECT_TRUE(rejected.load());
 }
 
 TEST(WorkerPool, ClampsToAtLeastOneWorker) {
