@@ -19,6 +19,7 @@ dominance_options to_dominance_options(const sfc_covering_options& o) {
   d.merge_runs = o.merge_runs;
   d.batched_probe = o.batched_probe;
   d.head_probe = o.head_probe;
+  d.simd = o.simd;
   d.max_cubes = o.max_cubes;
   d.settle_on_budget = o.settle_on_budget;
   d.tier_hot_capacity = o.tier_hot_capacity;

@@ -38,6 +38,10 @@ struct sfc_covering_options {
   // adaptive from the plan's running hit-at-rank estimate, > 1 = fixed
   // deeper head. Identical detection results for every setting.
   int head_probe = 1;
+  // SIMD policy for the dominance plan's level-frontier kernels (see
+  // dominance_options::simd / util/simd.h). Identical detection results and
+  // logical stats for every setting; only speed moves.
+  simd_mode simd = simd_mode::automatic;
   // Covering queries for subscriptions with wildcard or open-ended
   // constraints produce degenerate (unit-thickness, huge-aspect-ratio)
   // dominance regions — the paper's "M x 1" worst case — whose full

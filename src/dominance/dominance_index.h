@@ -50,6 +50,7 @@
 #include "sfc/curve.h"
 #include "sfcarray/sfc_array.h"
 #include "util/key_traits.h"
+#include "util/simd.h"
 
 namespace subcover {
 
@@ -84,9 +85,20 @@ struct dominance_options {
   // >= 90% of them (clamped to 8). Values > 1 force a fixed deeper head.
   // Results and all logical query_stats are identical for every setting
   // (the probe order never changes); only the physical restart/resume split
-  // varies. Ignored on the single-range reference path. Negative values
-  // throw std::invalid_argument at construction.
+  // varies. Applies to both batched paths (merged runs, and the cube-count
+  // path when merge_runs is false); ignored on the single-range reference
+  // path. Negative values throw std::invalid_argument at construction.
   int head_probe = 1;
+  // How the query plan runs its level-frontier kernels (util/simd.h):
+  // `automatic` (the default) uses the runtime-dispatched scalar/SSE4.2/AVX2
+  // ladder of util/simd_kernels.h, `force_scalar` pins those call sites to
+  // the kernel library's scalar backend, `off` bypasses the kernel library
+  // and runs the plan's plain-loop reference implementations. Results, stop
+  // decisions and every logical query_stats field are identical for all
+  // three settings at every key width; only speed moves. The shared arrays
+  // follow the process-wide dispatch (SUBCOVER_FORCE_SCALAR), not this
+  // per-index policy.
+  simd_mode simd = simd_mode::automatic;
   // Safety valve: queries whose decomposition exceeds this many cubes either
   // throw std::length_error (settle_on_budget == false) or stop enumerating
   // and probe the partial plan collected so far (settle_on_budget == true).

@@ -10,6 +10,7 @@
 #include "dominance/dominance_index.h"
 #include "sfc/extremal_decomposition.h"
 #include "sfcarray/tiered_sfc_array.h"
+#include "util/simd_kernels.h"
 #include "util/timer.h"
 
 namespace subcover {
@@ -17,18 +18,18 @@ namespace subcover {
 namespace {
 
 // Stack-allocated receiver for one batched level sweep: records each probed
-// range's answer under its volume-descending rank and stops the sweep as
-// soon as no remaining range can outrank the best hit found so far.
+// range's answer under its replay rank and stops the sweep as soon as no
+// remaining range can outrank the best hit found so far.
 template <class K>
 struct sweep_sink final : basic_sfc_array<K>::frontier_sink {
   using entry = typename basic_sfc_array<K>::entry;
 
-  const std::uint32_t* rank;        // sweep position -> volume rank
+  const std::uint32_t* rank;        // sweep position -> replay rank
   const std::uint32_t* suffix_min;  // min rank among sweep positions i..end
   std::size_t n;                    // sweep length
   std::uint8_t* found;              // rank-indexed answers
   std::uint64_t* ids;
-  std::uint32_t best_rank;          // smallest rank that hit; n as "none"
+  std::uint32_t best_rank;          // smallest rank that hit; "none" = cap
   std::uint64_t visited = 0;
 
   bool on_probe(std::size_t i, const entry* hit) override {
@@ -39,24 +40,139 @@ struct sweep_sink final : basic_sfc_array<K>::frontier_sink {
       ids[rk] = hit->id;
       if (rk < best_rank) best_rank = rk;
     }
-    // Continue while some unprobed range still ranks above (larger volume
-    // than) the best hit; once none does, the volume-order replay can never
-    // reach an unprobed range.
+    // Continue while some unprobed range still ranks above (earlier in the
+    // replay than) the best hit; once none does, the replay can never reach
+    // an unprobed range.
     return i + 1 < n && suffix_min[i + 1] < best_rank;
   }
 };
 
 // The probe order within a level: larger runs first, ties by ascending key.
 // This single definition is what "byte-identical" means for the batched and
-// single-range paths — both sorts (rank indices there, ranges here) and the
-// head scan must agree on it. Extents are compared via hi - lo: identical
-// ordering to cell_count() without the +1's wrap at the full range.
+// single-range paths — the AoS sort (reference path), the rank sort over
+// the extent/lo columns and the head scan must all agree on it. Extents are
+// compared via hi - lo: identical ordering to cell_count() without the +1's
+// wrap at the full range.
 template <class K>
 bool probes_before(const basic_key_range<K>& a, const basic_key_range<K>& b) {
   const K ca = a.hi - a.lo;
   const K cb = b.hi - b.lo;
   if (ca != cb) return cb < ca;
   return a.lo < b.lo;
+}
+
+// --- plain-loop frontier primitives -----------------------------------------
+// The simd_mode::off oracle, and the only implementation at the wide key
+// widths (the vector kernels are u64-lane). Each mirrors the semantics of
+// the same-named kernel in util/simd_kernels.h exactly.
+
+// Coalesces sorted, distinct, cube-aligned lows (cube span `cube_cells`)
+// into maximal runs; equal-size aligned cubes chain exactly when
+// lo[i] - lo[i-1] == cube_cells. Byte-identical to merge_ranges_inplace on
+// the same cubes. Requires n > 0.
+template <class K>
+std::size_t coalesce_cubes_plain(const K* lo, std::size_t n, const K& cube_cells, K* run_lo,
+                                 K* run_hi) {
+  const K ext = cube_cells - key_traits<K>::one();
+  std::size_t out = 0;
+  run_lo[0] = lo[0];
+  run_hi[0] = lo[0] | ext;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (lo[i] - lo[i - 1] == cube_cells) {
+      run_hi[out] = lo[i] | ext;
+    } else {
+      ++out;
+      run_lo[out] = lo[i];
+      run_hi[out] = lo[i] | ext;
+    }
+  }
+  return out + 1;
+}
+
+// Argbest under probes_before over the extent/lo columns: largest extent,
+// ties by smallest lo, further ties by first index. Requires n > 0.
+template <class K>
+std::size_t head_scan_plain(const K* ext, const K* lo, std::size_t n) {
+  std::size_t best = 0;
+  for (std::size_t p = 1; p < n; ++p) {
+    const bool wins = ext[p] != ext[best] ? ext[best] < ext[p] : lo[p] < lo[best];
+    if (wins) best = p;
+  }
+  return best;
+}
+
+// Right-to-left running minimum with the head-rank floor mask.
+void suffix_min_plain(const std::uint32_t* rank, std::size_t n, std::uint32_t floor,
+                      std::uint32_t* out) {
+  std::uint32_t min_rank = std::numeric_limits<std::uint32_t>::max();
+  for (std::size_t p = n; p-- > 0;) {
+    const std::uint32_t rk = rank[p];
+    if (rk >= floor) min_rank = std::min(min_rank, rk);
+    out[p] = min_rank;
+  }
+}
+
+// --- simd_mode three-way dispatch (u64 lanes) -------------------------------
+// automatic -> the runtime-dispatched tier, force_scalar -> the kernel
+// library's scalar backend through the same call sites, off -> the plain
+// loops above (no kernel-library call at all).
+
+std::size_t coalesce_cubes_mode(simd_mode mode, const std::uint64_t* lo, std::size_t n,
+                                std::uint64_t cube_cells, std::uint64_t* run_lo,
+                                std::uint64_t* run_hi) {
+  switch (mode) {
+    case simd_mode::automatic:
+      return simd::coalesce_cubes_u64(lo, n, cube_cells, run_lo, run_hi);
+    case simd_mode::force_scalar:
+      return simd::scalar::coalesce_cubes_u64(lo, n, cube_cells, run_lo, run_hi);
+    case simd_mode::off:
+      break;
+  }
+  return coalesce_cubes_plain<std::uint64_t>(lo, n, cube_cells, run_lo, run_hi);
+}
+
+void sub_mode(simd_mode mode, const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+              std::size_t n) {
+  switch (mode) {
+    case simd_mode::automatic:
+      simd::sub_u64(a, b, out, n);
+      return;
+    case simd_mode::force_scalar:
+      simd::scalar::sub_u64(a, b, out, n);
+      return;
+    case simd_mode::off:
+      break;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+std::size_t head_scan_mode(simd_mode mode, const std::uint64_t* ext, const std::uint64_t* lo,
+                           std::size_t n) {
+  switch (mode) {
+    case simd_mode::automatic:
+      return simd::head_rank_scan_u64(ext, lo, n);
+    case simd_mode::force_scalar:
+      return simd::scalar::head_rank_scan_u64(ext, lo, n);
+    case simd_mode::off:
+      break;
+  }
+  return head_scan_plain<std::uint64_t>(ext, lo, n);
+}
+
+// u32 ranks are width-independent, so this one serves every key width.
+void suffix_min_mode(simd_mode mode, const std::uint32_t* rank, std::size_t n,
+                     std::uint32_t floor, std::uint32_t* out) {
+  switch (mode) {
+    case simd_mode::automatic:
+      simd::suffix_min_masked_u32(rank, n, floor, out);
+      return;
+    case simd_mode::force_scalar:
+      simd::scalar::suffix_min_masked_u32(rank, n, floor, out);
+      return;
+    case simd_mode::off:
+      break;
+  }
+  suffix_min_plain(rank, n, floor, out);
 }
 
 }  // namespace
@@ -76,6 +192,9 @@ query_plan::query_plan(const dominance_index& index) : index_(&index) {
         state_.emplace<typed_state<K>>(std::move(ts));
       },
       index.engine_);
+  // One histogram cell per (level, epsilon bucket); sized here so the hot
+  // path never allocates.
+  adaptive_.resize(static_cast<std::size_t>(index.space().bits() + 1) * kAdaptiveEpsBuckets);
 }
 
 std::optional<std::uint64_t> query_plan::run(const point& x, double epsilon,
@@ -83,21 +202,37 @@ std::optional<std::uint64_t> query_plan::run(const point& x, double epsilon,
   return std::visit([&](auto& ts) { return run_impl(ts, x, epsilon, stats); }, state_);
 }
 
-void query_plan::note_hit_rank(std::size_t rank) {
-  ++hit_total_;
-  ++hit_rank_counts_[std::min(rank, kAdaptiveMaxHead - 1)];
+std::size_t query_plan::eps_bucket(double epsilon) {
+  if (epsilon <= 0) return 0;  // exhaustive queries get their own cell
+  // Quantize by magnitude: epsilons within a factor of two share a cell.
+  int e = 0;
+  (void)std::frexp(epsilon, &e);  // epsilon = f * 2^e, f in [0.5, 1)
+  const int mag = -e;             // 0 for [0.5, 1), 1 for [0.25, 0.5), ...
+  const int cap = static_cast<int>(kAdaptiveEpsBuckets) - 2;
+  return 1 + static_cast<std::size_t>(std::min(mag, cap));
 }
 
-std::size_t query_plan::adaptive_head_depth() const {
-  // Behave like the pinned h = 1 until the estimate has seen enough hits.
-  if (hit_total_ < kAdaptiveMinSamples) return 1;
-  const std::uint64_t target = (hit_total_ * 9 + 9) / 10;  // ceil(0.9 * hits)
-  std::uint64_t cum = 0;
-  for (std::size_t r = 0; r < kAdaptiveMaxHead; ++r) {
-    cum += hit_rank_counts_[r];
-    if (cum >= target) return r + 1;
-  }
-  return kAdaptiveMaxHead;
+void query_plan::note_hit_rank(int level, std::size_t eps_b, std::size_t rank) {
+  adaptive_hist& h = adaptive_[static_cast<std::size_t>(level) * kAdaptiveEpsBuckets + eps_b];
+  ++h.counts[std::min(rank, kAdaptiveMaxHead - 1)];
+  if (++h.total < kAdaptiveDecayCap) return;
+  // Decay: halve every bucket (rounding up, so an occupied bucket never
+  // vanishes outright) and recount, so the estimate tracks the recent
+  // workload instead of the whole history.
+  for (auto& c : h.counts) c -= c >> 1;
+  h.total = simd::sum_u64(h.counts.data(), kAdaptiveMaxHead);
+}
+
+std::size_t query_plan::adaptive_head_depth(int level, std::size_t eps_b) const {
+  const adaptive_hist& h =
+      adaptive_[static_cast<std::size_t>(level) * kAdaptiveEpsBuckets + eps_b];
+  // Behave like the pinned h = 1 until this cell has seen enough hits.
+  if (h.total < kAdaptiveMinSamples) return 1;
+  const std::uint64_t target = (h.total * 9 + 9) / 10;  // ceil(0.9 * hits)
+  std::uint64_t prefix[kAdaptiveMaxHead];
+  simd::prefix_sum_u64(h.counts.data(), prefix, kAdaptiveMaxHead);
+  const std::size_t r = simd::first_geq_u64(prefix, 0, kAdaptiveMaxHead, target);
+  return r < kAdaptiveMaxHead ? r + 1 : kAdaptiveMaxHead;
 }
 
 template <class K>
@@ -111,6 +246,8 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
   if (!x.inside(u))
     throw std::invalid_argument("dominance_index::query: point outside universe");
   const stopwatch timer;
+  const simd_mode mode = opts.simd;
+  const std::size_t eps_b = eps_bucket(epsilon);
 
   const extremal_rect full = extremal_rect::query_region(u, x);
   const long double vol_full = full.volume_ld();
@@ -149,17 +286,19 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
   long double planned_cum = 0;  // volume of levels enumerated so far
   std::optional<std::uint64_t> result;
   bool done = false;
-  // One range sink for the whole query: the emitter's per-level prefix /
+  // One lo-column sink for the whole query: the emitter's per-level prefix /
   // state caches are reusable across levels (each fresh walk forces a full
   // recomputation via its watermark), so its construction cost is paid once
-  // per query rather than once per occupied level.
+  // per query rather than once per occupied level. Only the cube's low key
+  // is stored — every cube of level i spans the same extent, derived in
+  // bulk after enumeration.
   std::uint64_t needed = 0;
   std::uint64_t taken = 0;
-  auto sink = [&](const basic_key_range<K>& run) {
-    ts.level_ranges.push_back(run);
+  auto sink = [&](const K& lo) {
+    ts.lo_col.push_back(lo);
     return ++taken < needed;
   };
-  detail::range_emitter<K, decltype(sink)> ranges(*ts.curve, 0, sink);
+  detail::lo_emitter<K, decltype(sink)> ranges(*ts.curve, 0, sink);
   for (int i = u.bits(); i >= 0 && !done; --i) {
     const u512& count = level_counts_[static_cast<std::size_t>(i)];
     if (count.is_zero()) continue;
@@ -188,27 +327,71 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
     }
     if (needed == 0) break;
 
-    // Stream exactly `needed` key ranges of the level into the run frontier
-    // (all cubes of a level have equal volume, so any subset of the right
-    // size reaches the same coverage). The corner-free enumerator emits each
-    // cube directly as its Equation-1 key interval at the plan's width — no
-    // standard_cube, no coordinate arrays, no wide cube_prefix math. The
-    // sink's bool return stops enumeration cleanly — no exception control
-    // flow, no over-enumeration. count > 0 already implies the level is
-    // occupied, so the walk runs unconditionally.
-    ts.level_ranges.clear();
+    // Stream exactly `needed` cube lows of the level into the frontier
+    // column (all cubes of a level have equal volume, so any subset of the
+    // right size reaches the same coverage). The corner-free enumerator
+    // emits each cube directly as its Equation-1 low key at the plan's
+    // width — no standard_cube, no coordinate arrays, no wide cube_prefix
+    // math. The sink's bool return stops enumeration cleanly — no exception
+    // control flow, no over-enumeration. count > 0 already implies the
+    // level is occupied, so the walk runs unconditionally.
+    ts.lo_col.clear();
     taken = 0;
     ranges.set_level(i);
     detail::level_walk<decltype(ranges)>(u, target, i, ranges, needed).run();
-    st.cubes_enumerated += ts.level_ranges.size();
-    budget -= ts.level_ranges.size();
+    const std::size_t cube_count = ts.lo_col.size();
+    st.cubes_enumerated += cube_count;
+    budget -= cube_count;
     planned_cum += level_volume;
+    if (cube_count == 0) continue;
+    const K level_mask = ranges.level_mask();  // hi == lo | level_mask at this level
 
-    if (opts.merge_runs) merge_ranges_inplace(ts.level_ranges);
-    // Without merging, all runs of a level are equal-volume cubes left in
-    // enumeration order — nothing to coalesce or reorder.
-    const std::size_t run_count = ts.level_ranges.size();
+    std::size_t run_count;
+    if (opts.merge_runs) {
+      // Coalesce on the key column: sort the lows, then chain cubes that
+      // sit exactly one cube span apart — byte-identical to
+      // merge_ranges_inplace on the materialized ranges (equal-size aligned
+      // cubes can never overlap or be closer than one span).
+      std::sort(ts.lo_col.begin(), ts.lo_col.end());
+      ts.run_lo.resize(cube_count);
+      ts.run_hi.resize(cube_count);
+      if (cube_count == 1) {
+        // Also the only case where the cube span could wrap the key width
+        // (the whole-universe cube at d*k bits).
+        ts.run_lo[0] = ts.lo_col[0];
+        ts.run_hi[0] = ts.lo_col[0] | level_mask;
+        run_count = 1;
+      } else if constexpr (std::is_same_v<K, std::uint64_t>) {
+        run_count = coalesce_cubes_mode(mode, ts.lo_col.data(), cube_count, level_mask + 1,
+                                        ts.run_lo.data(), ts.run_hi.data());
+      } else {
+        run_count = coalesce_cubes_plain<K>(ts.lo_col.data(), cube_count,
+                                            level_mask + key_traits<K>::one(),
+                                            ts.run_lo.data(), ts.run_hi.data());
+      }
+    } else {
+      // Without merging, all runs of a level are equal-volume cubes left in
+      // enumeration order — nothing to coalesce or reorder.
+      run_count = cube_count;
+    }
     st.runs_in_plan += run_count;
+
+    // Volume of one run / one cube, exactly range.cell_count_ld().
+    const auto run_cells_ld = [&ts](std::size_t p) {
+      return key_traits<K>::to_long_double(ts.run_ext[p]) + 1.0L;
+    };
+    const auto run_at = [&ts](std::size_t p) {
+      basic_key_range<K> r;
+      r.lo = ts.run_lo[p];
+      r.hi = ts.run_hi[p];
+      return r;
+    };
+    const auto cube_at = [&ts, level_mask](std::size_t p) {
+      basic_key_range<K> r;
+      r.lo = ts.lo_col[p];
+      r.hi = r.lo | level_mask;
+      return r;
+    };
 
     if (opts.merge_runs && opts.batched_probe && run_count > 0 &&
         run_count <= std::numeric_limits<std::uint32_t>::max()) {
@@ -226,21 +409,30 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
       // it.
       const std::size_t head_req =
           opts.head_probe >= 1 ? static_cast<std::size_t>(opts.head_probe)
-                               : adaptive_head_depth();
+                               : adaptive_head_depth(i, eps_b);
       const std::size_t head_count = std::min(head_req, run_count);
-      bool ordered = false;     // replay_order_ valid for this level
+      // Extent lanes: the volume key of every ordering and accumulation
+      // below.
+      ts.run_ext.resize(run_count);
+      if constexpr (std::is_same_v<K, std::uint64_t>) {
+        sub_mode(mode, ts.run_hi.data(), ts.run_lo.data(), ts.run_ext.data(), run_count);
+      } else {
+        for (std::size_t p = 0; p < run_count; ++p) ts.run_ext[p] = ts.run_hi[p] - ts.run_lo[p];
+      }
+      bool ordered = false;  // replay_order_ valid for this level
       // The probe order of the single-range path (probes_before) as a rank
-      // -> position map over the merged frontier. One definition shared by
-      // the head probes and the sweep replay, so they cannot diverge.
-      // probes_before's lo tie-break is well-defined here: merged ranges
-      // have distinct lows.
+      // -> position map over the merged frontier, sorted on the extent/lo
+      // columns. One definition shared by the head probes and the sweep
+      // replay, so they cannot diverge. probes_before's lo tie-break is
+      // well-defined here: merged ranges have distinct lows.
       const auto ensure_replay_order = [&] {
         if (ordered) return;
         replay_order_.resize(run_count);
         std::iota(replay_order_.begin(), replay_order_.end(), 0U);
         std::sort(replay_order_.begin(), replay_order_.end(),
-                  [&ranges_buf = ts.level_ranges](std::uint32_t a, std::uint32_t b) {
-                    return probes_before(ranges_buf[a], ranges_buf[b]);
+                  [&ext = ts.run_ext, &lo = ts.run_lo](std::uint32_t a, std::uint32_t b) {
+                    if (ext[a] != ext[b]) return ext[b] < ext[a];
+                    return lo[a] < lo[b];
                   });
         ordered = true;
       };
@@ -250,20 +442,22 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
       // be probed.
       bool level_stop = false;
       if (head_count == 1) {
-        std::size_t head = 0;
-        for (std::size_t pos = 1; pos < run_count; ++pos) {
-          if (probes_before(ts.level_ranges[pos], ts.level_ranges[head])) head = pos;
+        std::size_t head;
+        if constexpr (std::is_same_v<K, std::uint64_t>) {
+          head = head_scan_mode(mode, ts.run_ext.data(), ts.run_lo.data(), run_count);
+        } else {
+          head = head_scan_plain<K>(ts.run_ext.data(), ts.run_lo.data(), run_count);
         }
         ++st.runs_probed;
         ++st.probes_restarted;
-        const auto head_hit = ts.array->first_in(ts.level_ranges[head], &ts.hint);
-        searched += ts.level_ranges[head].cell_count_ld();
+        const auto head_hit = ts.array->first_in(run_at(head), &ts.hint);
+        searched += run_cells_ld(head);
         if (head_hit.has_value()) {
           result = head_hit->id;
           st.found = true;
           done = true;
           level_stop = true;
-          note_hit_rank(0);
+          note_hit_rank(i, eps_b, 0);
         } else if (epsilon > 0 && searched >= coverage_target) {
           done = true;
           level_stop = true;
@@ -276,14 +470,14 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
         for (std::size_t j = 0; j < head_count && !level_stop; ++j) {
           ++st.runs_probed;
           ++st.probes_restarted;
-          const auto hit = ts.array->first_in(ts.level_ranges[replay_order_[j]], &ts.hint);
-          searched += ts.level_ranges[replay_order_[j]].cell_count_ld();
+          const auto hit = ts.array->first_in(run_at(replay_order_[j]), &ts.hint);
+          searched += run_cells_ld(replay_order_[j]);
           if (hit.has_value()) {
             result = hit->id;
             st.found = true;
             done = true;
             level_stop = true;
-            note_hit_rank(j);
+            note_hit_rank(i, eps_b, j);
           } else if (epsilon > 0 && searched >= coverage_target) {
             done = true;
             level_stop = true;
@@ -301,7 +495,7 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
         if (epsilon > 0) {
           long double cum = searched;
           for (std::size_t j = head_count; j < run_count; ++j) {
-            cum += ts.level_ranges[replay_order_[j]].cell_count_ld();
+            cum += run_cells_ld(replay_order_[j]);
             if (cum >= coverage_target) {
               probe_count = j + 1;
               break;
@@ -311,14 +505,13 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
         // Sweep list: the rank < probe_count subset in key-ascending order,
         // each element carrying its rank. With no coverage cut (the common
         // case, and always for epsilon == 0) that is the whole frontier —
-        // the sweep reads level_ranges and pos_rank_ in place (re-answering
-        // the already-probed head ranks is harmless and cheaper than
-        // compacting them away); only a genuine cut compacts into the
-        // probe_ranges scratch, dropping the head with the rest.
+        // materialized straight off the run columns (re-answering the
+        // already-probed head ranks is harmless and cheaper than compacting
+        // them away); only a genuine cut compacts, dropping the head with
+        // the rest.
         pos_rank_.resize(run_count);
         for (std::size_t j = 0; j < run_count; ++j)
           pos_rank_[replay_order_[j]] = static_cast<std::uint32_t>(j);
-        const basic_key_range<K>* sweep_ranges = ts.level_ranges.data();
         const std::uint32_t* sweep_rank = pos_rank_.data();
         std::size_t pn = run_count;
         if (probe_count < run_count) {
@@ -326,25 +519,23 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
           probe_rank_.clear();
           for (std::size_t pos = 0; pos < run_count; ++pos) {
             if (pos_rank_[pos] >= head_count && pos_rank_[pos] < probe_count) {
-              ts.probe_ranges.push_back(ts.level_ranges[pos]);
+              ts.probe_ranges.push_back(run_at(pos));
               probe_rank_.push_back(pos_rank_[pos]);
             }
           }
-          sweep_ranges = ts.probe_ranges.data();
           sweep_rank = probe_rank_.data();
           pn = ts.probe_ranges.size();
+        } else {
+          ts.probe_ranges.resize(run_count);
+          for (std::size_t pos = 0; pos < run_count; ++pos) ts.probe_ranges[pos] = run_at(pos);
         }
         // Suffix-min-rank table: the sink's oracle for stopping the sweep
         // once no unprobed range can outrank the best hit. Head ranks are
         // already answered (they all missed), so they must not hold the
-        // sweep open; mask them to the weakest rank.
+        // sweep open; the kernel's floor masks them to the weakest rank.
         suffix_min_rank_.resize(pn);
-        std::uint32_t min_rank = std::numeric_limits<std::uint32_t>::max();
-        for (std::size_t p = pn; p-- > 0;) {
-          const std::uint32_t rk = sweep_rank[p];
-          if (rk >= head_count) min_rank = std::min(min_rank, rk);
-          suffix_min_rank_[p] = min_rank;
-        }
+        suffix_min_mode(mode, sweep_rank, pn, static_cast<std::uint32_t>(head_count),
+                        suffix_min_rank_.data());
         hit_found_.assign(probe_count, 0);
         hit_id_.resize(probe_count);
 
@@ -355,7 +546,8 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
         sink.found = hit_found_.data();
         sink.ids = hit_id_.data();
         sink.best_rank = static_cast<std::uint32_t>(probe_count);
-        ts.array->probe_frontier(std::span<const basic_key_range<K>>(sweep_ranges, pn), sink);
+        ts.array->probe_frontier(
+            std::span<const basic_key_range<K>>(ts.probe_ranges.data(), pn), sink);
         ++st.frontier_batches;
         if (sink.visited > 0) {
           ++st.probes_restarted;
@@ -369,12 +561,111 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
         // best hit) and recorded as a miss.
         for (std::size_t j = head_count; j < probe_count; ++j) {
           ++st.runs_probed;
-          searched += ts.level_ranges[replay_order_[j]].cell_count_ld();
+          searched += run_cells_ld(replay_order_[j]);
           if (hit_found_[j] != 0) {
             result = hit_id_[j];
             st.found = true;
             done = true;
-            note_hit_rank(j);
+            note_hit_rank(i, eps_b, j);
+            break;
+          }
+          if (epsilon > 0 && searched >= coverage_target) {
+            done = true;
+            break;
+          }
+        }
+      }
+    } else if (!opts.merge_runs && opts.batched_probe && run_count > 0 &&
+               run_count <= std::numeric_limits<std::uint32_t>::max()) {
+      // --- cube-count mode, batched ----------------------------------------
+      // The reference probe order here is enumeration order (all cubes of a
+      // level have equal volume, so the replay rank IS the enumeration
+      // position — no volume sort exists to disagree with). Probe the first
+      // head_count cubes individually, then answer the rest with one
+      // key-sorted frontier sweep and replay in enumeration order. Logical
+      // stats are byte-identical to the per-cube reference path; only the
+      // physical restart/resume split moves.
+      const std::size_t head_req =
+          opts.head_probe >= 1 ? static_cast<std::size_t>(opts.head_probe)
+                               : adaptive_head_depth(i, eps_b);
+      const std::size_t head_count = std::min(head_req, run_count);
+      const long double cube_ld = key_traits<K>::to_long_double(level_mask) + 1.0L;
+      bool level_stop = false;
+      for (std::size_t j = 0; j < head_count && !level_stop; ++j) {
+        ++st.runs_probed;
+        ++st.probes_restarted;
+        const auto hit = ts.array->first_in(cube_at(j), &ts.hint);
+        searched += cube_ld;
+        if (hit.has_value()) {
+          result = hit->id;
+          st.found = true;
+          done = true;
+          level_stop = true;
+          note_hit_rank(i, eps_b, j);
+        } else if (epsilon > 0 && searched >= coverage_target) {
+          done = true;
+          level_stop = true;
+        }
+      }
+      if (!level_stop && run_count > head_count) {
+        // Equal volumes make the coverage cut a pure count, but the replay
+        // must accumulate the same long-double sequence the reference path
+        // does, so the cut reruns it term by term.
+        std::size_t probe_count = run_count;
+        if (epsilon > 0) {
+          long double cum = searched;
+          for (std::size_t j = head_count; j < run_count; ++j) {
+            cum += cube_ld;
+            if (cum >= coverage_target) {
+              probe_count = j + 1;
+              break;
+            }
+          }
+        }
+        // Sweep list: enumeration positions [head_count, probe_count)
+        // sorted into key order (cubes are disjoint with distinct lows, so
+        // the order is strict), each carrying its enumeration rank.
+        const std::size_t pn = probe_count - head_count;
+        replay_order_.resize(pn);
+        std::iota(replay_order_.begin(), replay_order_.end(),
+                  static_cast<std::uint32_t>(head_count));
+        std::sort(replay_order_.begin(), replay_order_.end(),
+                  [&lo = ts.lo_col](std::uint32_t a, std::uint32_t b) { return lo[a] < lo[b]; });
+        ts.probe_ranges.resize(pn);
+        probe_rank_.resize(pn);
+        for (std::size_t s = 0; s < pn; ++s) {
+          ts.probe_ranges[s] = cube_at(replay_order_[s]);
+          probe_rank_[s] = replay_order_[s];
+        }
+        suffix_min_rank_.resize(pn);
+        suffix_min_mode(mode, probe_rank_.data(), pn, static_cast<std::uint32_t>(head_count),
+                        suffix_min_rank_.data());
+        hit_found_.assign(probe_count, 0);
+        hit_id_.resize(probe_count);
+
+        sweep_sink<K> sink;
+        sink.rank = probe_rank_.data();
+        sink.suffix_min = suffix_min_rank_.data();
+        sink.n = pn;
+        sink.found = hit_found_.data();
+        sink.ids = hit_id_.data();
+        sink.best_rank = static_cast<std::uint32_t>(probe_count);
+        ts.array->probe_frontier(
+            std::span<const basic_key_range<K>>(ts.probe_ranges.data(), pn), sink);
+        ++st.frontier_batches;
+        if (sink.visited > 0) {
+          ++st.probes_restarted;
+          st.probes_resumed += sink.visited - 1;
+        }
+
+        for (std::size_t j = head_count; j < probe_count; ++j) {
+          ++st.runs_probed;
+          searched += cube_ld;
+          if (hit_found_[j] != 0) {
+            result = hit_id_[j];
+            st.found = true;
+            done = true;
+            note_hit_rank(i, eps_b, j);
             break;
           }
           if (epsilon > 0 && searched >= coverage_target) {
@@ -386,28 +677,49 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
     } else {
       // --- single-range reference path -------------------------------------
       // One independent first_in per run (with the probe-locality cursor);
-      // the ground truth the batched sweep is pinned against in tests.
+      // the ground truth the batched sweeps are pinned against in tests.
       if (opts.merge_runs) {
         // Within the level, probe in probes_before order (larger merged
         // runs first, ties by ascending key), which makes the probe
         // sequence deterministic and friendly to the array's locality
         // cursor.
-        std::sort(ts.level_ranges.begin(), ts.level_ranges.end(), probes_before<K>);
-      }
-      for (const basic_key_range<K>& run : ts.level_ranges) {
-        ++st.runs_probed;
-        ++st.probes_restarted;
-        const auto hit = ts.array->first_in(run, &ts.hint);
-        searched += run.cell_count_ld();
-        if (hit.has_value()) {
-          result = hit->id;
-          st.found = true;
-          done = true;
-          break;
+        ts.probe_ranges.resize(run_count);
+        for (std::size_t p = 0; p < run_count; ++p) ts.probe_ranges[p] = run_at(p);
+        std::sort(ts.probe_ranges.begin(), ts.probe_ranges.end(), probes_before<K>);
+        for (const basic_key_range<K>& run : ts.probe_ranges) {
+          ++st.runs_probed;
+          ++st.probes_restarted;
+          const auto hit = ts.array->first_in(run, &ts.hint);
+          searched += run.cell_count_ld();
+          if (hit.has_value()) {
+            result = hit->id;
+            st.found = true;
+            done = true;
+            break;
+          }
+          if (epsilon > 0 && searched >= coverage_target) {
+            done = true;
+            break;
+          }
         }
-        if (epsilon > 0 && searched >= coverage_target) {
-          done = true;
-          break;
+      } else {
+        // Cube-count mode: probe the raw cubes in enumeration order.
+        for (std::size_t p = 0; p < run_count; ++p) {
+          const basic_key_range<K> run = cube_at(p);
+          ++st.runs_probed;
+          ++st.probes_restarted;
+          const auto hit = ts.array->first_in(run, &ts.hint);
+          searched += run.cell_count_ld();
+          if (hit.has_value()) {
+            result = hit->id;
+            st.found = true;
+            done = true;
+            break;
+          }
+          if (epsilon > 0 && searched >= coverage_target) {
+            done = true;
+            break;
+          }
         }
       }
     }

@@ -6,15 +6,35 @@
 // (possibly truncated, Lemma 3.2) extremal query region, the plan streams
 // exactly the cubes the coverage target can still need (the closed-form
 // level counts of Lemma 3.5 bound the frontier in advance) straight out of
-// the Equation-1 range enumerator (extremal_decomposition.h) as key
-// intervals at the plan's width — the level enumeration constructs no
-// standard_cube and touches no corner coordinate arrays; the curve's
-// child_rank/descend_state API turns bit-plane toggles into prefix updates
-// directly. The plan then coalesces the intervals into runs, orders the
-// runs by volume, and probes them against the SFC array, tracking the
-// searched-volume fraction and the max_cubes budget. The search stops at
-// the first hit, at 1 - epsilon coverage, or when the plan is exhausted —
-// identical semantics (results and stats) to the original monolithic query.
+// the Equation-1 enumerator (extremal_decomposition.h) — the level
+// enumeration constructs no standard_cube and touches no corner coordinate
+// arrays; the curve's child_rank/descend_state API turns bit-plane toggles
+// into prefix updates directly. The plan then coalesces the cubes into
+// runs, orders the runs by volume, and probes them against the SFC array,
+// tracking the searched-volume fraction and the max_cubes budget. The
+// search stops at the first hit, at 1 - epsilon coverage, or when the plan
+// is exhausted — identical semantics (results and stats) to the original
+// monolithic query.
+//
+// Struct-of-arrays level frontier (the data-parallel layout): the frontier
+// of the current level lives in plan-owned columns, not an array of range
+// structs. Enumeration appends each cube's LOW key to `lo_col` (every cube
+// of level i has the same extent — hi is lo | mask(d*i), never stored per
+// cube); coalescing sorts that one key column and emits maximal runs into
+// the `run_lo` / `run_hi` columns; `run_ext` (hi - lo lanes) feeds the
+// volume ordering and the searched-volume accumulation. On u64-width
+// universes (d*k <= 64, the common case) the per-level work on those
+// columns — cube coalescing, extent subtraction, the head-probe argbest
+// scan, the sweep's suffix-min-rank table — runs through the
+// runtime-dispatched vector kernels of util/simd_kernels.h (scalar /
+// SSE4.2 / AVX2, picked once per process via util/cpu_features.h).
+// dominance_options::simd selects the policy per index: `automatic` uses
+// the dispatched kernels, `force_scalar` pins the same call sites to the
+// kernel library's scalar backend, and `off` runs the plan's own
+// plain-loop implementations — the oracle the other two are pinned
+// byte-identical against (tests/dominance/simd_equivalence_test.cc).
+// Results, stop decisions and all logical query_stats are identical for
+// every setting at every key width; only speed moves.
 //
 // Batched frontier probing (the default, dominance_options::batched_probe):
 // instead of one independent first_in per run — each a fresh O(log n)
@@ -32,13 +52,12 @@
 // is found with one O(m) scan and probed alone before any ordering work;
 // only a miss engages the sort + sweep machinery for the remaining ranks.
 // dominance_options::head_probe generalizes that head: a fixed depth h
-// probes the top-h volume ranks individually (one sort, then h fresh
-// descents) before the sweep answers the rest, and h == 0 picks the depth
-// adaptively from the plan's running histogram of the ranks past hits
-// landed at. The pinned default h = 1 keeps the scan-only fast path;
-// results and every logical query_stats field are identical at every
-// depth (the probe order never changes — only the restart/resume split of
-// the physical counters moves).
+// probes the top-h volume ranks individually (fresh descents, in rank
+// order) before the sweep answers the rest, and h == 0 picks the depth
+// adaptively (see below). The pinned default h = 1 keeps the scan-only
+// fast path; results and every logical query_stats field are identical at
+// every depth (the probe order never changes — only the restart/resume
+// split of the physical counters moves).
 // Two prunings keep the sweep from touching runs the replay can never
 // reach: (a) with epsilon > 0 the coverage stop point depends only on run
 // volumes, so the sweep is cut to the exact volume-order prefix the replay
@@ -49,6 +68,13 @@
 // probes_restarted / probes_resumed stats; runs_probed stays the paper's
 // logical cost measure.
 //
+// Cube-count mode (merge_runs == false) batches too: the frontier is the
+// raw cube list in enumeration order — the probe order of the reference
+// path — so the plan probes the head cubes individually, sorts the
+// remaining cube lows into key order for one probe_frontier sweep, and
+// replays the answers in enumeration order. Same logical stats as the
+// per-cube reference path; only the physical restart/resume split moves.
+//
 // Key width: the plan binds to the index's internal width at construction
 // (util/key_traits.h) and keeps its level enumeration, run frontier, probe
 // cursor and range arithmetic at that width end to end — on a d*k <= 64
@@ -58,14 +84,14 @@
 // identical at every width.
 //
 // Scratch-buffer contract: a plan owns every buffer the search needs (the
-// per-level cube counts, the run frontier of the current level, the batched
-// sweep's order/rank/answer buffers, and the array probe cursor). Buffers
-// are reused across run() calls, so after the first query of a given shape
-// the hot path performs zero heap allocations: no std::function dispatch
-// (template visitors), no materialization of the full decomposition
-// (per-level streaming with early stop), no exception-based control flow,
-// in-place run coalescing, and a stack-allocated frontier sink. This is
-// enforced by tests/dominance/query_plan_test.cc (WarmPlanPerformsZero-
+// per-level cube counts, the frontier columns of the current level, the
+// batched sweep's order/rank/answer buffers, and the array probe cursor).
+// Buffers are reused across run() calls, so after the first query of a
+// given shape the hot path performs zero heap allocations: no
+// std::function dispatch (template visitors), no materialization of the
+// full decomposition (per-level streaming with early stop), no
+// exception-based control flow, and column-resident run coalescing. This
+// is enforced by tests/dominance/query_plan_test.cc (WarmPlanPerformsZero-
 // HeapAllocations), which counts operator new calls on a warm plan.
 //
 // Thread-safety contract: a query_plan is mutable scratch and is NOT
@@ -109,8 +135,8 @@ class query_plan {
   [[nodiscard]] const dominance_index& index() const { return *index_; }
 
  private:
-  // The width-typed scratch: the bound curve/array and the run frontier of
-  // the current level, all at key type K.
+  // The width-typed scratch: the bound curve/array and the struct-of-arrays
+  // frontier of the current level, all at key type K.
   template <class K>
   struct typed_state {
     // No default member initializers: GCC rejects them in a nested class
@@ -127,9 +153,18 @@ class query_plan {
     // the end of run(). Non-const for exactly that maintenance call; the
     // probe path stays read-only.
     basic_tiered_sfc_array<K>* tiered;
-    std::vector<basic_key_range<K>> level_ranges;  // run frontier (key-ascending)
-    std::vector<basic_key_range<K>> probe_ranges;  // batched sweep list (coverage prefix)
-    typename basic_sfc_array<K>::probe_hint hint;  // probe-locality cursor (legacy path)
+    // Frontier columns of the current level. lo_col: cube lows in
+    // enumeration order (the extent of every cube at level i is the
+    // constant mask(d*i), so only lows are stored); run_lo/run_hi/run_ext:
+    // the coalesced run frontier, key-ascending, one lane per run.
+    std::vector<K> lo_col;
+    std::vector<K> run_lo;
+    std::vector<K> run_hi;
+    std::vector<K> run_ext;
+    // Materialized AoS sweep list handed to probe_frontier (the array API
+    // speaks ranges, the kernels speak columns).
+    std::vector<basic_key_range<K>> probe_ranges;
+    typename basic_sfc_array<K>::probe_hint hint;  // probe-locality cursor
   };
 
   template <class K>
@@ -137,33 +172,48 @@ class query_plan {
                                         query_stats* stats);
 
   // --- adaptive head-probe estimate (dominance_options::head_probe == 0) --
-  // A per-plan running histogram of the volume rank at which queries hit
-  // within a level (ranks >= kAdaptiveMaxHead - 1 pool in the last bucket).
-  // The adaptive depth is the smallest rank prefix that captured >= 90% of
-  // past hits; until kAdaptiveMinSamples hits are seen it stays at the
-  // pinned default of 1. Plain plan state, not synchronized: a plan is
-  // single-threaded scratch by contract.
+  // Hit-rank behavior differs sharply by frontier shape: top levels of a
+  // big region hit at rank 0 almost always, deep levels and loose epsilons
+  // spread hits across ranks. So the estimate keys its histograms by
+  // (level, epsilon bucket) — epsilon quantized by magnitude into
+  // kAdaptiveEpsBuckets power-of-two bands (bucket 0 = exhaustive) — and
+  // decays each histogram by halving once kAdaptiveDecayCap observations
+  // accumulate, so the depth tracks the current workload instead of the
+  // whole history. The adaptive depth is the smallest rank prefix that
+  // captured >= 90% of that cell's past hits (ranks >= kAdaptiveMaxHead - 1
+  // pool in the last bucket); until a cell has seen kAdaptiveMinSamples
+  // hits it stays at the pinned default of 1. Depth choices never affect
+  // results — only the restart/resume split of the physical counters.
+  // Plain plan state, not synchronized: a plan is single-threaded scratch
+  // by contract.
   static constexpr std::size_t kAdaptiveMaxHead = 8;
   static constexpr std::uint64_t kAdaptiveMinSamples = 32;
-  void note_hit_rank(std::size_t rank);
-  [[nodiscard]] std::size_t adaptive_head_depth() const;
+  static constexpr std::uint64_t kAdaptiveDecayCap = 256;
+  static constexpr std::size_t kAdaptiveEpsBuckets = 8;
+  struct adaptive_hist {
+    std::array<std::uint64_t, kAdaptiveMaxHead> counts{};
+    std::uint64_t total = 0;
+  };
+  [[nodiscard]] static std::size_t eps_bucket(double epsilon);
+  void note_hit_rank(int level, std::size_t eps_b, std::size_t rank);
+  [[nodiscard]] std::size_t adaptive_head_depth(int level, std::size_t eps_b) const;
 
   const dominance_index* index_;
   std::vector<u512> level_counts_;  // Lemma 3.5 counts, reused per query
   // Batched-probe scratch (key-type independent, reused across queries):
-  // replay_order_ maps volume-descending rank -> position in level_ranges;
-  // pos_rank_ is its inverse; probe_rank_ holds the rank of each sweep-list
-  // element; suffix_min_rank_[i] = min rank among sweep elements i..end
-  // (the sweep's early-stop oracle); hit_found_/hit_id_ record each rank's
-  // probe answer for the volume-order replay.
+  // replay_order_ maps volume-descending rank -> position in the run
+  // columns (in cube-count mode it doubles as the sweep's sorted position
+  // list); pos_rank_ is its inverse; probe_rank_ holds the rank of each
+  // sweep-list element; suffix_min_rank_[i] = min rank among sweep elements
+  // i..end (the sweep's early-stop oracle); hit_found_/hit_id_ record each
+  // rank's probe answer for the replay.
   std::vector<std::uint32_t> replay_order_;
   std::vector<std::uint32_t> pos_rank_;
   std::vector<std::uint32_t> probe_rank_;
   std::vector<std::uint32_t> suffix_min_rank_;
   std::vector<std::uint8_t> hit_found_;
   std::vector<std::uint64_t> hit_id_;
-  std::array<std::uint64_t, kAdaptiveMaxHead> hit_rank_counts_{};
-  std::uint64_t hit_total_ = 0;
+  std::vector<adaptive_hist> adaptive_;  // (bits + 1) x kAdaptiveEpsBuckets
   std::variant<typed_state<std::uint64_t>, typed_state<u128>, typed_state<u512>> state_;
 };
 

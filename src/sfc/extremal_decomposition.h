@@ -241,22 +241,28 @@ class level_walk {
   std::array<std::pair<int, int>, kMaxFreeBits> free_bits_;
 };
 
-// Turns the bit planes into Equation-1 key intervals at the curve's width.
+// Turns the bit planes into Equation-1 cube keys at the curve's width.
 // Keeps one (prefix, state) pair per tree level and recomputes only levels
 // at or below the walk's dirty watermark, so a free-bit flip near the
 // bottom of the tree costs O(d) — no corner arrays, no cube_prefix.
 //
-// An emitter is reusable across walks (set_level rebinds it): every fresh
+// A tracker is reusable across walks (set_level rebinds it): every fresh
 // level_walk starts with its watermark at k-1, which forces a full prefix
 // recomputation on the first emission, so stale per-level caches are never
 // read. query_plan exploits this to construct one emitter per query rather
 // than one per level (the state stack's initialization is not free).
-template <class K, class Visitor>
-class range_emitter {
+//
+// The tracker is the shared ladder under both emitters below: range_emitter
+// materializes full [lo, hi] intervals, lo_emitter hands the visitor just
+// the cube's low key. At a fixed level every cube's extent is the constant
+// level_mask(), so a consumer that keeps column scratch (query_plan's
+// struct-of-arrays frontier) needs only the lows — the his are lo | mask,
+// derived in bulk after enumeration.
+template <class K>
+class prefix_tracker {
  public:
-  range_emitter(const basic_curve<K>& c, int i, Visitor& visit)
+  prefix_tracker(const basic_curve<K>& c, int i)
       : curve_(&c),
-        visit_(visit),
         i_(i),
         k_(c.space().bits()),
         d_(c.space().dims()),
@@ -270,11 +276,15 @@ class range_emitter {
     if (track_state_ && k_ > 0) state_[static_cast<std::size_t>(k_ - 1)] = root_state_;
   }
 
-  // Retargets the emitter at another level of the same region family.
+  // Retargets the tracker at another level of the same region family.
   void set_level(int i) { i_ = i; }
 
+  // Extent of every cube at the current level: hi == lo | level_mask().
+  [[nodiscard]] K level_mask() const { return key_traits<K>::mask(d_ * std::min(i_, k_)); }
+
+  // The current cube's low key (Equation 1 prefix shifted to the level).
   template <class Walk>
-  bool operator()(const Walk& w) {
+  K lo(const Walk& w) {
     const std::uint32_t* planes = w.planes();
     for (int y = std::min(w.dirty(), k_ - 1); y >= i_; --y) {
       const std::size_t yi = static_cast<std::size_t>(y);
@@ -284,26 +294,12 @@ class range_emitter {
       prefix_[yi] = (above << d_) | K(rank);
       if (track_state_ && y > i_) curve_->descend_state(st, planes[yi], state_[yi - 1]);
     }
-    basic_key_range<K> out;
-    if (i_ >= k_) {  // the whole-universe cube: empty prefix
-      out.lo = key_traits<K>::zero();
-      out.hi = key_traits<K>::mask(d_ * k_);
-    } else {
-      const int shift = d_ * i_;
-      out.lo = prefix_[static_cast<std::size_t>(i_)] << shift;
-      out.hi = out.lo | key_traits<K>::mask(shift);
-    }
-    if constexpr (std::is_convertible_v<decltype(visit_(out)), bool>) {
-      return static_cast<bool>(visit_(out));
-    } else {
-      visit_(out);
-      return true;
-    }
+    if (i_ >= k_) return key_traits<K>::zero();  // the whole-universe cube
+    return prefix_[static_cast<std::size_t>(i_)] << (d_ * i_);
   }
 
  private:
   const basic_curve<K>* curve_;
-  Visitor& visit_;
   int i_;
   const int k_;
   const int d_;
@@ -313,6 +309,61 @@ class range_emitter {
   // watermark); prefix_[y]: cube prefix including level y's digits.
   std::array<curve_state, kMaxBitsPerDim> state_;
   std::array<K, kMaxBitsPerDim> prefix_;
+};
+
+// Interval view: the visitor receives each cube as its full Equation-1 key
+// interval [lo, lo | level_mask].
+template <class K, class Visitor>
+class range_emitter {
+ public:
+  range_emitter(const basic_curve<K>& c, int i, Visitor& visit) : tracker_(c, i), visit_(visit) {}
+
+  void set_level(int i) { tracker_.set_level(i); }
+
+  template <class Walk>
+  bool operator()(const Walk& w) {
+    basic_key_range<K> out;
+    out.lo = tracker_.lo(w);
+    out.hi = out.lo | tracker_.level_mask();
+    if constexpr (std::is_convertible_v<decltype(visit_(out)), bool>) {
+      return static_cast<bool>(visit_(out));
+    } else {
+      visit_(out);
+      return true;
+    }
+  }
+
+ private:
+  prefix_tracker<K> tracker_;
+  Visitor& visit_;
+};
+
+// Column view: the visitor receives only the cube's low key (a `const K&`),
+// the form query_plan's struct-of-arrays level frontier stores — the hi
+// column is never materialized during enumeration.
+template <class K, class Visitor>
+class lo_emitter {
+ public:
+  lo_emitter(const basic_curve<K>& c, int i, Visitor& visit) : tracker_(c, i), visit_(visit) {}
+
+  void set_level(int i) { tracker_.set_level(i); }
+
+  [[nodiscard]] K level_mask() const { return tracker_.level_mask(); }
+
+  template <class Walk>
+  bool operator()(const Walk& w) {
+    const K lo = tracker_.lo(w);
+    if constexpr (std::is_convertible_v<decltype(visit_(lo)), bool>) {
+      return static_cast<bool>(visit_(lo));
+    } else {
+      visit_(lo);
+      return true;
+    }
+  }
+
+ private:
+  prefix_tracker<K> tracker_;
+  Visitor& visit_;
 };
 
 // The curve-independent standard_cube view over the walk, for callers that

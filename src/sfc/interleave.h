@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "util/cpu_features.h"
 #include "util/key_traits.h"
 #include "util/wideint.h"
 
@@ -66,12 +67,11 @@ inline void deinterleave_bits_loop(const K& key, std::uint32_t* coords, int dims
 
 #if SUBCOVER_BMI2_DISPATCH
 
-// Cached CPUID probe; the dispatch branch is perfectly predicted after the
-// first call.
-inline bool cpu_has_bmi2() {
-  static const bool ok = __builtin_cpu_supports("bmi2") != 0;
-  return ok;
-}
+// The shared cached probe (util/cpu_features.h): one CPUID query per
+// process, one SUBCOVER_FORCE_SCALAR escape hatch covering this dispatch
+// and the SIMD kernel ladder alike. The branch is perfectly predicted after
+// the first call.
+inline bool cpu_has_bmi2() { return cpu_features().bmi2; }
 
 // Mask of dimension 0's key bits: positions {0, d, 2d, ..., (bits-1)*d},
 // built by doubling in O(log bits). Dimension x's mask is this shifted left

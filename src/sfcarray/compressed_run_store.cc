@@ -1,8 +1,12 @@
 #include "sfcarray/compressed_run_store.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
+
+#include "util/simd_kernels.h"
 
 namespace subcover {
 
@@ -51,10 +55,27 @@ void compressed_run_store<K>::encode_chunked(const std::vector<entry>& items, st
 }
 
 template <class K>
+void compressed_run_store<K>::rebuild_envelopes() {
+  const std::size_t n = summaries_.size();
+  env_lo_.resize(n);
+  env_hi_.resize(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    env_lo_[b] = summaries_[b].lo;
+    env_hi_[b] = summaries_[b].hi;
+  }
+}
+
+template <class K>
 std::size_t compressed_run_store<K>::block_geq(const K& key) const {
-  auto it = std::lower_bound(summaries_.begin(), summaries_.end(), key,
-                             [](const summary& s, const K& k) { return s.hi < k; });
-  return static_cast<std::size_t>(it - summaries_.begin());
+  // Envelope his are strictly increasing, so block assignment is a plain
+  // partition point over the hi column — vectorized at u64 width, a
+  // column-local (cache-dense) binary search at the wide widths.
+  if constexpr (std::is_same_v<K, std::uint64_t>) {
+    return simd::lower_bound_u64(env_hi_.data(), env_hi_.size(), key);
+  } else {
+    const auto it = std::lower_bound(env_hi_.begin(), env_hi_.end(), key);
+    return static_cast<std::size_t>(it - env_hi_.begin());
+  }
 }
 
 template <class K>
@@ -88,6 +109,7 @@ void compressed_run_store<K>::merge_in(std::vector<entry> items) {
   if (blocks_.empty()) {
     encode_chunked(items, 0, n, &blocks_, &summaries_);
     size_ += n;
+    rebuild_envelopes();
     return;
   }
 
@@ -129,6 +151,7 @@ void compressed_run_store<K>::merge_in(std::vector<entry> items) {
   summaries_ = std::move(ns);
   size_ += n;
   invalidate_cache();
+  rebuild_envelopes();
 }
 
 template <class K>
@@ -149,6 +172,7 @@ bool compressed_run_store<K>::erase(const K& key, std::uint64_t id) {
   if (rest.empty()) {
     blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(b));
     summaries_.erase(summaries_.begin() + static_cast<std::ptrdiff_t>(b));
+    rebuild_envelopes();
     return true;
   }
   std::vector<block> nb;
@@ -160,6 +184,7 @@ bool compressed_run_store<K>::erase(const K& key, std::uint64_t id) {
   blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(b),
                  std::make_move_iterator(nb.begin()), std::make_move_iterator(nb.end()));
   summaries_.insert(summaries_.begin() + static_cast<std::ptrdiff_t>(b), ns.begin(), ns.end());
+  rebuild_envelopes();
   return true;
 }
 
@@ -172,8 +197,16 @@ std::optional<typename compressed_run_store<K>::entry> compressed_run_store<K>::
   if (block_hint != nullptr && *block_hint != npos) {
     // Resumed sweep: lows are non-decreasing across calls, so the first
     // block with hi >= r.lo can only be at or after the previous answer.
-    b = *block_hint;
-    while (b < summaries_.size() && summaries_[b].hi < r.lo) ++b;
+    // The forward scan runs over the contiguous hi column — several
+    // envelopes per compare at the narrow widths.
+    if constexpr (std::is_same_v<K, std::uint64_t>) {
+      b = simd::first_geq_u64(env_hi_.data(), *block_hint, env_hi_.size(), r.lo);
+    } else if constexpr (std::is_same_v<K, u128>) {
+      b = simd::first_geq_u128(env_hi_.data(), *block_hint, env_hi_.size(), r.lo);
+    } else {
+      b = *block_hint;
+      while (b < env_hi_.size() && env_hi_[b] < r.lo) ++b;
+    }
   } else {
     b = block_geq(r.lo);
   }
@@ -204,11 +237,38 @@ std::optional<typename compressed_run_store<K>::entry> compressed_run_store<K>::
 template <class K>
 std::uint64_t compressed_run_store<K>::count_in(const range_type& r) const {
   if (blocks_.empty() || r.lo > r.hi) return 0;
+  // Intersecting blocks form the contiguous window [b0, b1): b0 is the
+  // first block whose envelope reaches r.lo, b1 the first whose low is past
+  // r.hi. Classify the whole window with one batched containment mask (at
+  // u64 width), then only partially-overlapped blocks decode.
+  const std::size_t b0 = block_geq(r.lo);
+  std::size_t b1;
+  if constexpr (std::is_same_v<K, std::uint64_t>) {
+    b1 = r.hi == std::numeric_limits<std::uint64_t>::max()
+             ? env_lo_.size()
+             : simd::lower_bound_u64(env_lo_.data(), env_lo_.size(), r.hi + 1);
+  } else {
+    const auto it = std::upper_bound(env_lo_.begin(), env_lo_.end(), r.hi);
+    b1 = static_cast<std::size_t>(it - env_lo_.begin());
+  }
+  if (b0 >= b1) return 0;
+
+  const std::size_t w = b1 - b0;
+  if constexpr (std::is_same_v<K, std::uint64_t>) {
+    if (contained_.size() < w) contained_.resize(w);
+    simd::contained_mask_u64(env_lo_.data() + b0, env_hi_.data() + b0, w, r.lo, r.hi,
+                             contained_.data());
+  } else {
+    if (contained_.size() < w) contained_.resize(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      contained_[i] = (r.lo <= env_lo_[b0 + i] && env_hi_[b0 + i] <= r.hi) ? 1 : 0;
+    }
+  }
+
   std::uint64_t total = 0;
-  for (std::size_t b = block_geq(r.lo); b < summaries_.size() && summaries_[b].lo <= r.hi; ++b) {
-    const summary& s = summaries_[b];
-    if (r.lo <= s.lo && s.hi <= r.hi) {
-      total += s.count;  // fully contained: the summary already knows
+  for (std::size_t b = b0; b < b1; ++b) {
+    if (contained_[b - b0] != 0) {
+      total += summaries_[b].count;  // fully contained: the summary already knows
       continue;
     }
     const std::vector<entry>& es = decode(b, nullptr);
@@ -242,7 +302,10 @@ std::size_t compressed_run_store<K>::memory_footprint() const {
   total += blocks_.capacity() * sizeof(block);
   for (const block& b : blocks_) total += b.bytes.capacity();
   total += summaries_.capacity() * sizeof(summary);
+  total += env_lo_.capacity() * sizeof(K);
+  total += env_hi_.capacity() * sizeof(K);
   total += cache_.capacity() * sizeof(entry);
+  total += contained_.capacity();
   return total;
 }
 
@@ -251,12 +314,18 @@ void compressed_run_store<K>::check_invariants() const {
   if (blocks_.size() != summaries_.size()) {
     throw std::logic_error("compressed_run_store: blocks/summaries size mismatch");
   }
+  if (env_lo_.size() != summaries_.size() || env_hi_.size() != summaries_.size()) {
+    throw std::logic_error("compressed_run_store: envelope columns out of sync");
+  }
   std::size_t total = 0;
   bool have_prev = false;
   entry prev{};
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
     const summary& s = summaries_[b];
     if (s.count == 0) throw std::logic_error("compressed_run_store: empty block");
+    if (env_lo_[b] != s.lo || env_hi_[b] != s.hi) {
+      throw std::logic_error("compressed_run_store: envelope column/summary mismatch");
+    }
     if (have_prev && !(prev.key < s.lo)) {
       throw std::logic_error("compressed_run_store: envelopes not disjoint/ordered");
     }

@@ -16,6 +16,17 @@
 // entry in [r.lo, r.hi]" (and even "the answer is the block's first
 // entry") from the summaries alone, without decoding a byte.
 //
+// The envelope endpoints are additionally mirrored into two contiguous key
+// columns (env_lo_/env_hi_), so the summary filtering runs as lane scans
+// through util/simd_kernels.h at the narrow widths: block assignment is a
+// vectorized partition point over the hi column, a resumed frontier sweep
+// rejects non-intersecting blocks with a batched first-geq scan (several
+// envelopes per compare), and count_in classifies fully-contained blocks
+// with one batched containment mask instead of per-block branches.
+// Dispatch is process-wide (util/cpu_features.h; SUBCOVER_FORCE_SCALAR
+// pins the kernels to their scalar backend). Answers are byte-identical
+// at every tier.
+//
 // Invariants:
 //   * Entries are globally sorted by (key, id); blocks partition them.
 //   * A block closes only at a key boundary (a run of equal keys never
@@ -160,6 +171,9 @@ class compressed_run_store {
   // First block whose envelope high is >= key (i.e. the only block that
   // could contain `key`); blocks_.size() if none.
   [[nodiscard]] std::size_t block_geq(const K& key) const;
+  // Rebuilds the env_lo_/env_hi_ columns from summaries_ after any block
+  // mutation.
+  void rebuild_envelopes();
   // Decodes block b into the scratch cache (no-op when already cached).
   const std::vector<entry>& decode(std::size_t b, tier_counters* c) const;
   // Encodes `items[from, to)` (sorted) as blocks appended to
@@ -172,9 +186,16 @@ class compressed_run_store {
   std::size_t size_ = 0;
   std::vector<block> blocks_;
   std::vector<summary> summaries_;
+  // Envelope key columns mirroring summaries_ (env_lo_[b] == summaries_[b].lo,
+  // env_hi_[b] == summaries_[b].hi): the contiguous lanes the vectorized
+  // summary scans walk. Kept in sync by rebuild_envelopes().
+  std::vector<K> env_lo_;
+  std::vector<K> env_hi_;
   // Decode scratch: one block's entries, reused across probes.
   mutable std::vector<entry> cache_;
   mutable std::size_t cached_block_ = npos;
+  // Containment-mask scratch for count_in, reused across calls.
+  mutable std::vector<std::uint8_t> contained_;
 };
 
 extern template class compressed_run_store<std::uint64_t>;

@@ -1,6 +1,10 @@
 #include "sfcarray/sorted_vector_array.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <type_traits>
+
+#include "util/simd_kernels.h"
 
 namespace subcover {
 
@@ -14,6 +18,34 @@ template <class Entry>
 struct entry_cmp {
   bool operator()(const Entry& a, const Entry& b) const { return entry_less(a, b); }
 };
+
+// Key-only lower bound over the entry window [first, last), in pair indices.
+// Every probe the query path issues carries id 0, so entry_less(e, probe)
+// reduces to e.key < key and the bound is a pure key-column partition point.
+// For u64 keys the 16-byte entries are exactly interleaved {key, id} u64
+// words, the layout the vectorized pairwise kernel walks (the kernels
+// follow the process-wide CPU dispatch of util/cpu_features.h —
+// SUBCOVER_FORCE_SCALAR pins them to the scalar backend); wide keys keep
+// std::lower_bound.
+template <class K, class Entry>
+std::size_t key_lower_bound(const std::vector<Entry>& entries, std::size_t first,
+                            std::size_t last, const K& key) {
+  if constexpr (std::is_same_v<K, std::uint64_t>) {
+    static_assert(sizeof(Entry) == 2 * sizeof(std::uint64_t) &&
+                      offsetof(Entry, key) == 0 && offsetof(Entry, id) == sizeof(std::uint64_t),
+                  "kernel layout contract: entries are {key, id} u64 pairs");
+    return simd::lower_bound_kv_u64(reinterpret_cast<const std::uint64_t*>(entries.data()),
+                                    first, last, key);
+  } else {
+    const Entry probe{key, 0};
+    const auto begin = entries.begin();
+    return static_cast<std::size_t>(
+        std::lower_bound(begin + static_cast<std::ptrdiff_t>(first),
+                         begin + static_cast<std::ptrdiff_t>(last), probe,
+                         entry_cmp<Entry>{}) -
+        begin);
+  }
+}
 }  // namespace
 
 template <class K>
@@ -52,11 +84,9 @@ void basic_sorted_vector_array<K>::bulk_load(std::vector<entry> entries) {
 
 template <class K>
 auto basic_sorted_vector_array<K>::first_in(const range_type& r) const -> std::optional<entry> {
-  const entry probe{r.lo, 0};
-  const auto it =
-      std::lower_bound(entries_.begin(), entries_.end(), probe, entry_cmp<entry>{});
-  if (it == entries_.end() || it->key > r.hi) return std::nullopt;
-  return *it;
+  const std::size_t it = key_lower_bound(entries_, 0, entries_.size(), r.lo);
+  if (it == entries_.size() || entries_[it].key > r.hi) return std::nullopt;
+  return entries_[it];
 }
 
 template <class K>
@@ -90,12 +120,10 @@ auto basic_sorted_vector_array<K>::first_in(const range_type& r, probe_hint* hin
     }
     lo = step <= hi ? hi - step : 0;
   }
-  const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(lo);
-  const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(hi);
-  const auto it = std::lower_bound(first, last, probe, entry_cmp<entry>{});
-  hint->pos = static_cast<std::size_t>(it - entries_.begin());
-  if (it == entries_.end() || it->key > r.hi) return std::nullopt;
-  return *it;
+  const std::size_t it = key_lower_bound(entries_, lo, hi, r.lo);
+  hint->pos = it;
+  if (it == entries_.size() || entries_[it].key > r.hi) return std::nullopt;
+  return entries_[it];
 }
 
 template <class K>
@@ -113,9 +141,7 @@ void basic_sorted_vector_array<K>::probe_frontier(std::span<const range_type> fr
     if (i == 0) {
       // First probe: a plain binary search — exactly first_in's cost (a
       // gallop from index 0 would double the comparisons).
-      it = static_cast<std::size_t>(
-          std::lower_bound(entries_.begin(), entries_.end(), probe, entry_cmp<entry>{}) -
-          entries_.begin());
+      it = key_lower_bound(entries_, 0, entries_.size(), r.lo);
     } else if (pos >= entries_.size() || !entry_less(entries_[pos], probe)) {
       // The resumed cursor is already at (or past) the bound.
       it = pos;
@@ -130,10 +156,7 @@ void basic_sorted_vector_array<K>::probe_frontier(std::span<const range_type> fr
         step <<= 1;
       }
       const std::size_t hi = std::min(lo + step, entries_.size());
-      const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(lo);
-      const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(hi);
-      it = static_cast<std::size_t>(
-          std::lower_bound(first, last, probe, entry_cmp<entry>{}) - entries_.begin());
+      it = key_lower_bound(entries_, lo, hi, r.lo);
     }
     pos = it;
     const entry* hit =
@@ -144,12 +167,9 @@ void basic_sorted_vector_array<K>::probe_frontier(std::span<const range_type> fr
 
 template <class K>
 std::uint64_t basic_sorted_vector_array<K>::count_in(const range_type& r) const {
-  const entry lo_probe{r.lo, 0};
-  const auto lo =
-      std::lower_bound(entries_.begin(), entries_.end(), lo_probe, entry_cmp<entry>{});
-  auto it = lo;
+  std::size_t it = key_lower_bound(entries_, 0, entries_.size(), r.lo);
   std::uint64_t count = 0;
-  while (it != entries_.end() && it->key <= r.hi) {
+  while (it < entries_.size() && entries_[it].key <= r.hi) {
     ++count;
     ++it;
   }

@@ -14,6 +14,12 @@
 // previous range's answer (lows are monotone, so the bound can only move
 // right — no restart from index 0), making M probes one left-to-right pass
 // whose total cost is O(M + log n + log of the total distance swept).
+//
+// Probe-side lower bounds are key-only (query probes carry id 0, so the
+// (key, id) order degenerates to the key order) and run through the
+// vectorized partition-point kernel of util/simd_kernels.h at u64 width —
+// the 16-byte entries are exactly the interleaved {key, id} pair layout the
+// kernel walks. Dispatch is process-wide (util/cpu_features.h).
 #pragma once
 
 #include <vector>

@@ -1,0 +1,54 @@
+// SIMD dispatch policy for the query hot path.
+//
+// Two independent switches control the vector kernels of
+// util/simd_kernels.h:
+//
+//   * The process-wide dispatch level (cpu_features().simd): probed once,
+//     scalar / SSE4.2 / AVX2, downgraded to scalar by SUBCOVER_FORCE_SCALAR.
+//     This is what the arrays (sorted-vector lower bounds, compressed-store
+//     envelope scans) follow — they are shared structures with no per-query
+//     options of their own.
+//
+//   * The per-index plan policy (dominance_options::simd, this enum): picks
+//     how query_plan's own level-frontier kernels run. `automatic` uses the
+//     dispatched kernels; `force_scalar` routes the same call sites through
+//     the kernel library's scalar backend (exercising the dispatch plumbing
+//     with the reference lanes); `off` bypasses the kernel library entirely
+//     and runs the plan's plain-loop implementations — the oracle the other
+//     two are pinned byte-identical against
+//     (tests/dominance/simd_equivalence_test.cc).
+//
+// Every setting produces identical results, stop decisions and logical
+// query_stats at every key width; only speed moves.
+#pragma once
+
+#include "util/cpu_features.h"
+
+namespace subcover {
+
+enum class simd_mode {
+  automatic = 0,   // dispatched kernels at the probed CPU tier
+  off = 1,         // plain-loop reference implementations, no kernel calls
+  force_scalar = 2 // kernel library pinned to its scalar backend
+};
+
+[[nodiscard]] inline const char* simd_mode_name(simd_mode mode) {
+  switch (mode) {
+    case simd_mode::off:
+      return "off";
+    case simd_mode::force_scalar:
+      return "force-scalar";
+    case simd_mode::automatic:
+      break;
+  }
+  return "auto";
+}
+
+namespace simd {
+
+// The tier the dispatched kernels actually run at in this process.
+[[nodiscard]] inline simd_level active_level() { return cpu_features().simd; }
+
+}  // namespace simd
+
+}  // namespace subcover
