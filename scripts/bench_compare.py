@@ -36,6 +36,12 @@ Compression floor: within CURRENT alone, each BM_MemoryFootprint width pair
 tier) must satisfy resident / tiered >= COMPRESSION_FLOOR (default 3.0) —
 the cold tier's storage headline. Set --compression-floor 0 to disable.
 
+Churn floor: within CURRENT alone, at the largest BM_ChurnErase size present
+(the million-subscription scale), deferred-tombstone erase (`.../1`) must
+sustain at least CHURN_FLOOR x the naive eager-compaction erase (`.../0`)
+items/sec (default 10.0) — the amortized-O(1) erase headline. Timing-based,
+so skipped under --counters-only; set --churn-floor 0 to disable.
+
 This is the regression gate of the repo's perf tracking: CI runs
 micro_benchmark, then compares the fresh output against the committed
 BENCH_micro.json (the per-PR archived run; see ROADMAP.md).
@@ -160,6 +166,31 @@ def gate_compression_floor(cur, floor):
     return failures
 
 
+def gate_churn_floor(cur, floor):
+    """Within CURRENT alone: at the largest BM_ChurnErase size present, the
+    deferred-tombstone mode (/1) must sustain at least `floor` x the naive
+    eager-compaction mode (/0) in items/sec."""
+    pat = re.compile(r"^BM_ChurnErase/(\d+)/([01])(?:/real_time)?$")
+    pairs = {}
+    for name, vals in cur.items():
+        m = pat.match(name)
+        if m and vals["items_per_second"]:
+            pairs.setdefault(int(m.group(1)), {})[m.group(2)] = vals["items_per_second"]
+    sizes = [n for n, p in pairs.items() if "0" in p and "1" in p]
+    if not sizes:
+        return []
+    n = max(sizes)
+    p = pairs[n]
+    ratio = float("inf") if p["0"] <= 0 else p["1"] / p["0"]
+    ok = ratio >= floor
+    print(
+        f"churn erase BM_ChurnErase/{n}: naive {p['0']:.0f}/s, "
+        f"tombstone {p['1']:.0f}/s -> {ratio:.2f}x "
+        f"({'ok' if ok else f'BELOW FLOOR {floor:.1f}x'})"
+    )
+    return [] if ok else [(f"BM_ChurnErase/{n}", ratio)]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -182,6 +213,13 @@ def main():
         default=3.0,
         help="required resident/tiered bytes_per_sub ratio within CURRENT "
         "(BM_MemoryFootprint pairs; 0 disables; default 3.0)",
+    )
+    parser.add_argument(
+        "--churn-floor",
+        type=float,
+        default=10.0,
+        help="required tombstone/naive items-per-second ratio within CURRENT "
+        "(largest BM_ChurnErase pair; 0 disables; default 10.0)",
     )
     parser.add_argument(
         "--counters-only",
@@ -213,6 +251,11 @@ def main():
         if args.compression_floor > 0
         else []
     )
+    churn_failures = (
+        gate_churn_floor(cur, args.churn_floor)
+        if args.churn_floor > 0 and not args.counters_only
+        else []
+    )
 
     failed = False
     if time_regressions:
@@ -241,6 +284,15 @@ def main():
             file=sys.stderr,
         )
         for stem, ratio in floor_failures:
+            print(f"  {stem}: {ratio:.2f}x", file=sys.stderr)
+    if churn_failures:
+        failed = True
+        print(
+            f"\nFAIL: BM_ChurnErase tombstone/naive ratio below the "
+            f"{args.churn_floor:.1f}x churn floor:",
+            file=sys.stderr,
+        )
+        for stem, ratio in churn_failures:
             print(f"  {stem}: {ratio:.2f}x", file=sys.stderr)
     if missing_required:
         failed = True

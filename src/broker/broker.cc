@@ -58,6 +58,9 @@ bool broker::covered_on_shard(const link_shard& shard, const subscription& s,
   metrics.covering_tier_summary_answers += shard.scratch.dominance.tier_summary_answers;
   metrics.covering_tier_blocks_decoded += shard.scratch.dominance.tier_blocks_decoded;
   metrics.covering_tier_cold_hits += shard.scratch.dominance.tier_cold_hits;
+  metrics.covering_maint_tombstones += shard.scratch.dominance.maint_tombstones_added;
+  metrics.covering_maint_purged += shard.scratch.dominance.maint_tombstones_purged;
+  metrics.covering_maint_compactions += shard.scratch.dominance.maint_compactions;
   if (hit.has_value()) ++metrics.covering_hits;
   return hit.has_value();
 }
@@ -172,6 +175,46 @@ broker::unsubscribe_action broker::handle_unsubscribe(int from_link, sub_id id,
       if (!result.forward) continue;
       action.forward_links.push_back(link);
       for (auto& rf : result.reforwards) action.reforwards.push_back({link, std::move(rf)});
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return action;
+}
+
+broker::unsubscribe_batch_action broker::handle_unsubscribe_batch(
+    int from_link, const std::vector<sub_id>& ids, network_metrics& metrics) {
+  for (const sub_id id : ids) {
+    const bool removed = table_.remove(from_link, id);
+    SUBCOVER_CHECK(removed, "broker: unsubscribe for unknown subscription");
+  }
+  unsubscribe_batch_action action;
+  std::exception_ptr first_error;
+  for (const int link : links_) {
+    if (link == from_link) continue;
+    try {
+      link_shard& shard = shards_.at(link);
+      // Withdraw every forwarded id of the batch in one covering-index
+      // erase_batch — the bulk path that pays the dominance array's
+      // tombstone/compaction machinery once.
+      std::vector<sub_id> withdrawn;
+      for (const sub_id id : ids)
+        if (shard.forwarded.count(id) > 0) withdrawn.push_back(id);
+      if (withdrawn.empty()) continue;  // all suppressed on this link
+      const std::size_t erased = shard.index->erase_batch(withdrawn);
+      SUBCOVER_CHECK(erased == withdrawn.size(), "broker: covering index out of sync");
+      for (const sub_id id : withdrawn) shard.forwarded.erase(id);
+      // One re-forward sweep against the post-batch state (the table no
+      // longer holds any batch id, so no per-id skip is needed).
+      for (const auto& [other_id, other_sub] : table_.subs_not_from(link)) {
+        if (shard.forwarded.count(other_id) > 0) continue;  // already forwarded
+        if (options_.use_covering && covered_on_shard(shard, other_sub, metrics)) continue;
+        shard.index->insert(other_id, other_sub);
+        shard.forwarded.emplace(other_id, other_sub);
+        action.reforwards.push_back({link, {other_id, other_sub}});
+      }
+      action.forward_links.push_back({link, std::move(withdrawn)});
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }

@@ -90,11 +90,31 @@ class broker {
     std::vector<int> forward_links;
     std::vector<sub_id> local_deliveries;
   };
+  struct unsubscribe_batch_action {
+    // Per link: the ids whose withdrawal must be sent over it (ascending in
+    // batch order). Links with no forwarded id from the batch are absent.
+    std::vector<std::pair<int, std::vector<sub_id>>> forward_links;
+    // Suppressed subscriptions that became uncovered and must now be sent.
+    std::vector<std::pair<int, std::pair<sub_id, subscription>>> reforwards;
+  };
 
   // `from_link` is kLocalLink for client operations, else the neighbor id.
   subscribe_action handle_subscribe(int from_link, sub_id id, const subscription& s,
                                     network_metrics& metrics);
   unsubscribe_action handle_unsubscribe(int from_link, sub_id id, network_metrics& metrics);
+  // Bulk withdrawal: every id must be registered under `from_link` and ids
+  // must be distinct (same per-id contract as handle_unsubscribe). Each
+  // shard pays ONE covering-index erase_batch (tombstone/compaction
+  // machinery once) and ONE re-forward sweep for the whole batch instead of
+  // one per id. Completeness-preserving but NOT byte-equivalent to
+  // sequential per-id unsubscribes: the single sweep re-checks each
+  // suppressed subscription once against the post-batch state, so it may
+  // re-forward fewer subscriptions than an id-at-a-time replay whose
+  // intermediate states momentarily uncover them. A batch of one id is
+  // exactly handle_unsubscribe. Pinned by tests/broker/network_test.cc.
+  unsubscribe_batch_action handle_unsubscribe_batch(int from_link,
+                                                    const std::vector<sub_id>& ids,
+                                                    network_metrics& metrics);
   [[nodiscard]] event_action handle_event(int from_link, const event& e) const;
 
   // Parallel variants: semantically identical to the serial handlers above

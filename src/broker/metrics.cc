@@ -20,6 +20,9 @@ network_metrics& network_metrics::operator+=(const network_metrics& o) {
   covering_tier_summary_answers += o.covering_tier_summary_answers;
   covering_tier_blocks_decoded += o.covering_tier_blocks_decoded;
   covering_tier_cold_hits += o.covering_tier_cold_hits;
+  covering_maint_tombstones += o.covering_maint_tombstones;
+  covering_maint_purged += o.covering_maint_purged;
+  covering_maint_compactions += o.covering_maint_compactions;
   retries += o.retries;
   duplicates_suppressed += o.duplicates_suppressed;
   recoveries += o.recoveries;
@@ -54,7 +57,10 @@ std::string network_metrics::to_string() const {
      << ", cov_tier_cold=" << covering_tier_cold_probes
      << ", cov_tier_summary=" << covering_tier_summary_answers
      << ", cov_tier_decoded=" << covering_tier_blocks_decoded
-     << ", cov_tier_hits=" << covering_tier_cold_hits << ", retries=" << retries
+     << ", cov_tier_hits=" << covering_tier_cold_hits
+     << ", cov_maint_tombs=" << covering_maint_tombstones
+     << ", cov_maint_purged=" << covering_maint_purged
+     << ", cov_maint_compact=" << covering_maint_compactions << ", retries=" << retries
      << ", dups_suppressed=" << duplicates_suppressed << ", recoveries=" << recoveries
      << ", wal_bytes=" << wal_bytes << "}";
   return os.str();

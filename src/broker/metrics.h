@@ -35,6 +35,14 @@ struct network_metrics {
   std::uint64_t covering_tier_summary_answers = 0;
   std::uint64_t covering_tier_blocks_decoded = 0;
   std::uint64_t covering_tier_cold_hits = 0;
+  // Deferred-erase maintenance work behind the covering indexes
+  // (query_stats maint_* fields; zero for in-place-erase backends or with
+  // eager compaction). Physical counters: they move with the compaction
+  // policy and with crash-recovery index rebuilds, so they are excluded
+  // from same_counters like the fault-transport set below.
+  std::uint64_t covering_maint_tombstones = 0;
+  std::uint64_t covering_maint_purged = 0;
+  std::uint64_t covering_maint_compactions = 0;
   // Fault-injection engine accounting (zero outside faults mode). These are
   // *transport* counters — retransmissions, suppressed duplicates, broker
   // crash-recoveries, durable bytes written — and are deliberately excluded
@@ -62,7 +70,9 @@ struct network_metrics {
 
 // True when every deterministic logical counter matches. covering_check_ns
 // is excluded (wall-clock timer readings differ run to run even on the
-// byte-identical sequential path), as are the fault-transport counters
+// byte-identical sequential path), as are the maintenance counters
+// (covering_maint_* — physical tombstone/compaction work that moves with
+// crash-recovery rebuilds) and the fault-transport counters
 // (retries, duplicates_suppressed, recoveries, wal_bytes — they describe
 // the injected fault schedule, not the logical computation). This is the
 // comparison the deterministic-vs-parallel and deterministic-vs-faults

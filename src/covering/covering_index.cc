@@ -12,6 +12,14 @@ void covering_index::insert_batch(const std::vector<std::pair<sub_id, subscripti
   for (const auto& [id, s] : subs) insert(id, s);
 }
 
+std::size_t covering_index::erase_batch(const std::vector<sub_id>& ids) {
+  std::size_t erased = 0;
+  for (const sub_id id : ids) {
+    if (erase(id)) ++erased;
+  }
+  return erased;
+}
+
 std::unique_ptr<covering_index> make_covering_index(covering_index_kind kind, const schema& s) {
   switch (kind) {
     case covering_index_kind::sfc:

@@ -61,6 +61,16 @@ class covering_index {
   virtual void insert_batch(const std::vector<std::pair<sub_id, subscription>>& subs);
   // Removes a subscription; returns false if the id is unknown.
   virtual bool erase(sub_id id) = 0;
+  // Bulk withdrawal mirroring insert_batch: equivalent to erase() per
+  // element, returns how many ids were actually removed (unknown ids are
+  // skipped, not an error — a withdrawal racing a crash may replay). The
+  // default loops; the SFC index overrides it to erase the dominance array
+  // in one batch, paying its tombstone/compaction machinery once.
+  virtual std::size_t erase_batch(const std::vector<sub_id>& ids);
+  // Applies deferred index maintenance (tombstone compaction, tier flushes).
+  // A no-op for indexes without deferred machinery; churn drivers call it
+  // between epochs. Never changes detection results — only physical state.
+  virtual void maintain() {}
   // Any stored subscription covering `s`, searching at least a (1 - epsilon)
   // fraction of the covering space (epsilon == 0: exhaustive/exact).
   [[nodiscard]] virtual std::optional<sub_id> find_covering(

@@ -24,6 +24,7 @@ dominance_options to_dominance_options(const sfc_covering_options& o) {
   d.settle_on_budget = o.settle_on_budget;
   d.tier_hot_capacity = o.tier_hot_capacity;
   d.tier_block_entries = o.tier_block_entries;
+  d.compact_live_fraction = o.compact_live_fraction;
   return d;
 }
 
@@ -80,6 +81,28 @@ bool sfc_covering_index::erase(sub_id id) {
   SUBCOVER_CHECK(erased, "sfc_covering_index: dominance index out of sync");
   subs_.erase(it);
   return true;
+}
+
+std::size_t sfc_covering_index::erase_batch(const std::vector<sub_id>& ids) {
+  // Collect the known ids' dominance points first (ids may repeat within
+  // the batch; only the first occurrence of each resolves), then hand the
+  // dominance index one batch so the SFC array sorts / tombstones / compacts
+  // once instead of per id.
+  std::vector<std::pair<point, std::uint64_t>> points;
+  std::vector<std::map<sub_id, subscription>::iterator> victims;
+  points.reserve(ids.size());
+  victims.reserve(ids.size());
+  std::set<sub_id> batch_ids;
+  for (const sub_id id : ids) {
+    const auto it = subs_.find(id);
+    if (it == subs_.end() || !batch_ids.insert(id).second) continue;
+    points.emplace_back(to_dominance_point(schema_, it->second), id);
+    victims.push_back(it);
+  }
+  const std::size_t erased = index_.erase_batch(points);
+  SUBCOVER_CHECK(erased == points.size(), "sfc_covering_index: dominance index out of sync");
+  for (const auto it : victims) subs_.erase(it);
+  return victims.size();
 }
 
 std::optional<sub_id> sfc_covering_index::find_covering(const subscription& s, double epsilon,

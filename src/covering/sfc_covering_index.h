@@ -60,6 +60,11 @@ struct sfc_covering_options {
   // logical query_stats are identical either way.
   std::size_t tier_hot_capacity = 0;
   std::size_t tier_block_entries = 64;
+  // Compaction threshold for deferred erase in the dominance array (see
+  // dominance_options::compact_live_fraction): 1.0 = eager per-erase
+  // compaction (the naive churn baseline), 0.0 = never. Detection results
+  // and logical query_stats are identical for every setting.
+  double compact_live_fraction = 0.5;
 };
 
 class sfc_covering_index final : public covering_index {
@@ -71,6 +76,11 @@ class sfc_covering_index final : public covering_index {
   // (sort + merge) instead of per-subscription index descents.
   void insert_batch(const std::vector<std::pair<sub_id, subscription>>& subs) override;
   bool erase(sub_id id) override;
+  // Bulk withdrawal: one EO82 transform pass + one dominance-array batch
+  // erase, paying tombstone/compaction machinery once instead of per id.
+  // Unknown ids are skipped (covering_index contract).
+  std::size_t erase_batch(const std::vector<sub_id>& ids) override;
+  void maintain() override { index_.maintain(); }
   [[nodiscard]] std::optional<sub_id> find_covering(
       const subscription& s, double epsilon,
       covering_check_stats* stats = nullptr) const override;

@@ -17,11 +17,16 @@ namespace {
 // tiering is off (the default), hot/cold tiered array when on.
 template <class K>
 std::unique_ptr<basic_sfc_array<K>> make_engine_array(const dominance_options& o) {
-  if (o.tier_hot_capacity == 0) return make_basic_sfc_array<K>(o.array);
+  if (o.tier_hot_capacity == 0) {
+    auto a = make_basic_sfc_array<K>(o.array);
+    a->set_compaction_policy(o.compact_live_fraction);
+    return a;
+  }
   tiered_array_options t;
   t.hot_backend = o.array;
   t.hot_capacity = o.tier_hot_capacity;
   t.block_entries = o.tier_block_entries;
+  t.min_live_fraction = o.compact_live_fraction;
   return std::make_unique<basic_tiered_sfc_array<K>>(t);
 }
 
@@ -40,6 +45,19 @@ class widening_array_view final : public sfc_array {
   }
   bool erase(const u512& key, std::uint64_t id) override {
     return inner_->erase(narrow_key(key), id);
+  }
+  std::size_t erase_batch(const std::vector<entry>& entries) override {
+    std::vector<typename basic_sfc_array<K>::entry> narrow;
+    narrow.reserve(entries.size());
+    for (const entry& e : entries) narrow.push_back({narrow_key(e.key), e.id});
+    return inner_->erase_batch(narrow);
+  }
+  void maintain() override { inner_->maintain(); }
+  [[nodiscard]] maintenance_counters maintenance() const override {
+    return inner_->maintenance();
+  }
+  void set_compaction_policy(double min_live_fraction) override {
+    inner_->set_compaction_policy(min_live_fraction);
   }
   void reserve(std::size_t n) override { inner_->reserve(n); }
   void bulk_load(std::vector<entry> entries) override {
@@ -227,6 +245,32 @@ bool dominance_index::erase(const point& p, std::uint64_t id) {
   if (!p.inside(universe_))
     throw std::invalid_argument("dominance_index::erase: point outside universe");
   return std::visit([&](auto& e) { return e.array->erase(e.curve->cell_key(p), id); }, engine_);
+}
+
+std::size_t dominance_index::erase_batch(
+    const std::vector<std::pair<point, std::uint64_t>>& items) {
+  for (const auto& [p, id] : items) {
+    (void)id;
+    if (!p.inside(universe_))
+      throw std::invalid_argument("dominance_index::erase_batch: point outside universe");
+  }
+  return std::visit(
+      [&](auto& e) {
+        using Array = std::decay_t<decltype(*e.array)>;
+        std::vector<typename Array::entry> entries;
+        entries.reserve(items.size());
+        for (const auto& [p, id] : items) entries.push_back({e.curve->cell_key(p), id});
+        return e.array->erase_batch(entries);
+      },
+      engine_);
+}
+
+void dominance_index::maintain() {
+  std::visit([](auto& e) { e.array->maintain(); }, engine_);
+}
+
+maintenance_counters dominance_index::maintenance() const {
+  return std::visit([](const auto& e) { return e.array->maintenance(); }, engine_);
 }
 
 int dominance_index::truncation_m(double epsilon) const {

@@ -123,6 +123,14 @@ struct dominance_options {
   // Entries per compressed cold-tier block (only meaningful when tiering
   // is enabled).
   std::size_t tier_block_entries = 64;
+  // Compaction threshold for deferred erase (tombstones): a region (the
+  // sorted vector, or one cold-tier block) is compacted when its live
+  // fraction drops below this. 1.0 = eager per-erase compaction (the naive
+  // baseline BM_Churn measures against), 0.0 = never compact. Backends
+  // without tombstones (skip list) ignore it. Results and all logical
+  // query_stats are identical for every setting; only the physical maint_*
+  // counters and the erase cost move.
+  double compact_live_fraction = 0.5;
 };
 
 class query_plan;
@@ -142,6 +150,20 @@ class dominance_index {
   // std::invalid_argument (without modifying the index) if any point is
   // outside the universe.
   void insert_batch(const std::vector<std::pair<point, std::uint64_t>>& items);
+
+  // Bulk erase mirroring insert_batch: equivalent to erase() per element
+  // (order-insensitive), returns how many were actually removed, and lets
+  // the SFC array pay its tombstone/compaction machinery once per batch —
+  // the broker's bulk-withdrawal path. Throws std::invalid_argument
+  // (without modifying the index) if any point is outside the universe.
+  std::size_t erase_batch(const std::vector<std::pair<point, std::uint64_t>>& items);
+
+  // Applies the backend's deferred maintenance (tombstone compaction, tier
+  // flushes/promotions); also run automatically at the end of each query on
+  // tiered backends. Churn drivers call it between epochs.
+  void maintain();
+  // Cumulative tombstone/compaction ledger of the underlying array.
+  [[nodiscard]] maintenance_counters maintenance() const;
 
   // epsilon == 0 requests an exhaustive search; 0 < epsilon < 1 requests an
   // epsilon-approximate search (Problem 2). Values outside [0, 1) throw.

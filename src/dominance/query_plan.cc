@@ -261,9 +261,12 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
   st.volume_fraction_planned = target.volume_ld() / vol_full;
 
   // Tiered engine: the array's tier counters are cumulative; snapshot them
-  // here and report this query's delta at the end.
+  // here and report this query's delta at the end. The maintenance ledger
+  // (tombstones/compactions, any backend) is snapshotted the same way — the
+  // end-of-query maintain() pass below is what moves it during a query.
   tier_counters tier_before;
   if (ts.tiered != nullptr) tier_before = ts.tiered->counters();
+  const maintenance_counters maint_before = ts.array->maintenance();
 
   // The Section 5 search: probe standard cubes of the (truncated) region in
   // descending volume order, tracking the searched-volume ratio, and stop on
@@ -735,6 +738,12 @@ std::optional<std::uint64_t> query_plan::run_impl(typed_state<K>& ts, const poin
     // (and flush the hot tier if an insert burst overfilled it), so the
     // recently-hit working set is resident for the next query.
     ts.tiered->maintain();
+  }
+  {
+    const maintenance_counters maint_now = ts.array->maintenance();
+    st.maint_tombstones_added = maint_now.tombstones_added - maint_before.tombstones_added;
+    st.maint_tombstones_purged = maint_now.tombstones_purged - maint_before.tombstones_purged;
+    st.maint_compactions = maint_now.compactions - maint_before.compactions;
   }
   st.elapsed_ns = timer.elapsed_ns();
   return result;

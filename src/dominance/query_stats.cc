@@ -11,7 +11,8 @@ std::string query_stats::to_string() const {
      << ", restarted=" << probes_restarted << ", resumed=" << probes_resumed
      << ", tier_cold=" << tier_cold_probes << ", tier_summary=" << tier_summary_answers
      << ", tier_decoded=" << tier_blocks_decoded << ", tier_hits=" << tier_cold_hits
-     << ", m=" << truncation_m
+     << ", maint_tombs=" << maint_tombstones_added << ", maint_purged=" << maint_tombstones_purged
+     << ", maint_compact=" << maint_compactions << ", m=" << truncation_m
      << ", planned=" << static_cast<double>(volume_fraction_planned)
      << ", searched=" << static_cast<double>(volume_fraction_searched)
      << ", found=" << (found ? "yes" : "no") << ", ns=" << elapsed_ns << "}";

@@ -55,6 +55,15 @@ struct query_stats {
   // Probes whose merged answer came from the cold tier (these entries are
   // marked for promotion to the hot tier).
   std::uint64_t tier_cold_hits = 0;
+  // --- maintenance work the query triggered (tombstone/compaction ledger,
+  // sfcarray/sfc_array.h maintenance_counters). Physical counters like the
+  // tier ones — the end-of-query maintain() pass erases promoted entries
+  // from the cold tier and compacts thresholds crossed by churn, none of
+  // which changes any logical field above. Zero for backends that erase in
+  // place. ------------------------------------------------------------
+  std::uint64_t maint_tombstones_added = 0;
+  std::uint64_t maint_tombstones_purged = 0;
+  std::uint64_t maint_compactions = 0;
   // Truncation parameter m = ceil(log2(2d/epsilon)); 0 for exhaustive.
   int truncation_m = 0;
   // vol(R(t(l,m))) / vol(R(l)) — the fraction the plan covers.

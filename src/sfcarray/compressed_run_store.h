@@ -37,6 +37,13 @@
 //     same entries would answer them (first_in: the smallest-(key, id)
 //     entry in range) — the tiered array's byte-identity contract rests on
 //     this.
+//   * Erase is deferred: a tombstoned occurrence stays encoded in its block
+//     but is listed in a sorted graveyard and counted in the block's
+//     summary (summary.dead). Every probe is graveyard-blind-correct — the
+//     summary fast paths only fire on blocks with dead == 0, and decode
+//     paths cancel dead occurrences multiset-style — and a block is
+//     rewritten (compacted) only when its live fraction drops below the
+//     set_min_live_fraction threshold.
 //
 // Mutability/concurrency: probes are logically const but maintain a decode
 // cache (one block's entries, reused — allocation-free once the cache has
@@ -122,9 +129,17 @@ class compressed_run_store {
 
   // Merges a batch of entries (any order; sorted internally) into the
   // store. Blocks the batch does not touch are kept verbatim; touched
-  // blocks are decoded, merged and re-encoded.
+  // blocks are decoded, merged and re-encoded (dropping any tombstones they
+  // carried — a rewrite is a compaction for free).
   void merge_in(std::vector<entry> items);
-  // Removes one (key, id) occurrence; false if absent.
+  // Removes one (key, id) occurrence; false if absent. Deferred: the
+  // occurrence is recorded in a sorted graveyard and the block's summary
+  // dead-count is bumped — no re-encode, no block splice, and no decode
+  // beyond the one target block (served from the cache when the caller
+  // erases in key order). A block is rewritten only when its live fraction
+  // drops below the compaction threshold (set_min_live_fraction, default
+  // 0.5), so sustained cold-tier churn costs O(log blocks) per erase plus
+  // one single-block rewrite per block_entries/2 erases.
   bool erase(const K& key, std::uint64_t id);
 
   // The smallest-(key, id) entry with key in [r.lo, r.hi] — exactly what a
@@ -152,9 +167,19 @@ class compressed_run_store {
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
+  // Compaction threshold for deferred erase (clamped to [0, 1]): a block is
+  // rewritten once live/count drops below it. 1.0 = eager per-erase rewrite
+  // (the naive baseline), 0.0 = never rewrite.
+  void set_min_live_fraction(double f);
+  // Cumulative tombstone/compaction ledger (tombstones_added, block
+  // rewrites as compactions, tombstones_purged).
+  [[nodiscard]] const maintenance_counters& maint() const { return maint_; }
+  // Outstanding tombstones (graveyard entries not yet compacted away).
+  [[nodiscard]] std::size_t tombstones() const { return dead_.size(); }
+
   // Verifies the block invariants (global (key, id) order, key-boundary
-  // block closure, summary/payload agreement); throws std::logic_error on
-  // violation. Test hook.
+  // block closure, summary/payload agreement, graveyard/summary dead-count
+  // agreement); throws std::logic_error on violation. Test hook.
   void check_invariants() const;
 
  private:
@@ -162,7 +187,8 @@ class compressed_run_store {
     K lo{};                      // first key in the block (envelope low)
     K hi{};                      // last key in the block (envelope high)
     std::uint64_t first_id = 0;  // id of the first entry
-    std::uint32_t count = 0;     // entries in the block
+    std::uint32_t count = 0;     // entries encoded in the block (incl. dead)
+    std::uint32_t dead = 0;      // of those, tombstoned (graveyard) entries
   };
   struct block {
     std::vector<std::uint8_t> bytes;
@@ -181,11 +207,22 @@ class compressed_run_store {
   void encode_chunked(const std::vector<entry>& items, std::size_t from, std::size_t to,
                       std::vector<block>* blocks, std::vector<summary>* summaries) const;
   void invalidate_cache() { cached_block_ = npos; }
+  // Rewrites block b without its tombstones (drops the block when nothing
+  // is live) and removes them from the graveyard.
+  void compact_block(std::size_t b);
+  // compact_block iff block b's live fraction is below the threshold.
+  void maybe_compact_block(std::size_t b);
 
   std::size_t block_entries_;
-  std::size_t size_ = 0;
+  std::size_t size_ = 0;  // live entries (encoded minus graveyard)
   std::vector<block> blocks_;
   std::vector<summary> summaries_;
+  // Tombstoned occurrences, sorted by (key, id) — a multiset: each element
+  // cancels exactly one equal encoded entry. Equal keys never span blocks,
+  // so a block's dead entries form one contiguous graveyard span.
+  std::vector<entry> dead_;
+  double min_live_fraction_ = 0.5;
+  maintenance_counters maint_;
   // Envelope key columns mirroring summaries_ (env_lo_[b] == summaries_[b].lo,
   // env_hi_[b] == summaries_[b].hi): the contiguous lanes the vectorized
   // summary scans walk. Kept in sync by rebuild_envelopes().

@@ -34,6 +34,29 @@ namespace subcover {
 
 enum class sfc_array_kind { skiplist, sorted_vector };
 
+// Physical tombstone/compaction work, the churn-side ledger backends keep
+// cumulatively (the probe-side twin of tier_counters). query_plan diffs it
+// per query into query_stats (maint_* fields) — and from there
+// covering_check_stats and network_metrics aggregate it per covering check /
+// per network. Backends without deferred erase leave it at zero.
+struct maintenance_counters {
+  // Erases recorded as tombstones instead of physical removals.
+  std::uint64_t tombstones_added = 0;
+  // Dead slots physically reclaimed by compaction passes.
+  std::uint64_t tombstones_purged = 0;
+  // Compaction passes run (whole-vector rewrites for the sorted vector,
+  // single-block rewrites for the compressed cold tier, hot-tier flushes
+  // for the tiered array).
+  std::uint64_t compactions = 0;
+
+  maintenance_counters& operator+=(const maintenance_counters& o) {
+    tombstones_added += o.tombstones_added;
+    tombstones_purged += o.tombstones_purged;
+    compactions += o.compactions;
+    return *this;
+  }
+};
+
 template <class K>
 class basic_sfc_array {
  public:
@@ -64,6 +87,19 @@ class basic_sfc_array {
   virtual void insert(const K& key, std::uint64_t id) = 0;
   // Removes one (key, id) occurrence; returns false if absent.
   virtual bool erase(const K& key, std::uint64_t id) = 0;
+  // Bulk erase, equivalent to erase() per element (order-insensitive);
+  // returns the number of occurrences actually removed. The default loops
+  // over erase(); backends with deferred erase override it to pay the
+  // search/compaction machinery once per batch instead of once per element
+  // — the broker's bulk-withdrawal path (erase_batch up the stack) ends
+  // here.
+  virtual std::size_t erase_batch(const std::vector<entry>& entries) {
+    std::size_t erased = 0;
+    for (const entry& e : entries) {
+      if (erase(e.key, e.id)) ++erased;
+    }
+    return erased;
+  }
   // Capacity pre-sizing for bulk population; a no-op by default.
   virtual void reserve(std::size_t n) { (void)n; }
   // Bulk insertion, equivalent to insert() per element (order-insensitive).
@@ -134,6 +170,20 @@ class basic_sfc_array {
   // including slack, skip-list node headers and link arrays), not just
   // payload. The audit that bytes-per-subscription tracking is built on.
   [[nodiscard]] virtual std::size_t memory_footprint() const = 0;
+
+  // Maintenance hook: backends with deferred work (tombstone compaction,
+  // tier flushes/promotions) apply their policy here; others no-op. Called
+  // by query_plan at the end of each query and by churn drivers between
+  // epochs. Never changes the visible entry set — only its physical layout.
+  virtual void maintain() {}
+  // Cumulative tombstone/compaction ledger (see maintenance_counters);
+  // zero for backends that erase in place.
+  [[nodiscard]] virtual maintenance_counters maintenance() const { return {}; }
+  // Compaction-policy knob: compact a region once its live fraction drops
+  // below `min_live_fraction` (clamped to [0, 1]). 1.0 degenerates to eager
+  // per-erase compaction — the "naive erase" baseline BM_Churn compares
+  // against; 0.0 never compacts. Backends without tombstones ignore it.
+  virtual void set_compaction_policy(double min_live_fraction) { (void)min_live_fraction; }
 };
 
 using sfc_array = basic_sfc_array<u512>;

@@ -49,18 +49,106 @@ std::size_t key_lower_bound(const std::vector<Entry>& entries, std::size_t first
 }  // namespace
 
 template <class K>
+std::size_t basic_sorted_vector_array<K>::skip_dead(std::size_t i) const {
+  if (dead_.empty()) return i;
+  while (i < entries_.size() && dead_[i] != 0) ++i;
+  return i;
+}
+
+template <class K>
 void basic_sorted_vector_array<K>::insert(const K& key, std::uint64_t id) {
   const entry e{key, id};
-  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), e, entry_cmp<entry>{}), e);
+  const auto ub = std::upper_bound(entries_.begin(), entries_.end(), e, entry_cmp<entry>{});
+  if (!dead_.empty()) {
+    // A dead exact duplicate can be resurrected in place: multiset-equal to
+    // inserting a fresh copy, and O(log n) instead of an O(n) splice — the
+    // erase-then-reinsert churn pattern never moves a byte.
+    for (auto it = ub; it != entries_.begin() && *(it - 1) == e;) {
+      --it;
+      const std::size_t i = static_cast<std::size_t>(it - entries_.begin());
+      if (dead_[i] != 0) {
+        dead_[i] = 0;
+        --tombstones_;
+        return;
+      }
+    }
+  }
+  const std::size_t pos = static_cast<std::size_t>(ub - entries_.begin());
+  entries_.insert(ub, e);
+  if (!dead_.empty()) dead_.insert(dead_.begin() + static_cast<std::ptrdiff_t>(pos), 0);
+}
+
+template <class K>
+bool basic_sorted_vector_array<K>::mark_dead(const K& key, std::uint64_t id) {
+  const entry e{key, id};
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), e, entry_cmp<entry>{});
+  // Exact duplicates may be partially dead already; kill the first live one.
+  while (it != entries_.end() && *it == e &&
+         is_dead(static_cast<std::size_t>(it - entries_.begin()))) {
+    ++it;
+  }
+  if (it == entries_.end() || it->key != key || it->id != id) return false;
+  if (dead_.empty()) dead_.assign(entries_.size(), 0);
+  dead_[static_cast<std::size_t>(it - entries_.begin())] = 1;
+  ++tombstones_;
+  ++maint_.tombstones_added;
+  return true;
 }
 
 template <class K>
 bool basic_sorted_vector_array<K>::erase(const K& key, std::uint64_t id) {
-  const entry e{key, id};
-  const auto it = std::lower_bound(entries_.begin(), entries_.end(), e, entry_cmp<entry>{});
-  if (it == entries_.end() || it->key != key || it->id != id) return false;
-  entries_.erase(it);
+  if (!mark_dead(key, id)) return false;
+  maybe_compact();
   return true;
+}
+
+template <class K>
+std::size_t basic_sorted_vector_array<K>::erase_batch(const std::vector<entry>& entries) {
+  // One compaction decision for the whole batch: bulk withdrawals mark all
+  // their tombstones first, then pay at most one O(n) pass.
+  std::size_t erased = 0;
+  for (const entry& e : entries) {
+    if (mark_dead(e.key, e.id)) ++erased;
+  }
+  maybe_compact();
+  return erased;
+}
+
+template <class K>
+void basic_sorted_vector_array<K>::maybe_compact() {
+  if (tombstones_ == 0) return;
+  const std::size_t live = entries_.size() - tombstones_;
+  if (static_cast<double>(live) < min_live_fraction_ * static_cast<double>(entries_.size())) {
+    compact();
+  }
+}
+
+template <class K>
+void basic_sorted_vector_array<K>::compact() {
+  if (tombstones_ == 0) return;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (dead_[i] == 0) entries_[w++] = entries_[i];
+  }
+  entries_.resize(w);
+  maint_.tombstones_purged += tombstones_;
+  ++maint_.compactions;
+  tombstones_ = 0;
+  // Release the bitmap allocation, not just the elements: compaction is the
+  // reclamation point, and the footprint must never exceed the tombstone-free
+  // high-water mark after it (pinned by the memory_footprint audits). The
+  // next erase re-allocates lazily.
+  dead_ = std::vector<std::uint8_t>{};
+}
+
+template <class K>
+void basic_sorted_vector_array<K>::maintain() {
+  maybe_compact();
+}
+
+template <class K>
+void basic_sorted_vector_array<K>::set_compaction_policy(double min_live_fraction) {
+  min_live_fraction_ = std::clamp(min_live_fraction, 0.0, 1.0);
 }
 
 template <class K>
@@ -70,6 +158,9 @@ void basic_sorted_vector_array<K>::reserve(std::size_t n) {
 
 template <class K>
 void basic_sorted_vector_array<K>::bulk_load(std::vector<entry> entries) {
+  // The merge below cannot carry the parallel bitmap through
+  // std::inplace_merge; purge tombstones first so the bitmap is empty.
+  compact();
   std::sort(entries.begin(), entries.end(), entry_cmp<entry>{});
   if (entries_.empty()) {
     entries_ = std::move(entries);
@@ -84,7 +175,7 @@ void basic_sorted_vector_array<K>::bulk_load(std::vector<entry> entries) {
 
 template <class K>
 auto basic_sorted_vector_array<K>::first_in(const range_type& r) const -> std::optional<entry> {
-  const std::size_t it = key_lower_bound(entries_, 0, entries_.size(), r.lo);
+  const std::size_t it = skip_dead(key_lower_bound(entries_, 0, entries_.size(), r.lo));
   if (it == entries_.size() || entries_[it].key > r.hi) return std::nullopt;
   return entries_[it];
 }
@@ -120,7 +211,7 @@ auto basic_sorted_vector_array<K>::first_in(const range_type& r, probe_hint* hin
     }
     lo = step <= hi ? hi - step : 0;
   }
-  const std::size_t it = key_lower_bound(entries_, lo, hi, r.lo);
+  const std::size_t it = skip_dead(key_lower_bound(entries_, lo, hi, r.lo));
   hint->pos = it;
   if (it == entries_.size() || entries_[it].key > r.hi) return std::nullopt;
   return entries_[it];
@@ -129,10 +220,12 @@ auto basic_sorted_vector_array<K>::first_in(const range_type& r, probe_hint* hin
 template <class K>
 void basic_sorted_vector_array<K>::probe_frontier(std::span<const range_type> frontier,
                                                   frontier_sink& sink) const {
-  // One merged galloping sweep. `pos` is the lower-bound index of the
-  // previous range's lo; every entry left of it is below every earlier lo,
-  // and frontier lows are non-decreasing, so the next lower bound can only
-  // be at or right of `pos` — each search resumes instead of restarting.
+  // One merged galloping sweep. `pos` is the first *live* entry at or after
+  // the previous range's lo; every entry left of it is below every earlier
+  // lo or dead, and frontier lows are non-decreasing, so the next lower
+  // bound can only be at or right of `pos` — each search resumes instead of
+  // restarting, and a run of tombstones is skipped once per sweep, not once
+  // per range.
   std::size_t pos = 0;
   for (std::size_t i = 0; i < frontier.size(); ++i) {
     const range_type& r = frontier[i];
@@ -158,6 +251,7 @@ void basic_sorted_vector_array<K>::probe_frontier(std::span<const range_type> fr
       const std::size_t hi = std::min(lo + step, entries_.size());
       it = key_lower_bound(entries_, lo, hi, r.lo);
     }
+    it = skip_dead(it);
     pos = it;
     const entry* hit =
         (it < entries_.size() && entries_[it].key <= r.hi) ? &entries_[it] : nullptr;
@@ -170,7 +264,7 @@ std::uint64_t basic_sorted_vector_array<K>::count_in(const range_type& r) const 
   std::size_t it = key_lower_bound(entries_, 0, entries_.size(), r.lo);
   std::uint64_t count = 0;
   while (it < entries_.size() && entries_[it].key <= r.hi) {
-    ++count;
+    if (!is_dead(it)) ++count;
     ++it;
   }
   return count;
@@ -178,18 +272,21 @@ std::uint64_t basic_sorted_vector_array<K>::count_in(const range_type& r) const 
 
 template <class K>
 std::size_t basic_sorted_vector_array<K>::size() const {
-  return entries_.size();
+  return entries_.size() - tombstones_;
 }
 
 template <class K>
 void basic_sorted_vector_array<K>::for_each(const std::function<void(const entry&)>& fn) const {
-  for (const auto& e : entries_) fn(e);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!is_dead(i)) fn(entries_[i]);
+  }
 }
 
 template <class K>
 std::size_t basic_sorted_vector_array<K>::memory_footprint() const {
-  // Capacity, not size: reserve slack is owned memory too.
-  return sizeof(*this) + entries_.capacity() * sizeof(entry);
+  // Capacity, not size: reserve slack (and the tombstone bitmap) is owned
+  // memory too.
+  return sizeof(*this) + entries_.capacity() * sizeof(entry) + dead_.capacity();
 }
 
 template class basic_sorted_vector_array<std::uint64_t>;

@@ -12,6 +12,8 @@ basic_tiered_sfc_array<K>::basic_tiered_sfc_array(tiered_array_options opts)
       cold_(opts.block_entries == 0 ? 1 : opts.block_entries) {
   if (opts_.hot_capacity == 0) opts_.hot_capacity = 1;
   pending_promotions_.reserve(opts_.max_pending_promotions);
+  hot_->set_compaction_policy(opts_.min_live_fraction);
+  cold_.set_min_live_fraction(opts_.min_live_fraction);
 }
 
 template <class K>
@@ -31,6 +33,32 @@ template <class K>
 bool basic_tiered_sfc_array<K>::erase(const K& key, std::uint64_t id) {
   if (hot_->erase(key, id)) return true;
   return cold_.erase(key, id);
+}
+
+template <class K>
+std::size_t basic_tiered_sfc_array<K>::erase_batch(const std::vector<entry>& entries) {
+  // Hot entries go through the hot backend's own batch path; the misses
+  // fall through to the cold store in (key, id) order, so consecutive
+  // erases landing in the same block reuse the decode cache instead of
+  // re-decoding per element.
+  std::vector<entry> sorted(entries);
+  std::sort(sorted.begin(), sorted.end(), [](const entry& a, const entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  });
+  std::size_t erased = 0;
+  std::vector<entry> cold_misses;
+  for (const entry& e : sorted) {
+    if (hot_->erase(e.key, e.id)) {
+      ++erased;
+    } else {
+      cold_misses.push_back(e);
+    }
+  }
+  for (const entry& e : cold_misses) {
+    if (cold_.erase(e.key, e.id)) ++erased;
+  }
+  return erased;
 }
 
 template <class K>
@@ -155,13 +183,21 @@ template <class K>
 void basic_tiered_sfc_array<K>::maintain() {
   if (hot_->size() > opts_.hot_capacity) {
     // Flush the whole hot tier; promotions are applied after, so the
-    // recently-hit entries end up resident again.
+    // recently-hit entries end up resident again. for_each skips the hot
+    // backend's tombstones, so the flush purges them for free — fold the
+    // retiring backend's ledger (plus that implicit purge) into the
+    // accumulator before dropping it.
     std::vector<entry> all;
     all.reserve(hot_->size());
     hot_->for_each([&all](const entry& e) { all.push_back(e); });
+    const maintenance_counters hm = hot_->maintenance();
+    maint_accum_ += hm;
+    maint_accum_.tombstones_purged += hm.tombstones_added - hm.tombstones_purged;
+    ++maint_accum_.compactions;
     counters_.demotions += all.size();
     cold_.merge_in(std::move(all));
     hot_ = make_basic_sfc_array<K>(opts_.hot_backend);
+    hot_->set_compaction_policy(opts_.min_live_fraction);
   }
   if (!pending_promotions_.empty()) {
     auto less = [](const entry& a, const entry& b) {
@@ -182,6 +218,24 @@ void basic_tiered_sfc_array<K>::maintain() {
     }
     pending_promotions_.clear();
   }
+  // Let the hot backend apply its own compaction policy (the cold store
+  // compacts per block inline, at erase time).
+  hot_->maintain();
+}
+
+template <class K>
+maintenance_counters basic_tiered_sfc_array<K>::maintenance() const {
+  maintenance_counters total = maint_accum_;
+  total += hot_->maintenance();
+  total += cold_.maint();
+  return total;
+}
+
+template <class K>
+void basic_tiered_sfc_array<K>::set_compaction_policy(double min_live_fraction) {
+  opts_.min_live_fraction = std::clamp(min_live_fraction, 0.0, 1.0);
+  hot_->set_compaction_policy(opts_.min_live_fraction);
+  cold_.set_min_live_fraction(opts_.min_live_fraction);
 }
 
 template class basic_tiered_sfc_array<std::uint64_t>;

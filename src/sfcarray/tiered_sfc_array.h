@@ -51,6 +51,11 @@ struct tiered_array_options {
   std::size_t block_entries = 64;
   // Bound on promotion marks buffered between maintain() calls.
   std::size_t max_pending_promotions = 256;
+  // Compaction threshold applied to both tiers (see
+  // basic_sfc_array::set_compaction_policy): a region is compacted once its
+  // live fraction drops below this. 1.0 = eager per-erase compaction (the
+  // naive-churn baseline), 0.0 = never.
+  double min_live_fraction = 0.5;
 };
 
 template <class K>
@@ -66,6 +71,7 @@ class basic_tiered_sfc_array final : public basic_sfc_array<K> {
 
   void insert(const K& key, std::uint64_t id) override;
   bool erase(const K& key, std::uint64_t id) override;
+  std::size_t erase_batch(const std::vector<entry>& entries) override;
   void reserve(std::size_t n) override;
   void bulk_load(std::vector<entry> entries) override;
   [[nodiscard]] std::optional<entry> first_in(const range_type& r) const override;
@@ -78,8 +84,13 @@ class basic_tiered_sfc_array final : public basic_sfc_array<K> {
   [[nodiscard]] std::size_t memory_footprint() const override;
 
   // Applies the tiering policy: flush an over-capacity hot tier to cold,
-  // then promote the entries marked by cold probe hits since the last call.
-  void maintain();
+  // then promote the entries marked by cold probe hits since the last call,
+  // then let the hot backend compact its tombstones.
+  void maintain() override;
+  // Sum of the hot backend's ledger (across flush-rebuilds), the cold
+  // store's, and the flush events themselves.
+  [[nodiscard]] maintenance_counters maintenance() const override;
+  void set_compaction_policy(double min_live_fraction) override;
 
   [[nodiscard]] const tier_counters& counters() const { return counters_; }
   [[nodiscard]] std::size_t hot_size() const { return hot_->size(); }
@@ -98,6 +109,9 @@ class basic_tiered_sfc_array final : public basic_sfc_array<K> {
   compressed_run_store<K> cold_;
   mutable tier_counters counters_;
   mutable std::vector<entry> pending_promotions_;
+  // Maintenance work of hot backends already flushed away (maintain()
+  // rebuilds hot_ fresh, which would otherwise drop their ledger).
+  maintenance_counters maint_accum_;
 };
 
 using tiered_sfc_array = basic_tiered_sfc_array<u512>;

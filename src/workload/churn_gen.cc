@@ -1,0 +1,136 @@
+#include "workload/churn_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subcover::workload {
+
+namespace {
+
+// The burst workload: tightly clustered, narrow, fully-bounded interests —
+// a crowd piling onto the same few hotspots.
+subscription_gen_options flash_options(const subscription_gen_options& base) {
+  subscription_gen_options o = base;
+  o.kind = workload_kind::clustered;
+  o.clusters = std::max(1, base.clusters);
+  o.cluster_spread = base.cluster_spread / 4.0;
+  o.mean_width = base.mean_width / 2.0;
+  o.wildcard_prob = 0.0;
+  return o;
+}
+
+}  // namespace
+
+churn_gen::churn_gen(const schema& s, churn_gen_options options, std::uint64_t seed)
+    : schema_(s),
+      options_(options),
+      rng_(seed),
+      sub_gen_(s, options.subscriptions, seed ^ 0x9e3779b97f4a7c15ULL),
+      flash_gen_(s, flash_options(options.subscriptions), seed ^ 0xc2b2ae3d27d4eb4fULL),
+      event_gen_(s, seed ^ 0x165667b19e3779f9ULL) {
+  if (options_.subscribe_weight < 0 || options_.unsubscribe_weight < 0 ||
+      options_.publish_weight < 0)
+    throw std::invalid_argument("churn_gen: op weights must be non-negative");
+  if (options_.subscribe_weight + options_.unsubscribe_weight + options_.publish_weight <= 0)
+    throw std::invalid_argument("churn_gen: at least one op weight must be positive");
+  if (options_.victim_skew < 0)
+    throw std::invalid_argument("churn_gen: victim_skew must be non-negative");
+}
+
+churn_op churn_gen::make_subscribe(subscription_gen& gen) {
+  churn_op op;
+  op.kind = churn_op::op_kind::subscribe;
+  op.id = next_id_++;
+  op.sub = gen.next();
+  live_.push_back(op.id);
+  return op;
+}
+
+churn_op churn_gen::make_unsubscribe() {
+  // Victim distance from the newest live id ~ n * u^(1 + skew): skew 0 is
+  // uniform, larger skews concentrate on recent arrivals. The swap-remove
+  // keeps withdrawal O(1) at the cost of slightly perturbing recency order —
+  // acceptable noise in a workload model, and fully deterministic.
+  const std::size_t n = live_.size();
+  const double u = rng_.uniform01();
+  std::size_t dist =
+      static_cast<std::size_t>(static_cast<double>(n) * std::pow(u, 1.0 + options_.victim_skew));
+  dist = std::min(dist, n - 1);
+  const std::size_t idx = n - 1 - dist;
+  churn_op op;
+  op.kind = churn_op::op_kind::unsubscribe;
+  op.id = live_[idx];
+  live_[idx] = live_.back();
+  live_.pop_back();
+  return op;
+}
+
+churn_op churn_gen::next() {
+  ++ops_emitted_;
+  if (!pending_.empty()) {
+    churn_op op = std::move(pending_.front());
+    pending_.pop_front();
+    if (op.kind == churn_op::op_kind::subscribe) {
+      live_.push_back(op.id);
+    } else {
+      // Burst unsubscribes target the burst's own (most recent) ids.
+      const auto it = std::find(live_.rbegin(), live_.rend(), op.id);
+      live_.erase(std::next(it).base());
+    }
+    return op;
+  }
+  if (ops_emitted_ <= options_.warmup_subscriptions) return make_subscribe(sub_gen_);
+  if (options_.flash_prob > 0 && options_.flash_len > 0 &&
+      rng_.bernoulli(options_.flash_prob)) {
+    // Queue the whole burst: its subscribes, then their withdrawals. The
+    // first op is emitted now; live-set bookkeeping happens per emission.
+    for (std::size_t i = 0; i < options_.flash_len; ++i) {
+      churn_op op;
+      op.kind = churn_op::op_kind::subscribe;
+      op.id = next_id_++;
+      op.sub = flash_gen_.next();
+      pending_.push_back(op);
+    }
+    for (std::size_t i = 0; i < options_.flash_len; ++i) {
+      churn_op op;
+      op.kind = churn_op::op_kind::unsubscribe;
+      op.id = pending_[i].id;
+      pending_.push_back(op);
+    }
+    churn_op op = std::move(pending_.front());
+    pending_.pop_front();
+    live_.push_back(op.id);
+    return op;
+  }
+  // Weighted mixed draw. An empty live set zeroes the unsubscribe weight;
+  // if that zeroes the whole mix (unsubscribe-only options), subscribe.
+  const double unsub_w = live_.empty() ? 0.0 : options_.unsubscribe_weight;
+  const double total = options_.subscribe_weight + unsub_w + options_.publish_weight;
+  if (total <= 0) return make_subscribe(sub_gen_);
+  const double r = rng_.uniform01() * total;
+  if (r < options_.subscribe_weight) return make_subscribe(sub_gen_);
+  if (r < options_.subscribe_weight + unsub_w) return make_unsubscribe();
+  churn_op op;
+  op.kind = churn_op::op_kind::publish;
+  op.ev = event_gen_.next();
+  return op;
+}
+
+churn_gen_options churn_gen::stock_ticker_at_scale() {
+  churn_gen_options o;
+  o.subscriptions.kind = workload_kind::zipf;
+  o.subscriptions.zipf_s = 1.2;
+  o.subscriptions.zipf_grid = 256;
+  o.subscriptions.mean_width = 0.05;
+  o.subscriptions.wildcard_prob = 0.0;
+  o.subscribe_weight = 0.40;
+  o.unsubscribe_weight = 0.40;
+  o.publish_weight = 0.20;
+  o.victim_skew = 2.0;
+  o.flash_prob = 0.01;
+  o.flash_len = 64;
+  return o;
+}
+
+}  // namespace subcover::workload

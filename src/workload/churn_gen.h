@@ -1,0 +1,101 @@
+// Seeded mixed-operation churn streams for the covering stack's deferred
+// maintenance machinery: the BM_Churn benchmarks and the differential soak
+// test drive the same generator, so any stream is reproducible from
+// (schema, options, seed) alone — what the golden-stream determinism tests
+// in tests/workload/workload_test.cc pin.
+//
+// A stream interleaves three operation kinds over a live set the generator
+// tracks itself:
+//   subscribe   — a fresh subscription (any subscription_gen workload) under
+//                 a never-reused id.
+//   unsubscribe — a currently-live victim, picked with a power-law skew
+//                 toward recent subscriptions (victim_skew > 0: the newest
+//                 subscribers churn fastest, the stock-ticker regime; 0
+//                 picks uniformly). Never emitted while the live set is
+//                 empty — the weight falls to subscribe instead.
+//   publish     — an event uniform over the schema domain.
+//
+// Flash crowds: with probability flash_prob per drawn op the stream enqueues
+// a burst — flash_len subscribes tightly clustered around one fresh hotspot
+// followed by the matching flash_len unsubscribes — modeling the
+// subscribe-storms a ticker symbol sees around news. Burst ops drain before
+// the mixed draw resumes, so a burst is atomic in the stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pubsub/event.h"
+#include "pubsub/subscription.h"
+#include "util/random.h"
+#include "workload/event_gen.h"
+#include "workload/subscription_gen.h"
+
+namespace subcover::workload {
+
+struct churn_op {
+  enum class op_kind { subscribe, unsubscribe, publish };
+  op_kind kind = op_kind::subscribe;
+  std::uint64_t id = 0;  // subscribe / unsubscribe target
+  subscription sub;      // valid when kind == subscribe
+  event ev;              // valid when kind == publish
+};
+
+struct churn_gen_options {
+  // How fresh subscriptions look (workload kind, widths, wildcards, ...).
+  subscription_gen_options subscriptions;
+  // Relative op-mix weights (any non-negative scale; normalized per draw).
+  double subscribe_weight = 0.45;
+  double unsubscribe_weight = 0.45;
+  double publish_weight = 0.10;
+  // Unsubscribe victim skew: the victim's distance from the newest live
+  // subscription is distributed as n * u^(1 + victim_skew) for uniform u —
+  // 0 is uniform over the live set, larger values concentrate churn on
+  // recent arrivals. Negative values throw.
+  double victim_skew = 1.0;
+  // Flash-crowd bursts (0 disables). Burst subscriptions always come from a
+  // single-hotspot clustered workload regardless of `subscriptions`.
+  double flash_prob = 0.0;
+  std::size_t flash_len = 32;
+  // The first this-many ops are pure subscribes whatever the weights, so a
+  // stream starts against a populated index.
+  std::size_t warmup_subscriptions = 0;
+};
+
+class churn_gen {
+ public:
+  // Throws std::invalid_argument on negative weights or skew, or if all
+  // three weights are zero.
+  churn_gen(const schema& s, churn_gen_options options, std::uint64_t seed);
+
+  churn_op next();
+
+  // Live subscriptions the stream has created and not yet withdrawn.
+  [[nodiscard]] std::size_t live() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t ops_emitted() const { return ops_emitted_; }
+  [[nodiscard]] const schema& message_schema() const { return schema_; }
+
+  // The "stock ticker at scale" preset: Zipf-skewed narrow subscriptions
+  // (few hot symbols attract most interest), heavy churn on recent
+  // subscribers, and frequent flash crowds. Pair with make_stock_schema().
+  static churn_gen_options stock_ticker_at_scale();
+
+ private:
+  churn_op make_subscribe(subscription_gen& gen);
+  churn_op make_unsubscribe();
+
+  schema schema_;
+  churn_gen_options options_;
+  rng rng_;
+  subscription_gen sub_gen_;
+  subscription_gen flash_gen_;  // single-hotspot clustered burst workload
+  event_gen event_gen_;
+  std::vector<std::uint64_t> live_;  // live ids, oldest first (approximate
+                                     // after swap-removes; see victim pick)
+  std::deque<churn_op> pending_;     // queued burst ops
+  std::uint64_t next_id_ = 0;
+  std::uint64_t ops_emitted_ = 0;
+};
+
+}  // namespace subcover::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "broker/broker.h"
+
 #include <algorithm>
 #include <cstdint>
 #include <memory>
@@ -505,6 +507,143 @@ TEST(Network, ThrowingHandlerChaosMatchesAcrossWorkerCounts) {
     EXPECT_GT(threw, 0) << "workers=" << workers;  // the bombs must actually fire
     expect_same_final_state(det, par);
   }
+}
+
+// --- batch unsubscribe -------------------------------------------------------
+//
+// handle_unsubscribe_batch's contract (broker.h): one covering-index
+// erase_batch plus one re-forward sweep per shard, completeness-preserving,
+// and a batch of one id is exactly handle_unsubscribe.
+
+namespace {
+
+covering_index_factory sfc_sorted_vector_factory() {
+  return [](const schema& sc) {
+    sfc_covering_options so;
+    so.array = sfc_array_kind::sorted_vector;  // deferred-tombstone erase path
+    return std::make_unique<sfc_covering_index>(sc, so);
+  };
+}
+
+// Feeds the same clustered subscriptions (local clients plus one upstream
+// link) to a broker; records every body in `bodies`.
+void feed_broker(broker& b, const schema& s, std::uint64_t seed,
+                 std::map<sub_id, std::pair<int, subscription>>* bodies,
+                 network_metrics& metrics) {
+  workload::subscription_gen_options wo;
+  wo.kind = workload::workload_kind::clustered;
+  workload::subscription_gen gen(s, wo, seed);
+  for (sub_id id = 0; id < 40; ++id) {
+    const subscription sub = gen.next();
+    (void)b.handle_subscribe(kLocalLink, id, sub, metrics);
+    bodies->emplace(id, std::pair<int, subscription>{kLocalLink, sub});
+  }
+  for (sub_id id = 100; id < 120; ++id) {
+    const subscription sub = gen.next();
+    (void)b.handle_subscribe(1, id, sub, metrics);
+    bodies->emplace(id, std::pair<int, subscription>{1, sub});
+  }
+}
+
+// The broker completeness invariant: every live subscription is, on every
+// link other than its origin, either forwarded or covered by a forwarded
+// subscription.
+void expect_forwarding_complete(const broker& b,
+                                const std::map<sub_id, std::pair<int, subscription>>& bodies,
+                                const std::vector<int>& links) {
+  for (const int link : links) {
+    const std::vector<sub_id> fwd = b.forwarded_ids(link);
+    const std::set<sub_id> fwd_set(fwd.begin(), fwd.end());
+    for (const auto& [id, origin_body] : bodies) {
+      if (origin_body.first == link) continue;
+      if (fwd_set.count(id) > 0) continue;
+      const bool covered =
+          std::any_of(fwd_set.begin(), fwd_set.end(), [&](const sub_id fid) {
+            return bodies.at(fid).second.covers(origin_body.second);
+          });
+      EXPECT_TRUE(covered) << "sub " << id << " neither forwarded nor covered on link "
+                           << link;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Broker, UnsubscribeBatchOfOneEqualsSingle) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  const std::vector<int> links{1, 2};
+  broker single(0, s, links, sfc_sorted_vector_factory(), {});
+  broker batch(0, s, links, sfc_sorted_vector_factory(), {});
+  network_metrics ms;
+  network_metrics mb;
+  std::map<sub_id, std::pair<int, subscription>> bodies_s;
+  std::map<sub_id, std::pair<int, subscription>> bodies_b;
+  feed_broker(single, s, 333, &bodies_s, ms);
+  feed_broker(batch, s, 333, &bodies_b, mb);
+  for (const sub_id victim : {sub_id{3}, sub_id{17}, sub_id{29}}) {
+    const auto sa = single.handle_unsubscribe(kLocalLink, victim, ms);
+    const auto ba = batch.handle_unsubscribe_batch(kLocalLink, {victim}, mb);
+    // Identical forwards (batch shape: one (link, {victim}) pair per link)...
+    std::vector<std::pair<int, std::vector<sub_id>>> want;
+    for (const int link : sa.forward_links) want.push_back({link, {victim}});
+    EXPECT_EQ(ba.forward_links, want);
+    // ...identical reforwards...
+    ASSERT_EQ(ba.reforwards.size(), sa.reforwards.size());
+    for (std::size_t i = 0; i < sa.reforwards.size(); ++i) {
+      EXPECT_EQ(ba.reforwards[i].first, sa.reforwards[i].first);
+      EXPECT_EQ(ba.reforwards[i].second.first, sa.reforwards[i].second.first);
+      EXPECT_EQ(ba.reforwards[i].second.second, sa.reforwards[i].second.second);
+    }
+    // ...identical state.
+    EXPECT_EQ(single.table(), batch.table());
+    for (const int link : links)
+      EXPECT_EQ(single.forwarded_ids(link), batch.forwarded_ids(link));
+  }
+}
+
+TEST(Broker, UnsubscribeBatchPreservesCompleteness) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  const std::vector<int> links{1, 2, 3};
+  broker b(0, s, links, sfc_sorted_vector_factory(), {});
+  network_metrics m;
+  std::map<sub_id, std::pair<int, subscription>> bodies;
+  feed_broker(b, s, 444, &bodies, m);
+  expect_forwarding_complete(b, bodies, links);
+
+  // Withdraw a third of the local subscriptions in one batch.
+  std::vector<sub_id> cohort;
+  for (sub_id id = 0; id < 40; id += 3) cohort.push_back(id);
+  const std::size_t before_entries = b.routing_entries();
+  const auto action = b.handle_unsubscribe_batch(kLocalLink, cohort, m);
+  EXPECT_EQ(b.routing_entries(), before_entries - cohort.size());
+
+  // Every batch id is gone from every shard, and the per-link forward lists
+  // carry exactly the ids that were forwarded there (a subset of the batch).
+  std::set<sub_id> cohort_set(cohort.begin(), cohort.end());
+  for (const int link : links) {
+    const std::vector<sub_id> fwd = b.forwarded_ids(link);
+    for (const sub_id id : fwd) EXPECT_EQ(cohort_set.count(id), 0U);
+  }
+  for (const auto& [link, withdrawn] : action.forward_links) {
+    EXPECT_FALSE(withdrawn.empty());
+    for (const sub_id id : withdrawn) EXPECT_EQ(cohort_set.count(id), 1U);
+  }
+  for (const sub_id id : cohort) bodies.erase(id);
+  // The re-forward sweep restored completeness against the post-batch state.
+  expect_forwarding_complete(b, bodies, links);
+  // Reforwarded subscriptions are now really forwarded.
+  for (const auto& [link, rf] : action.reforwards) {
+    const std::vector<sub_id> fwd = b.forwarded_ids(link);
+    EXPECT_NE(std::find(fwd.begin(), fwd.end(), rf.first), fwd.end());
+  }
+}
+
+TEST(Broker, UnsubscribeBatchUnknownIdFailsLoudly) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  broker b(0, s, {1}, sfc_sorted_vector_factory(), {});
+  network_metrics m;
+  (void)b.handle_subscribe(kLocalLink, 7, subscription::match_all(s), m);
+  EXPECT_THROW((void)b.handle_unsubscribe_batch(kLocalLink, {7, 8}, m), std::logic_error);
 }
 
 TEST(Network, BadWorkerCountThrows) {

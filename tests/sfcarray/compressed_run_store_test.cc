@@ -216,6 +216,110 @@ TEST(CompressedRunStore, AdversarialRunSets) {
   expect_equivalent(store, live, gen);
 }
 
+TEST(CompressedRunStore, EraseThenReinsertSameEntry) {
+  // A tombstone must cancel exactly one occurrence: re-merging the same
+  // (key, id) after an erase makes the entry visible again, across repeated
+  // cycles, in both eager and deferred compaction modes.
+  for (const double live_fraction : {1.0, 0.5, 0.0}) {
+    rng gen(17);
+    compressed_run_store<std::uint64_t> store(4);
+    store.set_min_live_fraction(live_fraction);
+    std::vector<store_entry<std::uint64_t>> live;
+    for (std::uint64_t i = 0; i < 32; ++i) live.push_back({i * 10, i});
+    store.merge_in(live);
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      EXPECT_TRUE(store.erase(150, 15));
+      EXPECT_FALSE(store.erase(150, 15));  // one occurrence, one cancel
+      EXPECT_FALSE(store.first_in({150, 150}, nullptr, nullptr).has_value());
+      store.merge_in({{150, 15}});
+      const auto back = store.first_in({150, 150}, nullptr, nullptr);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(back->id, 15U);
+      expect_equivalent(store, live, gen);
+    }
+    // The merge rewrite purges the tombstone even in never-compact mode.
+    EXPECT_EQ(store.tombstones(), 0U);
+  }
+}
+
+TEST(CompressedRunStore, EraseEmptyingABlockDropsIt) {
+  // Default (0.5) threshold: draining a block compacts it away entirely,
+  // and probes spanning its old envelope spill to the successor block.
+  compressed_run_store<std::uint64_t> store(4);
+  std::vector<store_entry<std::uint64_t>> items;
+  for (std::uint64_t i = 0; i < 16; ++i) items.push_back({i * 100, i});
+  store.merge_in(items);
+  const std::size_t blocks_before = store.block_count();
+  ASSERT_GE(blocks_before, 4U);
+  // Drain the second block (keys 400..700).
+  for (std::uint64_t i = 4; i < 8; ++i) EXPECT_TRUE(store.erase(i * 100, i));
+  store.check_invariants();
+  EXPECT_LT(store.block_count(), blocks_before);
+  EXPECT_EQ(store.tombstones(), 0U);
+  // A probe over the drained envelope finds the successor block's head.
+  const auto spill = store.first_in({400, 900}, nullptr, nullptr);
+  ASSERT_TRUE(spill.has_value());
+  EXPECT_EQ(spill->key, 800U);
+  EXPECT_EQ(store.count_in({0, 1600}), 12U);
+  EXPECT_GT(store.maint().compactions, 0U);
+}
+
+TEST(CompressedRunStore, FullyTombstonedBlockStillProbesCorrectly) {
+  // Never-compact mode: a block whose every entry is dead stays encoded,
+  // and first_in must walk past it to the next live block — the multi-block
+  // graveyard walk.
+  compressed_run_store<std::uint64_t> store(4);
+  store.set_min_live_fraction(0.0);
+  std::vector<store_entry<std::uint64_t>> items;
+  for (std::uint64_t i = 0; i < 16; ++i) items.push_back({i * 100, i});
+  store.merge_in(items);
+  const std::size_t blocks_before = store.block_count();
+  for (std::uint64_t i = 4; i < 8; ++i) EXPECT_TRUE(store.erase(i * 100, i));
+  store.check_invariants();
+  EXPECT_EQ(store.block_count(), blocks_before);  // nothing rewritten
+  EXPECT_EQ(store.tombstones(), 4U);
+  EXPECT_EQ(store.size(), 12U);
+  const auto spill = store.first_in({400, 900}, nullptr, nullptr);
+  ASSERT_TRUE(spill.has_value());
+  EXPECT_EQ(spill->key, 800U);
+  EXPECT_FALSE(store.first_in({400, 700}, nullptr, nullptr).has_value());
+  // count_in subtracts the graveyard span-by-span.
+  EXPECT_EQ(store.count_in({0, 1600}), 12U);
+  EXPECT_EQ(store.count_in({400, 700}), 0U);
+  EXPECT_EQ(store.count_in({300, 800}), 2U);
+  const auto m = store.maint();
+  EXPECT_EQ(m.tombstones_added, 4U);
+  EXPECT_EQ(m.tombstones_purged, 0U);
+  EXPECT_EQ(m.compactions, 0U);
+}
+
+TEST(CompressedRunStore, DuplicateKeyRunPartialEraseIsMultisetExact) {
+  // A duplicate-key run longer than a block, partially erased in deferred
+  // mode: each tombstone cancels exactly one occurrence and the survivors'
+  // ids stay exact.
+  rng gen(19);
+  compressed_run_store<std::uint64_t> store(8);
+  store.set_min_live_fraction(0.0);
+  std::vector<store_entry<std::uint64_t>> live;
+  for (std::uint64_t i = 0; i < 40; ++i) live.push_back({5000, i});
+  live.push_back({4999, 100});
+  live.push_back({5001, 101});
+  store.merge_in(live);
+  // Erase the even ids of the run.
+  for (std::uint64_t i = 0; i < 40; i += 2) EXPECT_TRUE(store.erase(5000, i));
+  live.erase(std::remove_if(live.begin(), live.end(),
+                            [](const auto& e) { return e.key == 5000 && e.id % 2 == 0; }),
+             live.end());
+  expect_equivalent(store, live, gen);
+  EXPECT_EQ(store.count_in({5000, 5000}), 20U);
+  const auto first = store.first_in({5000, 5000}, nullptr, nullptr);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 1U);  // smallest surviving id
+  // Erasing an already-dead occurrence fails; a live odd one succeeds.
+  EXPECT_FALSE(store.erase(5000, 0));
+  EXPECT_TRUE(store.erase(5000, 1));
+}
+
 TEST(CompressedRunStore, IncrementalMergesMatchOneBulkMerge) {
   rng gen(13);
   compressed_run_store<std::uint64_t> incremental(16);

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "pubsub/matching.h"
 #include "util/bitops.h"
+#include "workload/churn_gen.h"
 #include "workload/event_gen.h"
 #include "workload/rect_gen.h"
 #include "workload/subscription_gen.h"
@@ -163,6 +166,157 @@ TEST(EventGen, MatchingEventsMatch) {
     const auto sub = subs.next();
     EXPECT_TRUE(matches(sub, events.next_matching(sub)));
   }
+}
+
+TEST(ChurnGen, GoldenStreamIsDeterministic) {
+  // A stream is reproducible from (schema, options, seed) alone: two
+  // generators built alike emit byte-identical op sequences — the contract
+  // the soak test and the churn benchmarks rest on.
+  const schema s = workload::make_uniform_schema(3, 10);
+  workload::churn_gen_options o;
+  o.flash_prob = 0.05;
+  o.flash_len = 8;
+  o.warmup_subscriptions = 20;
+  o.publish_weight = 0.2;
+  workload::churn_gen a(s, o, 99);
+  workload::churn_gen b(s, o, 99);
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = a.next();
+    const auto y = b.next();
+    ASSERT_EQ(x.kind, y.kind) << "op " << i;
+    EXPECT_EQ(x.id, y.id);
+    if (x.kind == workload::churn_op::op_kind::subscribe) {
+      EXPECT_EQ(x.sub, y.sub);
+    }
+    if (x.kind == workload::churn_op::op_kind::publish) {
+      for (int d = 0; d < x.ev.attribute_count(); ++d)
+        EXPECT_EQ(x.ev.value(d), y.ev.value(d));
+    }
+  }
+  EXPECT_EQ(a.live(), b.live());
+  EXPECT_EQ(a.ops_emitted(), b.ops_emitted());
+  // A different seed must diverge within the first post-warmup ops.
+  workload::churn_gen c(s, o, 100);
+  bool diverged = false;
+  workload::churn_gen a2(s, o, 99);
+  for (int i = 0; i < 100 && !diverged; ++i) {
+    const auto x = a2.next();
+    const auto y = c.next();
+    diverged = x.kind != y.kind || x.id != y.id ||
+               (x.kind == workload::churn_op::op_kind::subscribe && !(x.sub == y.sub));
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ChurnGen, StreamIsSelfConsistent) {
+  // Ids are never reused, unsubscribes always target a live id, and the
+  // generator's live() count tracks the implied set exactly.
+  const schema s = workload::make_uniform_schema(2, 8);
+  workload::churn_gen_options o;
+  o.flash_prob = 0.02;
+  o.flash_len = 16;
+  o.warmup_subscriptions = 50;
+  o.victim_skew = 2.0;
+  workload::churn_gen gen(s, o, 7);
+  std::set<std::uint64_t> live;
+  std::set<std::uint64_t> ever;
+  int unsubs = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto op = gen.next();
+    switch (op.kind) {
+      case workload::churn_op::op_kind::subscribe:
+        EXPECT_TRUE(ever.insert(op.id).second) << "id reused";
+        live.insert(op.id);
+        break;
+      case workload::churn_op::op_kind::unsubscribe:
+        EXPECT_EQ(live.erase(op.id), 1U) << "unsubscribe of a dead id";
+        ++unsubs;
+        break;
+      case workload::churn_op::op_kind::publish:
+        break;
+    }
+    ASSERT_EQ(gen.live(), live.size());
+  }
+  EXPECT_GT(unsubs, 0);
+  EXPECT_EQ(gen.ops_emitted(), 5000U);
+}
+
+TEST(ChurnGen, WarmupIsAllSubscribes) {
+  const schema s = workload::make_uniform_schema(2, 8);
+  workload::churn_gen_options o;
+  o.warmup_subscriptions = 100;
+  o.flash_prob = 0.5;  // must not fire during warmup
+  workload::churn_gen gen(s, o, 3);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(gen.next().kind, workload::churn_op::op_kind::subscribe);
+  EXPECT_EQ(gen.live(), 100U);
+}
+
+TEST(ChurnGen, FlashBurstsAreAtomic) {
+  // With flash_prob 1 every draw opens a burst: flash_len clustered
+  // subscribes followed by their own unsubscribes, in order, leaving the
+  // live set empty after each burst.
+  const schema s = workload::make_uniform_schema(2, 8);
+  workload::churn_gen_options o;
+  o.flash_prob = 1.0;
+  o.flash_len = 4;
+  workload::churn_gen gen(s, o, 5);
+  for (int burst = 0; burst < 20; ++burst) {
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 0; i < o.flash_len; ++i) {
+      const auto op = gen.next();
+      ASSERT_EQ(op.kind, workload::churn_op::op_kind::subscribe);
+      ids.push_back(op.id);
+    }
+    for (std::size_t i = 0; i < o.flash_len; ++i) {
+      const auto op = gen.next();
+      ASSERT_EQ(op.kind, workload::churn_op::op_kind::unsubscribe);
+      EXPECT_EQ(op.id, ids[i]);
+    }
+    EXPECT_EQ(gen.live(), 0U);
+  }
+}
+
+TEST(ChurnGen, InvalidOptionsThrow) {
+  const schema s = workload::make_uniform_schema(1, 8);
+  workload::churn_gen_options o;
+  o.subscribe_weight = -0.1;
+  EXPECT_THROW(workload::churn_gen(s, o, 1), std::invalid_argument);
+  o = {};
+  o.subscribe_weight = o.unsubscribe_weight = o.publish_weight = 0.0;
+  EXPECT_THROW(workload::churn_gen(s, o, 1), std::invalid_argument);
+  o = {};
+  o.victim_skew = -1.0;
+  EXPECT_THROW(workload::churn_gen(s, o, 1), std::invalid_argument);
+}
+
+TEST(ChurnGen, StockTickerPresetRuns) {
+  const auto o = workload::churn_gen::stock_ticker_at_scale();
+  EXPECT_GT(o.flash_prob, 0.0);
+  EXPECT_GT(o.victim_skew, 0.0);
+  workload::churn_gen gen(workload::make_stock_schema(), o, 11);
+  int subs = 0;
+  int unsubs = 0;
+  int pubs = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto op = gen.next();
+    switch (op.kind) {
+      case workload::churn_op::op_kind::subscribe:
+        EXPECT_EQ(op.sub.attribute_count(), 3);
+        ++subs;
+        break;
+      case workload::churn_op::op_kind::unsubscribe:
+        ++unsubs;
+        break;
+      case workload::churn_op::op_kind::publish:
+        ++pubs;
+        break;
+    }
+  }
+  // All three op kinds actually occur under the preset.
+  EXPECT_GT(subs, 0);
+  EXPECT_GT(unsubs, 0);
+  EXPECT_GT(pubs, 0);
 }
 
 TEST(Schemas, PrefabSchemasAreValid) {
