@@ -741,6 +741,120 @@ BENCHMARK(BM_ChurnErase)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- BM_ChurnQuery: covering checks interleaved with sustained churn —
+// the workload the adaptive head-probe estimate (head_probe == 0) actually
+// faces, which neither BM_Churn (publish_weight 0, no queries) nor
+// BM_CoveringCheckApprox (static index, no churn) reproduces.
+//
+// ArgPair: (live subscriptions, head_probe). head_probe 1 = the pinned
+// PR-4 scan-only head; 0 = adaptive depth from the plan's running
+// hit-at-rank histograms. Detection results and logical stats are
+// identical for both (the head only moves the physical restart/resume
+// split); items/sec counts covering checks, and query_p50_ns / query_p99_ns
+// time find_covering alone, so the /0-vs-/1 comparison is the
+// adaptive-default verdict on a churning index. Index config matches
+// BM_Churn's production tombstone mode (skiplist hot tier, compressed cold
+// store, deferred compaction), so tombstone-laden frontiers — the state
+// PR-9 maintenance leaves behind between epochs — are what the queries
+// probe.
+void BM_ChurnQuery(benchmark::State& state) {
+  const auto n_subs = static_cast<std::size_t>(state.range(0));
+  const schema s = workload::make_uniform_schema(2, 10);
+  sfc_covering_options so;
+  so.array = sfc_array_kind::skiplist;
+  so.tier_hot_capacity = 4096;
+  so.tier_block_entries = 64;
+  so.compact_live_fraction = 0.5;
+  so.max_cubes = 4096;
+  so.settle_on_budget = true;
+  so.head_probe = static_cast<int>(state.range(1));
+  sfc_covering_index idx(s, so);
+
+  workload::churn_gen_options co;
+  co.subscriptions.kind = workload::workload_kind::clustered;
+  co.subscriptions.wildcard_prob = 0.0;
+  co.publish_weight = 0.0;
+  co.victim_skew = 0.0;
+  co.flash_prob = 0.002;
+  co.flash_len = 64;
+  co.warmup_subscriptions = n_subs;
+  workload::churn_gen gen(s, co, 4242);
+
+  std::vector<std::pair<sub_id, subscription>> seed;
+  seed.reserve(n_subs);
+  for (std::size_t i = 0; i < n_subs; ++i) {
+    const auto op = gen.next();
+    seed.emplace_back(op.id, op.sub);
+  }
+  idx.insert_batch(seed);
+  seed.clear();
+  seed.shrink_to_fit();
+
+  workload::subscription_gen_options qo;
+  qo.kind = workload::workload_kind::clustered;
+  qo.wildcard_prob = 0.0;
+  workload::subscription_gen qgen(s, qo, 9191);
+
+  constexpr std::size_t kOpsPerIter = 512;
+  constexpr std::size_t kEpoch = 512;      // BM_Churn's maintenance cadence
+  constexpr std::size_t kQueryEvery = 4;   // churn ops per covering check
+  constexpr double kEps = 0.05;
+  std::vector<std::uint64_t> latencies;
+  covering_check_stats st;
+  std::uint64_t ops = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t resumed = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kOpsPerIter; ++i) {
+      const auto op = gen.next();
+      if (op.kind == workload::churn_op::op_kind::subscribe) {
+        idx.insert(op.id, op.sub);
+      } else {
+        idx.erase(op.id);
+      }
+      if (++ops % kEpoch == 0) idx.maintain();
+      if (ops % kQueryEvery == 0) {
+        const auto probe_sub = qgen.next();
+        const stopwatch timer;
+        const auto hit = idx.find_covering(probe_sub, kEps, &st);
+        latencies.push_back(timer.elapsed_ns());
+        ++queries;
+        if (hit) ++hits;
+        probes += st.dominance.runs_probed;
+        restarts += st.dominance.probes_restarted;
+        resumed += st.dominance.probes_resumed;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(queries));
+  const auto percentile = [&](double p) {
+    const auto k = static_cast<std::ptrdiff_t>(p * static_cast<double>(latencies.size() - 1));
+    std::nth_element(latencies.begin(), latencies.begin() + k, latencies.end());
+    return static_cast<double>(latencies[static_cast<std::size_t>(k)]);
+  };
+  if (!latencies.empty()) {
+    state.counters["query_p50_ns"] = percentile(0.50);
+    state.counters["query_p99_ns"] = percentile(0.99);
+  }
+  const auto per_query = [&](std::uint64_t v) {
+    return queries == 0 ? 0.0 : static_cast<double>(v) / static_cast<double>(queries);
+  };
+  state.counters["hit_rate"] = per_query(hits);
+  state.counters["probes"] = per_query(probes);
+  state.counters["restarts"] = per_query(restarts);
+  state.counters["resumed"] = per_query(resumed);
+}
+BENCHMARK(BM_ChurnQuery)
+    ->ArgPair(100'000, 1)
+    ->ArgPair(100'000, 0)
+    ->ArgPair(1'000'000, 1)
+    ->ArgPair(1'000'000, 0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // WAL replay throughput: rebuild a broker from a recorded churn history
 // (decode every framed record + apply_replay each disposition — no covering
 // checks re-run, the records carry the decisions). Arg: log length in

@@ -1,0 +1,247 @@
+// Socket-backed broker daemon and its workload driver — the TCP engine's
+// runnable face (broker/transport.h).
+//
+// Daemon mode — one broker process in an overlay:
+//
+//   $ ./broker_daemon --id=1 --listen=127.0.0.1:7101
+//       --peers=0@127.0.0.1:7100,2@127.0.0.1:7102
+//       --wal-dir=/tmp/subcover-wal [--fsync] [--epsilon=0.05] [--seed=1]
+//       [--checkpoint-every=64] [--heartbeat-ms=500] [--peer-timeout-ms=2500]
+//
+// Runs until client_shutdown (or SIGKILL, which is the point: restart with
+// the same flags and the daemon recovers from its WAL directory and rejoins
+// the overlay).
+//
+// Drive mode — a fig10-style workload over a live cluster, verified
+// against the in-process deterministic engine:
+//
+//   $ ./broker_daemon --drive --brokers=127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102
+//       [--subs=300] [--unsubs=60] [--events=60] [--epsilon=0.05]
+//       [--skip-subs=0] [--skip-unsubs=0] [--skip-events=0] [--verify-counters=1]
+//
+// The driver replays the identical operation stream (same seeds) into a
+// reference `network` and asserts: every publish's delivered set matches
+// byte-for-byte, every broker's final snapshot matches encode_snapshot of
+// the reference broker byte-for-byte, and (with --verify-counters) the
+// summed logical counters satisfy same_counters. The --skip-* flags replay
+// a prefix of each phase into the reference only — how the supervisor
+// resumes verification against a cluster that already absorbed an earlier
+// drive run (e.g. across a kill-and-recover).
+//
+// The brokers are assumed to form a line topology in --brokers order; the
+// daemons' --peers flags must describe the same line.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "subcover.h"
+#include "workload/event_gen.h"
+
+using namespace subcover;
+
+namespace {
+
+std::pair<std::string, int> split_host_port(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos)
+    throw std::invalid_argument("expected HOST:PORT, got: " + s);
+  return {s.substr(0, colon), std::stoi(s.substr(colon + 1))};
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> event_values(const event& e) {
+  std::vector<std::uint64_t> v;
+  v.reserve(static_cast<std::size_t>(e.attribute_count()));
+  for (int i = 0; i < e.attribute_count(); ++i) v.push_back(e.value(i));
+  return v;
+}
+
+int run_daemon(cli_flags& flags) {
+  transport_options o;
+  o.broker_id = static_cast<int>(flags.get_int("id", 0));
+  const auto [host, port] = split_host_port(flags.get_string("listen", "127.0.0.1:0"));
+  o.listen_host = host;
+  o.listen_port = port;
+  for (const auto& p : split_commas(flags.get_string("peers", ""))) {
+    const auto at = p.find('@');
+    if (at == std::string::npos) throw std::invalid_argument("expected ID@HOST:PORT: " + p);
+    peer_addr pa;
+    pa.id = std::stoi(p.substr(0, at));
+    std::tie(pa.host, pa.port) = split_host_port(p.substr(at + 1));
+    o.peers.push_back(pa);
+  }
+  o.wal_dir = flags.get_string("wal-dir", "");
+  o.wal.fsync_on_append = flags.get_bool("fsync", false);
+  o.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  o.checkpoint_every = static_cast<std::uint64_t>(flags.get_int("checkpoint-every", 64));
+  o.heartbeat_ms = static_cast<int>(flags.get_int("heartbeat-ms", 500));
+  o.peer_timeout_ms = static_cast<int>(flags.get_int("peer-timeout-ms", 2500));
+  o.broker.epsilon = flags.get_double("epsilon", 0.05);
+  flags.finish();
+
+  const schema s = workload::make_sensor_schema();
+  broker_daemon d(s, [](const schema& sc) { return std::make_unique<sfc_covering_index>(sc); },
+                  o);
+  std::cout << "broker " << o.broker_id << " listening on " << o.listen_host << ":"
+            << d.listen_port() << " (" << o.peers.size() << " peers, wal "
+            << (o.wal_dir.empty() ? "in-memory" : o.wal_dir) << ")" << std::endl;
+  d.run();
+  std::cout << "broker " << o.broker_id << " shut down: " << d.metrics().to_string() << "\n";
+  return 0;
+}
+
+int run_drive(cli_flags& flags) {
+  const auto addrs = split_commas(flags.get_string("brokers", ""));
+  const int subs = static_cast<int>(flags.get_int("subs", 300));
+  const int unsubs = static_cast<int>(flags.get_int("unsubs", 60));
+  const int events = static_cast<int>(flags.get_int("events", 60));
+  const int skip_subs = static_cast<int>(flags.get_int("skip-subs", 0));
+  const int skip_unsubs = static_cast<int>(flags.get_int("skip-unsubs", 0));
+  const int skip_events = static_cast<int>(flags.get_int("skip-events", 0));
+  const bool verify_counters = flags.get_bool("verify-counters", true);
+  const double epsilon = flags.get_double("epsilon", 0.05);
+  const int timeout_ms = static_cast<int>(flags.get_int("timeout-ms", 15000));
+  flags.finish();
+  if (addrs.empty()) {
+    std::cerr << "--drive requires --brokers=HOST:PORT,...\n";
+    return 2;
+  }
+  const int nb = static_cast<int>(addrs.size());
+
+  // The reference trajectory: same schema, same line topology, same seeds.
+  const schema s = workload::make_sensor_schema();
+  network_options no;
+  no.use_covering = true;
+  no.epsilon = epsilon;
+  network ref(topology::line(nb), s, no);
+  workload::subscription_gen_options wo;
+  wo.kind = workload::workload_kind::clustered;
+  wo.clusters = 5;
+  workload::subscription_gen sgen(s, wo, 7);
+  workload::event_gen egen(s, 8);
+  rng pick(9);
+
+  std::vector<cluster_client> clients(static_cast<std::size_t>(nb));
+  for (int b = 0; b < nb; ++b) {
+    const auto [host, port] = split_host_port(addrs[static_cast<std::size_t>(b)]);
+    auto& c = clients[static_cast<std::size_t>(b)];
+    c.connect(host, port, timeout_ms);
+    // Identify the connection as a client right away: a daemon reaps
+    // connections that stay silent past its identify timeout, and the
+    // reference replay below can take longer than that.
+    wire_msg probe;
+    probe.type = msg_type::client_dump;
+    (void)c.request(probe, timeout_ms);
+  }
+
+  std::uint64_t mismatches = 0;
+  for (int i = 0; i < subs; ++i) {
+    const int b = static_cast<int>(pick.index(static_cast<std::size_t>(nb)));
+    const subscription sub = sgen.next();
+    const sub_id id = ref.subscribe(b, sub);
+    if (i < skip_subs) continue;  // cluster absorbed this in an earlier run
+    wire_msg m;
+    m.type = msg_type::client_subscribe;
+    m.id = id;
+    m.body = sub;
+    const auto done = clients[static_cast<std::size_t>(b)].request(m, timeout_ms);
+    if (done.type != msg_type::client_done || done.status != 0) ++mismatches;
+  }
+  for (int i = 0; i < unsubs; ++i) {
+    const auto id = pick.uniform(1, static_cast<std::uint64_t>(subs));
+    const auto owner = ref.owner_broker(id);
+    if (!owner) continue;  // already withdrawn (or never assigned)
+    ref.unsubscribe(id);
+    if (i < skip_unsubs) continue;
+    wire_msg m;
+    m.type = msg_type::client_unsubscribe;
+    m.id = id;
+    const auto done = clients[static_cast<std::size_t>(*owner)].request(m, timeout_ms);
+    if (done.type != msg_type::client_done || done.status != 0) ++mismatches;
+  }
+  std::uint64_t delivery_mismatches = 0;
+  std::uint64_t deliveries = 0;
+  for (int i = 0; i < events; ++i) {
+    const int b = static_cast<int>(pick.index(static_cast<std::size_t>(nb)));
+    const event ev = egen.next();
+    const auto expect = ref.publish(b, ev);
+    if (i < skip_events) continue;
+    wire_msg m;
+    m.type = msg_type::client_publish;
+    m.values = event_values(ev);
+    const auto done = clients[static_cast<std::size_t>(b)].request(m, timeout_ms);
+    deliveries += done.delivered.size();
+    if (done.type != msg_type::client_done || done.status != 0 || done.delivered != expect)
+      ++delivery_mismatches;
+  }
+
+  // Convergence: every daemon's routing state must be byte-identical to the
+  // reference broker's, and the summed logical counters must agree.
+  std::uint64_t snapshot_mismatches = 0;
+  network_metrics summed;
+  wire_msg dump;
+  dump.type = msg_type::client_dump;
+  for (int b = 0; b < nb; ++b) {
+    const auto reply = clients[static_cast<std::size_t>(b)].request(dump, timeout_ms);
+    summed += reply.metrics;
+    if (reply.snapshot != encode_snapshot(ref.broker_at(b).snapshot())) ++snapshot_mismatches;
+  }
+  const bool counters_ok = !verify_counters || same_counters(summed, ref.metrics());
+
+  ascii_table table({"ops verified", "deliveries", "delivery mismatches", "snapshot mismatches",
+                     "counters"});
+  table.add_row({fmt_u64(static_cast<std::uint64_t>(subs - skip_subs + events - skip_events)),
+                 fmt_u64(deliveries), fmt_u64(delivery_mismatches),
+                 fmt_u64(snapshot_mismatches), counters_ok ? "match" : "MISMATCH"});
+  table.print(std::cout);
+
+  const bool ok =
+      mismatches == 0 && delivery_mismatches == 0 && snapshot_mismatches == 0 && counters_ok;
+  std::cout << (ok ? "PASS" : "FAIL")
+            << ": TCP cluster vs in-process deterministic engine\n";
+  return ok ? 0 : 1;
+}
+
+int run_shutdown(cli_flags& flags) {
+  const auto addrs = split_commas(flags.get_string("brokers", ""));
+  const int timeout_ms = static_cast<int>(flags.get_int("timeout-ms", 5000));
+  flags.finish();
+  for (const auto& a : addrs) {
+    const auto [host, port] = split_host_port(a);
+    cluster_client c;
+    c.connect(host, port, timeout_ms);
+    wire_msg m;
+    m.type = msg_type::client_shutdown;
+    c.send(m);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_flags flags(argc, argv);
+  try {
+    if (flags.get_bool("drive", false)) return run_drive(flags);
+    if (flags.get_bool("shutdown", false)) return run_shutdown(flags);
+    return run_daemon(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "broker_daemon: " << e.what() << "\n";
+    return 2;
+  }
+}

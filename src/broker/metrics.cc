@@ -27,6 +27,10 @@ network_metrics& network_metrics::operator+=(const network_metrics& o) {
   duplicates_suppressed += o.duplicates_suppressed;
   recoveries += o.recoveries;
   wal_bytes += o.wal_bytes;
+  reconnects += o.reconnects;
+  heartbeats_missed += o.heartbeats_missed;
+  bytes_on_wire += o.bytes_on_wire;
+  partial_writes += o.partial_writes;
   return *this;
 }
 
@@ -62,7 +66,9 @@ std::string network_metrics::to_string() const {
      << ", cov_maint_purged=" << covering_maint_purged
      << ", cov_maint_compact=" << covering_maint_compactions << ", retries=" << retries
      << ", dups_suppressed=" << duplicates_suppressed << ", recoveries=" << recoveries
-     << ", wal_bytes=" << wal_bytes << "}";
+     << ", wal_bytes=" << wal_bytes << ", reconnects=" << reconnects
+     << ", hb_missed=" << heartbeats_missed << ", wire_bytes=" << bytes_on_wire
+     << ", partial_writes=" << partial_writes << "}";
   return os.str();
 }
 

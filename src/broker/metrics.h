@@ -53,6 +53,14 @@ struct network_metrics {
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t wal_bytes = 0;
+  // TCP transport accounting (zero outside the socket daemon; broker/
+  // transport.h). Physical counters like the fault-transport set above —
+  // they describe what the OS and the network did to the byte stream, not
+  // the logical computation — so same_counters excludes them too.
+  std::uint64_t reconnects = 0;
+  std::uint64_t heartbeats_missed = 0;
+  std::uint64_t bytes_on_wire = 0;
+  std::uint64_t partial_writes = 0;
 
   void reset_traffic() {
     event_messages = 0;
@@ -74,7 +82,9 @@ struct network_metrics {
 // (covering_maint_* — physical tombstone/compaction work that moves with
 // crash-recovery rebuilds) and the fault-transport counters
 // (retries, duplicates_suppressed, recoveries, wal_bytes — they describe
-// the injected fault schedule, not the logical computation). This is the
+// the injected fault schedule, not the logical computation) and the TCP
+// physical counters (reconnects, heartbeats_missed, bytes_on_wire,
+// partial_writes — they describe what the OS did to the stream). This is the
 // comparison the deterministic-vs-parallel and deterministic-vs-faults
 // equivalence tests pin.
 [[nodiscard]] bool same_counters(const network_metrics& a, const network_metrics& b);

@@ -1,6 +1,8 @@
 // In-process simulation of a broker tree running covering-optimized
 // subscription propagation and reverse-path event routing, with three
-// execution engines:
+// execution engines (a fourth — real TCP sockets between one OS process
+// per broker, byte-identical converged state — lives in
+// broker/transport.h as the standalone broker_daemon):
 //
 //   * Deterministic mode (workers == 0, the default): messages between
 //     brokers are processed from a single FIFO queue until quiescence on the

@@ -1,152 +1,58 @@
 #include "broker/wal.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include "broker/codec.h"
 #include "util/check.h"
 
 namespace subcover {
 
 namespace {
 
-// --- varint / zigzag codec ---------------------------------------------------
+using wal_reader = codec::basic_byte_reader<wal_error>;
+using codec::kFrameHeader;
 
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
-}
-
-void put_signed(std::vector<std::uint8_t>& out, std::int64_t v) { put_varint(out, zigzag(v)); }
-
-// Bounded reader over a decoded payload. Every decode failure throws
-// wal_error; frame checksums make payload-level corruption unreachable in
-// practice, but a wrong-version writer must fail loudly, not read garbage.
-struct byte_reader {
-  const std::uint8_t* p;
-  const std::uint8_t* end;
-
-  [[nodiscard]] bool done() const { return p == end; }
-
-  std::uint64_t varint() {
-    std::uint64_t v = 0;
-    int shift = 0;
-    for (;;) {
-      if (p == end || shift > 63) throw wal_error("wal: truncated varint");
-      const std::uint8_t b = *p++;
-      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-      if ((b & 0x80) == 0) return v;
-      shift += 7;
-    }
-  }
-  std::int64_t signed_varint() { return unzigzag(varint()); }
-  std::uint8_t byte() {
-    if (p == end) throw wal_error("wal: truncated payload");
-    return *p++;
-  }
-};
-
-// --- subscription encoding ---------------------------------------------------
-
-void put_subscription(std::vector<std::uint8_t>& out, const subscription& s) {
-  put_varint(out, static_cast<std::uint64_t>(s.attribute_count()));
-  for (int i = 0; i < s.attribute_count(); ++i) {
-    put_varint(out, s.range(i).lo);
-    // Gap-code the closed range: hi >= lo always, and narrow constraints
-    // (the common case) shrink to one-byte deltas.
-    put_varint(out, s.range(i).hi - s.range(i).lo);
-  }
-}
-
-subscription read_subscription(byte_reader& in) {
-  const auto n = in.varint();
-  if (n > 1024) throw wal_error("wal: absurd attribute count");
-  std::vector<attr_range> ranges;
-  ranges.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    attr_range r;
-    r.lo = in.varint();
-    r.hi = r.lo + in.varint();
-    ranges.push_back(r);
-  }
-  // Bypass schema validation: the ranges were validated when first accepted,
-  // and the WAL does not store the owner's schema.
-  return subscription::from_raw_ranges(std::move(ranges));
-}
-
-void put_id_sub_list(std::vector<std::uint8_t>& out,
-                     const std::vector<std::pair<sub_id, subscription>>& subs) {
-  put_varint(out, subs.size());
-  for (const auto& [id, s] : subs) {
-    put_varint(out, id);
-    put_subscription(out, s);
-  }
-}
-
-std::vector<std::pair<sub_id, subscription>> read_id_sub_list(byte_reader& in) {
-  const auto n = in.varint();
-  std::vector<std::pair<sub_id, subscription>> out;
-  out.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const sub_id id = in.varint();
-    out.emplace_back(id, read_subscription(in));
-  }
-  return out;
-}
-
-// --- frame checksum ----------------------------------------------------------
-
-std::uint64_t fnv1a64(const std::uint8_t* p, std::size_t n) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint32_t read_u32le(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-
-std::uint64_t read_u64le(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-
-constexpr std::size_t kFrameHeader = 4 + 8;  // len + checksum
 constexpr std::uint8_t kSnapshotVersion = 1;
 
-std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload) {
-  std::vector<std::uint8_t> out;
-  out.reserve(kFrameHeader + payload.size());
-  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
-  put_u64le(out, fnv1a64(payload.data(), payload.size()));
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw wal_error("wal: " + what + " " + path + ": " + std::strerror(errno));
 }
+
+// Writes the whole buffer through one descriptor, resuming partial writes
+// (EINTR, short writes on full pipes are not expected for regular files but
+// cost nothing to handle).
+void write_fully(int fd, const std::uint8_t* p, std::size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write to", path);
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void fsync_or_throw(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) throw_errno("fsync", path);
+}
+
+// An fd closed on every path out of scope.
+struct fd_guard {
+  int fd = -1;
+  ~fd_guard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
 
 }  // namespace
 
@@ -155,25 +61,25 @@ std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload) {
 std::vector<std::uint8_t> encode_record(const wal_record& r) {
   std::vector<std::uint8_t> out;
   out.push_back(static_cast<std::uint8_t>(r.k));
-  put_varint(out, r.op);
-  put_signed(out, r.from);
-  put_varint(out, r.seq);
+  codec::put_varint(out, r.op);
+  codec::put_signed(out, r.from);
+  codec::put_varint(out, r.seq);
   switch (r.k) {
     case wal_record::kind::subscribe:
-      put_varint(out, r.id);
-      put_subscription(out, r.body);
-      put_varint(out, r.forwarded_links.size());
-      for (const int link : r.forwarded_links) put_signed(out, link);
+      codec::put_varint(out, r.id);
+      codec::put_subscription(out, r.body);
+      codec::put_varint(out, r.forwarded_links.size());
+      for (const int link : r.forwarded_links) codec::put_signed(out, link);
       break;
     case wal_record::kind::unsubscribe:
-      put_varint(out, r.id);
-      put_varint(out, r.withdrawn_links.size());
-      for (const int link : r.withdrawn_links) put_signed(out, link);
-      put_varint(out, r.reforwards.size());
+      codec::put_varint(out, r.id);
+      codec::put_varint(out, r.withdrawn_links.size());
+      for (const int link : r.withdrawn_links) codec::put_signed(out, link);
+      codec::put_varint(out, r.reforwards.size());
       for (const auto& [link, sub_pair] : r.reforwards) {
-        put_signed(out, link);
-        put_varint(out, sub_pair.first);
-        put_subscription(out, sub_pair.second);
+        codec::put_signed(out, link);
+        codec::put_varint(out, sub_pair.first);
+        codec::put_subscription(out, sub_pair.second);
       }
       break;
     case wal_record::kind::event_receipt:
@@ -185,7 +91,7 @@ std::vector<std::uint8_t> encode_record(const wal_record& r) {
 namespace {
 
 wal_record decode_record(const std::uint8_t* p, std::size_t n) {
-  byte_reader in{p, p + n};
+  wal_reader in{p, p + n};
   wal_record r;
   const auto k = in.byte();
   if (k < 1 || k > 3) throw wal_error("wal: unknown record kind");
@@ -196,7 +102,7 @@ wal_record decode_record(const std::uint8_t* p, std::size_t n) {
   switch (r.k) {
     case wal_record::kind::subscribe: {
       r.id = in.varint();
-      r.body = read_subscription(in);
+      r.body = codec::read_subscription(in);
       const auto nlinks = in.varint();
       r.forwarded_links.reserve(nlinks);
       for (std::uint64_t i = 0; i < nlinks; ++i)
@@ -214,7 +120,7 @@ wal_record decode_record(const std::uint8_t* p, std::size_t n) {
       for (std::uint64_t i = 0; i < nrf; ++i) {
         const int link = static_cast<int>(in.signed_varint());
         const sub_id id = in.varint();
-        r.reforwards.push_back({link, {id, read_subscription(in)}});
+        r.reforwards.push_back({link, {id, codec::read_subscription(in)}});
       }
       break;
     }
@@ -230,15 +136,15 @@ wal_record decode_record(const std::uint8_t* p, std::size_t n) {
 std::vector<std::uint8_t> encode_snapshot(const broker_snapshot& s) {
   std::vector<std::uint8_t> out;
   out.push_back(kSnapshotVersion);
-  put_varint(out, s.routing.size());
+  codec::put_varint(out, s.routing.size());
   for (const auto& [link, subs] : s.routing) {
-    put_signed(out, link);
-    put_id_sub_list(out, subs);
+    codec::put_signed(out, link);
+    codec::put_id_sub_list(out, subs);
   }
-  put_varint(out, s.forwarded.size());
+  codec::put_varint(out, s.forwarded.size());
   for (const auto& [link, subs] : s.forwarded) {
-    put_signed(out, link);
-    put_id_sub_list(out, subs);
+    codec::put_signed(out, link);
+    codec::put_id_sub_list(out, subs);
   }
   return out;
 }
@@ -246,21 +152,39 @@ std::vector<std::uint8_t> encode_snapshot(const broker_snapshot& s) {
 namespace {
 
 broker_snapshot decode_snapshot(const std::uint8_t* p, std::size_t n) {
-  byte_reader in{p, p + n};
+  wal_reader in{p, p + n};
   if (in.byte() != kSnapshotVersion) throw wal_error("wal: unknown snapshot version");
   broker_snapshot s;
   const auto nrouting = in.varint();
   for (std::uint64_t i = 0; i < nrouting; ++i) {
     const int link = static_cast<int>(in.signed_varint());
-    s.routing.emplace(link, read_id_sub_list(in));
+    s.routing.emplace(link, codec::read_id_sub_list(in));
   }
   const auto nforwarded = in.varint();
   for (std::uint64_t i = 0; i < nforwarded; ++i) {
     const int link = static_cast<int>(in.signed_varint());
-    s.forwarded.emplace(link, read_id_sub_list(in));
+    s.forwarded.emplace(link, codec::read_id_sub_list(in));
   }
   if (!in.done()) throw wal_error("wal: trailing bytes in snapshot payload");
   return s;
+}
+
+// Verifies one frame at `bytes + pos` (throwing `what`-specific wal_errors)
+// and returns its payload span. Used for the snapshot store only — the
+// snapshot is replaced atomically, so a torn frame there means store
+// corruption, not a crash window.
+std::pair<const std::uint8_t*, std::size_t> checked_frame(const std::vector<std::uint8_t>& bytes,
+                                                          std::size_t pos, const char* what) {
+  if (bytes.size() - pos < kFrameHeader)
+    throw wal_error(std::string("wal: ") + what + " too short");
+  const auto len = codec::read_u32le(bytes.data() + pos);
+  if (bytes.size() - pos - kFrameHeader < len)
+    throw wal_error(std::string("wal: ") + what + " length mismatch");
+  const auto sum = codec::read_u64le(bytes.data() + pos + 4);
+  const std::uint8_t* payload = bytes.data() + pos + kFrameHeader;
+  if (codec::fnv1a64(payload, len) != sum)
+    throw wal_error(std::string("wal: ") + what + " checksum mismatch");
+  return {payload, len};
 }
 
 }  // namespace
@@ -275,31 +199,37 @@ void memory_wal_store::replace(const std::vector<std::uint8_t>& bytes) { bytes_ 
 
 std::vector<std::uint8_t> memory_wal_store::read_all() const { return bytes_; }
 
-file_wal_store::file_wal_store(std::string path) : path_(std::move(path)) {}
+file_wal_store::file_wal_store(std::string path, wal_options options)
+    : path_(std::move(path)), options_(options) {}
 
 void file_wal_store::append(const std::vector<std::uint8_t>& bytes) {
-  std::ofstream out(path_, std::ios::binary | std::ios::app);
-  if (!out) throw wal_error("wal: cannot open " + path_ + " for append");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) throw wal_error("wal: append to " + path_ + " failed");
+  fd_guard f{::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644)};
+  if (f.fd < 0) throw_errno("cannot open for append", path_);
+  write_fully(f.fd, bytes.data(), bytes.size(), path_);
+  if (options_.fsync_on_append) fsync_or_throw(f.fd, path_);
 }
 
 void file_wal_store::replace(const std::vector<std::uint8_t>& bytes) {
   const std::string tmp = path_ + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw wal_error("wal: cannot open " + tmp);
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) throw wal_error("wal: write to " + tmp + " failed");
+    fd_guard f{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644)};
+    if (f.fd < 0) throw_errno("cannot open", tmp);
+    write_fully(f.fd, bytes.data(), bytes.size(), tmp);
+    // The temp file's bytes must be on stable storage BEFORE the rename
+    // publishes them, or a power cut could expose a named-but-empty file.
+    if (options_.fsync_on_append) fsync_or_throw(f.fd, tmp);
   }
   // rename(2) is atomic within a filesystem: readers see old or new bytes,
   // never a prefix of the new over a suffix of the old.
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
-    throw wal_error("wal: rename " + tmp + " -> " + path_ + " failed");
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) throw_errno("rename failed for", path_);
+  if (options_.fsync_on_append) {
+    // Persist the directory entry too — the rename itself is metadata.
+    const auto dir = std::filesystem::path(path_).parent_path();
+    const std::string dpath = dir.empty() ? "." : dir.string();
+    fd_guard d{::open(dpath.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC)};
+    if (d.fd < 0) throw_errno("cannot open directory", dpath);
+    fsync_or_throw(d.fd, dpath);
+  }
 }
 
 std::vector<std::uint8_t> file_wal_store::read_all() const {
@@ -314,6 +244,21 @@ std::uint64_t file_wal_store::size() const {
   return ec ? 0 : static_cast<std::uint64_t>(n);
 }
 
+// --- file_lock ---------------------------------------------------------------
+
+file_lock& file_lock::operator=(file_lock&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+file_lock::~file_lock() {
+  if (fd_ >= 0) ::close(fd_);  // closing releases the flock
+}
+
 // --- broker_wal --------------------------------------------------------------
 
 broker_wal::broker_wal()
@@ -325,21 +270,42 @@ broker_wal::broker_wal(std::unique_ptr<wal_store> snapshot_store,
   SUBCOVER_CHECK(snapshot_ != nullptr && log_ != nullptr, "broker_wal: stores required");
 }
 
-broker_wal broker_wal::in_directory(const std::string& dir, int broker_id) {
+broker_wal broker_wal::in_directory(const std::string& dir, int broker_id,
+                                    wal_options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw wal_error("wal: cannot create directory " + dir + ": " + ec.message());
   const std::string stem = dir + "/broker-" + std::to_string(broker_id);
-  return {std::make_unique<file_wal_store>(stem + ".snap"),
-          std::make_unique<file_wal_store>(stem + ".log")};
+  const std::string lock_path = stem + ".lock";
+  const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("cannot open lockfile", lock_path);
+  // LOCK_NB: a held lock means a live owner (flock dies with its holder's
+  // descriptors, so a SIGKILLed daemon never wedges its own restart) —
+  // reject instead of blocking behind it.
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    throw wal_error("wal: directory WAL locked (in use by a live process): " + lock_path);
+  }
+  broker_wal w{std::make_unique<file_wal_store>(stem + ".snap", options),
+               std::make_unique<file_wal_store>(stem + ".log", options)};
+  w.lock_ = file_lock(fd);
+  return w;
 }
 
 void broker_wal::append(const wal_record& r) {
-  const auto framed = frame(encode_record(r));
+  const auto framed = codec::frame(encode_record(r));
   log_->append(framed);
   bytes_appended_ += framed.size();
   ++records_since_snapshot_;
 }
 
-void broker_wal::write_snapshot(const broker_snapshot& snap) {
-  const auto framed = frame(encode_snapshot(snap));
+void broker_wal::write_snapshot(const broker_snapshot& snap,
+                                const std::vector<std::uint8_t>& aux) {
+  auto framed = codec::frame(encode_snapshot(snap));
+  if (!aux.empty()) {
+    const auto aux_framed = codec::frame(aux);
+    framed.insert(framed.end(), aux_framed.begin(), aux_framed.end());
+  }
   snapshot_->replace(framed);
   log_->replace({});
   bytes_appended_ += framed.size();
@@ -350,16 +316,17 @@ broker_wal::recovery broker_wal::recover() const {
   recovery out;
   const auto snap_bytes = snapshot_->read_all();
   if (!snap_bytes.empty()) {
-    // The snapshot is replaced atomically, so a torn snapshot means store
-    // corruption, not a crash window: fail loudly.
-    if (snap_bytes.size() < kFrameHeader) throw wal_error("wal: snapshot too short");
-    const auto len = read_u32le(snap_bytes.data());
-    const auto sum = read_u64le(snap_bytes.data() + 4);
-    if (snap_bytes.size() != kFrameHeader + len)
-      throw wal_error("wal: snapshot length mismatch");
-    if (fnv1a64(snap_bytes.data() + kFrameHeader, len) != sum)
-      throw wal_error("wal: snapshot checksum mismatch");
-    out.snapshot = decode_snapshot(snap_bytes.data() + kFrameHeader, len);
+    const auto [payload, len] = checked_frame(snap_bytes, 0, "snapshot");
+    out.snapshot = decode_snapshot(payload, len);
+    const std::size_t after = kFrameHeader + len;
+    if (after < snap_bytes.size()) {
+      // A second frame: the consumer aux blob. Replaced atomically with the
+      // snapshot, so anything malformed here is corruption, not a tear.
+      const auto [aux_payload, aux_len] = checked_frame(snap_bytes, after, "snapshot aux");
+      out.aux.assign(aux_payload, aux_payload + aux_len);
+      if (after + kFrameHeader + aux_len != snap_bytes.size())
+        throw wal_error("wal: trailing bytes after snapshot aux frame");
+    }
   }
 
   const auto log_bytes = log_->read_all();
@@ -370,11 +337,11 @@ broker_wal::recovery broker_wal::recover() const {
     // everything after it is dropped — which is the safe direction: the
     // replayed prefix is exactly a valid earlier state.)
     if (log_bytes.size() - pos < kFrameHeader) break;
-    const auto len = read_u32le(log_bytes.data() + pos);
+    const auto len = codec::read_u32le(log_bytes.data() + pos);
     if (log_bytes.size() - pos - kFrameHeader < len) break;
-    const auto sum = read_u64le(log_bytes.data() + pos + 4);
+    const auto sum = codec::read_u64le(log_bytes.data() + pos + 4);
     const std::uint8_t* payload = log_bytes.data() + pos + kFrameHeader;
-    if (fnv1a64(payload, len) != sum) break;
+    if (codec::fnv1a64(payload, len) != sum) break;
     out.records.push_back(decode_record(payload, len));
     pos += kFrameHeader + len;
   }

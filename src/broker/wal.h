@@ -16,25 +16,31 @@
 // (op, from, seq) it was applied at. The fault engine rebuilds its
 // duplicate-suppression state from these keys after a crash, which is what
 // makes "WAL-append before ack" turn at-least-once message delivery into
-// exactly-once state application (docs/ARCHITECTURE.md, fault model).
+// exactly-once state application (docs/ARCHITECTURE.md, fault model). The
+// TCP daemon (broker/transport.h) does the same over real sockets.
 // event_receipt records exist only for this: events mutate no routing
 // state, but their channel position must survive a crash so retransmitted
 // (already-processed) events are suppressed instead of re-delivered.
 //
 // On-disk format (wal_store holds opaque bytes; both stores are durable on
-// return from append/replace):
+// return from append/replace — to the OS always, to the *platter* only with
+// wal_options::fsync_on_append):
 //
-//   log    := record*                     (append-only; compacted by snapshot)
-//   record := len:u32le  fnv1a64(payload):u64le  payload[len]
+//   log      := record*                   (append-only; compacted by snapshot)
+//   record   := len:u32le  fnv1a64(payload):u64le  payload[len]
+//   snapstore:= snapframe [auxframe]      (replaced atomically as one blob)
 //
-// A torn tail — a final record whose length header, checksum, or payload was
-// cut by a crash mid-append — is tolerated: recovery applies every intact
-// prefix record and reports the dropped bytes (recovery::torn_bytes).
-// Payloads are varint/zigzag coded (LEB128); see wal.cc.
+// The framing discipline is shared with the TCP wire protocol
+// (broker/codec.h). A torn tail — a final record whose length header,
+// checksum, or payload was cut by a crash mid-append — is tolerated:
+// recovery applies every intact prefix record and reports the dropped bytes
+// (recovery::torn_bytes). Payloads are varint/zigzag coded (LEB128).
 //
 // The snapshot store holds one checksummed broker_snapshot (routing table +
-// per-link forwarded sets); write_snapshot replaces it atomically and
-// truncates the log, bounding both replay time and WAL size.
+// per-link forwarded sets) plus an optional opaque aux frame (the daemon
+// persists its in-flight duplicate-suppression keys there, so compaction
+// cannot widen the exactly-once window); write_snapshot replaces both
+// atomically and truncates the log, bounding replay time and WAL size.
 #pragma once
 
 #include <cstdint>
@@ -51,9 +57,22 @@
 namespace subcover {
 
 // Recovery found a corrupt snapshot or an internally inconsistent store
-// (torn *tails* are tolerated and reported, not thrown).
+// (torn *tails* are tolerated and reported, not thrown), or a directory
+// store could not be created, opened, or locked — the message names the
+// offending path.
 struct wal_error : std::runtime_error {
   using std::runtime_error::runtime_error;
+};
+
+// Durability policy for directory-backed stores.
+struct wal_options {
+  // fsync(2) the log file after every record append, fsync the snapshot
+  // temp file before its rename and the directory after it. Off = durable
+  // to the OS page cache (survives SIGKILL of the process, not power loss);
+  // on = a real crash-durability guarantee at per-record fsync cost. The
+  // recovered bytes are identical either way (pinned by
+  // tests/broker/wal_test.cc).
+  bool fsync_on_append = false;
 };
 
 // One logged disposition. `op`/`from`/`seq` form the idempotency key: the
@@ -110,12 +129,15 @@ class memory_wal_store final : public wal_store {
   std::vector<std::uint8_t> bytes_;
 };
 
-// File-backed store: append opens O_APPEND-style and flushes per record;
-// replace writes a sibling temp file and renames over the target, so a
-// crash mid-replace leaves either the old or the new content, never a mix.
+// File-backed store: append opens O_APPEND and writes the whole record in
+// one write(2); replace writes a sibling temp file and renames over the
+// target, so a crash mid-replace leaves either the old or the new content,
+// never a mix. With wal_options::fsync_on_append the record (and, for
+// replace, the temp file and then the directory entry) is fsynced before
+// returning.
 class file_wal_store final : public wal_store {
  public:
-  explicit file_wal_store(std::string path);
+  explicit file_wal_store(std::string path, wal_options options = {});
   void append(const std::vector<std::uint8_t>& bytes) override;
   void replace(const std::vector<std::uint8_t>& bytes) override;
   [[nodiscard]] std::vector<std::uint8_t> read_all() const override;
@@ -123,11 +145,30 @@ class file_wal_store final : public wal_store {
 
  private:
   std::string path_;
+  wal_options options_;
+};
+
+// RAII holder of an flock(2)-ed file descriptor: the broker_wal directory
+// lock. The kernel releases the lock when the descriptor closes — including
+// on SIGKILL — so a crashed daemon never wedges its own restart, while a
+// *live* second opener of the same directory is rejected.
+class file_lock {
+ public:
+  file_lock() = default;
+  explicit file_lock(int fd) : fd_(fd) {}
+  file_lock(file_lock&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  file_lock& operator=(file_lock&& o) noexcept;
+  file_lock(const file_lock&) = delete;
+  file_lock& operator=(const file_lock&) = delete;
+  ~file_lock();
+
+ private:
+  int fd_ = -1;
 };
 
 // One broker's durable state: a snapshot store plus an append-only record
-// log. Not thread-safe; driven by the single-threaded fault engine (or a
-// test) one call at a time.
+// log. Not thread-safe; driven by the single-threaded fault engine, the
+// daemon's event loop, or a test — one call at a time.
 class broker_wal {
  public:
   // In-memory stores (the fault engine's configuration).
@@ -135,16 +176,25 @@ class broker_wal {
   // Caller-chosen stores; both required.
   broker_wal(std::unique_ptr<wal_store> snapshot_store, std::unique_ptr<wal_store> log_store);
   // File-backed stores <dir>/broker-<id>.snap and <dir>/broker-<id>.log.
-  static broker_wal in_directory(const std::string& dir, int broker_id);
+  // Creates `dir` (and parents) if missing, then takes an exclusive
+  // <dir>/broker-<id>.lock flock held for the returned object's lifetime.
+  // Throws wal_error naming the offending path if the directory cannot be
+  // created or the WAL is already locked by a live process.
+  static broker_wal in_directory(const std::string& dir, int broker_id,
+                                 wal_options options = {});
 
   // Appends one framed record to the log, durably.
   void append(const wal_record& r);
   // Replaces the snapshot and truncates the log (compaction). Everything the
-  // log's records built is assumed folded into `snap`.
-  void write_snapshot(const broker_snapshot& snap);
+  // log's records built is assumed folded into `snap`. `aux` is an opaque
+  // consumer blob stored (checksummed) beside the snapshot and handed back
+  // by recover(); empty = no aux frame, byte-identical to the pre-aux
+  // format.
+  void write_snapshot(const broker_snapshot& snap, const std::vector<std::uint8_t>& aux = {});
 
   struct recovery {
     broker_snapshot snapshot;
+    std::vector<std::uint8_t> aux;    // write_snapshot's aux blob, or empty
     std::vector<wal_record> records;  // intact log records, append order
     std::uint64_t torn_bytes = 0;     // trailing log bytes dropped as torn
   };
@@ -165,6 +215,7 @@ class broker_wal {
  private:
   std::unique_ptr<wal_store> snapshot_;
   std::unique_ptr<wal_store> log_;
+  file_lock lock_;  // held iff built by in_directory
   std::uint64_t bytes_appended_ = 0;
   std::uint64_t records_since_snapshot_ = 0;
 };

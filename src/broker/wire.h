@@ -1,0 +1,126 @@
+// Binary wire protocol for the TCP broker daemon (broker/transport.h).
+//
+// Every message travels as one frame in the WAL's framing discipline
+// (broker/codec.h): [len:u32le][fnv1a64(payload):u64le][payload], payload
+// varint/zigzag coded. Sharing the discipline buys the same property on the
+// wire that it buys on disk: a torn or corrupted frame is *detected* at the
+// receiver — length bound, then checksum — and the stream is resynchronized
+// by dropping the connection and reconnecting (the sender replays unacked
+// operations; per-(op,from,seq) dedup makes the replay idempotent), never
+// by guessing where the next frame starts.
+//
+// Peer-to-peer messages (broker <-> broker):
+//   hello       sender's broker id; first frame on every connection, both
+//               directions. Anything else first is a protocol violation.
+//   heartbeat   liveness probe; carries nothing.
+//   subscribe / unsubscribe / publish
+//               one routed operation step, keyed (op, seq): `op` is the
+//               cluster-unique operation id, `seq` the sender-link channel
+//               position — together with the receiving link they form the
+//               WAL idempotency key (op, from, seq).
+//   ack         subtree completion for (op, seq): the receiver has applied
+//               the step AND collected acks from its own forwards.
+//               `delivered` aggregates every local delivery in that subtree
+//               (publish only), so the origin ends up with the cluster-wide
+//               delivered set.
+//
+// Client messages (driver/supervisor <-> daemon):
+//   client_subscribe / client_unsubscribe / client_publish
+//               inject one operation at this broker (from = kLocalLink).
+//   client_done operation finished cluster-wide: status, op id, and the
+//               full sorted delivered set (publish) — byte-identical to
+//               what the in-process deterministic engine returns.
+//   client_dump / dump_reply
+//               routing-state probe: encode_snapshot bytes + metrics.
+//   client_shutdown
+//               orderly daemon exit (checkpoint, close, stop).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "broker/metrics.h"
+#include "broker/wal.h"  // broker_snapshot
+#include "covering/covering_index.h"
+#include "pubsub/subscription.h"
+
+namespace subcover {
+
+// A malformed frame or payload: bad checksum, over-length frame, unknown
+// message type, truncated or trailing payload bytes. The transport's
+// response is always the same — close the connection, resync by reconnect.
+struct wire_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class msg_type : std::uint8_t {
+  hello = 1,
+  heartbeat = 2,
+  subscribe = 3,
+  unsubscribe = 4,
+  publish = 5,
+  ack = 6,
+  client_subscribe = 7,
+  client_unsubscribe = 8,
+  client_publish = 9,
+  client_done = 10,
+  client_dump = 11,
+  dump_reply = 12,
+  client_shutdown = 13,
+};
+
+// One decoded message; which fields are meaningful depends on `type` (see
+// the header comment). Unused fields encode as absent, not as zeroes.
+struct wire_msg {
+  msg_type type = msg_type::heartbeat;
+  std::uint64_t op = 0;                // subscribe/unsubscribe/publish/ack/client_done
+  std::uint64_t seq = 0;               // subscribe/unsubscribe/publish/ack
+  int sender = 0;                      // hello: broker id
+  sub_id id = 0;                       // (client_)subscribe / (client_)unsubscribe
+  subscription body;                   // (client_)subscribe
+  std::vector<std::uint64_t> values;   // (client_)publish: event values, schema order
+  std::vector<sub_id> delivered;       // ack / client_done: delivered ids, ascending
+  std::uint8_t status = 0;             // client_done: 0 = ok
+  std::vector<std::uint8_t> snapshot;  // dump_reply: encode_snapshot bytes
+  network_metrics metrics;             // dump_reply
+};
+
+// Payload bytes for one message (unframed).
+[[nodiscard]] std::vector<std::uint8_t> encode_msg(const wire_msg& m);
+// Decodes one payload; throws wire_error on anything malformed.
+[[nodiscard]] wire_msg decode_msg(const std::uint8_t* p, std::size_t n);
+// encode_msg wrapped in a codec frame — the bytes that go on the socket.
+[[nodiscard]] std::vector<std::uint8_t> frame_msg(const wire_msg& m);
+
+// Upper bound on a frame payload the decoder will accept. A length header
+// above this is treated as corruption immediately (a torn length field can
+// read as gigabytes — better to drop the connection than to buffer forever
+// waiting for bytes that never come).
+inline constexpr std::size_t kMaxWirePayload = std::size_t{1} << 24;  // 16 MiB
+
+// Incremental reassembly of a frame stream: feed() whatever recv(2)
+// returned, next() yields complete payloads in order. TCP guarantees the
+// bytes arrive in order or not at all, so the only failure modes are a
+// prefix that is not yet complete (next() returns nullopt — keep reading)
+// and corruption (next() throws wire_error — drop the connection).
+class frame_decoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+  // Next complete, checksum-verified payload; nullopt if more bytes are
+  // needed. Throws wire_error on an over-length header or checksum
+  // mismatch; the decoder is then poisoned (every later call throws) —
+  // matching the only sane recovery, which is a fresh connection with a
+  // fresh decoder.
+  std::optional<std::vector<std::uint8_t>> next();
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace subcover

@@ -31,6 +31,8 @@
 #include "broker/network.h"       // IWYU pragma: export
 #include "broker/routing_table.h" // IWYU pragma: export
 #include "broker/topology.h"      // IWYU pragma: export
+#include "broker/transport.h"     // IWYU pragma: export
+#include "broker/wire.h"          // IWYU pragma: export
 #include "covering/covering_index.h"          // IWYU pragma: export
 #include "covering/linear_covering_index.h"   // IWYU pragma: export
 #include "covering/sampled_covering_index.h"  // IWYU pragma: export

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -223,6 +224,116 @@ TEST(Wal, FileStoreTornTailTolerated) {
 TEST(Wal, ConstructorRequiresBothStores) {
   EXPECT_THROW(broker_wal(nullptr, std::make_unique<memory_wal_store>()), std::logic_error);
   EXPECT_THROW(broker_wal(std::make_unique<memory_wal_store>(), nullptr), std::logic_error);
+}
+
+TEST(Wal, FsyncOptionChangesNoRecoveredBytes) {
+  const schema s = two_attr_schema();
+  const std::string base = ::testing::TempDir() + "subcover_wal_fsync";
+  std::filesystem::remove_all(base);
+  const auto records = sample_records(s);
+  const std::vector<std::uint8_t> aux = {0xDE, 0xAD, 0xBE, 0xEF};
+
+  // Write the same sequence through both durability policies; the on-disk
+  // bytes (and hence everything recover() yields) must be identical —
+  // fsync changes *when* bytes are durable, never *which* bytes.
+  std::vector<std::uint8_t> log_bytes[2], snap_bytes[2];
+  for (int i = 0; i < 2; ++i) {
+    wal_options opts;
+    opts.fsync_on_append = (i == 1);
+    const std::string dir = base + "/" + std::to_string(i);
+    auto wal = broker_wal::in_directory(dir, 7, opts);
+    wal.write_snapshot(sample_snapshot(s), aux);
+    for (const auto& r : records) wal.append(r);
+    log_bytes[i] = wal.log_store().read_all();
+    snap_bytes[i] = wal.snapshot_store().read_all();
+    const auto rec = wal.recover();
+    EXPECT_EQ(rec.snapshot, sample_snapshot(s));
+    EXPECT_EQ(rec.aux, aux);
+    EXPECT_EQ(rec.records, records);
+  }
+  EXPECT_EQ(log_bytes[0], log_bytes[1]);
+  EXPECT_EQ(snap_bytes[0], snap_bytes[1]);
+  std::filesystem::remove_all(base);
+}
+
+TEST(Wal, SnapshotAuxRoundTripAndAbsence) {
+  const schema s = two_attr_schema();
+  broker_wal wal;
+  // No aux: the snapshot store holds exactly one frame (pre-aux format).
+  wal.write_snapshot(sample_snapshot(s));
+  const auto no_aux_bytes = wal.snapshot_store().read_all();
+  EXPECT_TRUE(wal.recover().aux.empty());
+
+  std::vector<std::uint8_t> aux(300);
+  for (std::size_t i = 0; i < aux.size(); ++i) aux[i] = static_cast<std::uint8_t>(i * 7);
+  wal.write_snapshot(sample_snapshot(s), aux);
+  EXPECT_GT(wal.snapshot_store().read_all().size(), no_aux_bytes.size());
+  const auto rec = wal.recover();
+  EXPECT_EQ(rec.snapshot, sample_snapshot(s));
+  EXPECT_EQ(rec.aux, aux);
+
+  // A corrupt aux frame is store corruption (atomic replace => not a tear).
+  auto bytes = wal.snapshot_store().read_all();
+  bytes.back() ^= 0x01;
+  wal.snapshot_store().replace(bytes);
+  EXPECT_THROW((void)wal.recover(), wal_error);
+  bytes.back() ^= 0x01;
+  bytes.push_back(0x00);  // trailing garbage after the aux frame
+  wal.snapshot_store().replace(bytes);
+  EXPECT_THROW((void)wal.recover(), wal_error);
+}
+
+TEST(Wal, InDirectoryCreatesMissingDirectories) {
+  const std::string base = ::testing::TempDir() + "subcover_wal_mkdir";
+  std::filesystem::remove_all(base);
+  const std::string dir = base + "/deeply/nested/wal";
+  ASSERT_FALSE(std::filesystem::exists(dir));
+  auto wal = broker_wal::in_directory(dir, 1);
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  wal.append(sample_records(two_attr_schema())[0]);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/broker-1.log"));
+  std::filesystem::remove_all(base);
+}
+
+TEST(Wal, InDirectoryRejectsLiveLockHolder) {
+  const std::string dir = ::testing::TempDir() + "subcover_wal_lock";
+  std::filesystem::remove_all(dir);
+  auto first = broker_wal::in_directory(dir, 5);
+  // Same broker id, same dir, while `first` lives: rejected, path named.
+  try {
+    auto second = broker_wal::in_directory(dir, 5);
+    FAIL() << "expected wal_error for locked WAL dir";
+  } catch (const wal_error& e) {
+    EXPECT_NE(std::string(e.what()).find(dir + "/broker-5.lock"), std::string::npos)
+        << e.what();
+  }
+  // A different broker id in the same dir is a different lock: fine.
+  auto other = broker_wal::in_directory(dir, 6);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wal, InDirectoryLockReleasedWithOwner) {
+  const std::string dir = ::testing::TempDir() + "subcover_wal_relock";
+  std::filesystem::remove_all(dir);
+  { auto wal = broker_wal::in_directory(dir, 2); }
+  // flock dies with its descriptor, so the restarted "process" gets in.
+  auto reopened = broker_wal::in_directory(dir, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wal, InDirectoryNamesUncreatableDirectory) {
+  // A path under a regular *file* cannot be created.
+  const std::string file = ::testing::TempDir() + "subcover_wal_notadir";
+  std::filesystem::remove_all(file);
+  { std::ofstream(file) << "x"; }
+  const std::string dir = file + "/sub";
+  try {
+    auto wal = broker_wal::in_directory(dir, 0);
+    FAIL() << "expected wal_error for uncreatable directory";
+  } catch (const wal_error& e) {
+    EXPECT_NE(std::string(e.what()).find(dir), std::string::npos) << e.what();
+  }
+  std::filesystem::remove_all(file);
 }
 
 }  // namespace
